@@ -1,0 +1,98 @@
+// Ablation for §7.3 "adaptive batching": after downtime or a load spike the
+// engine executes longer epochs to catch up with the backlog, approaching
+// batch-job throughput, then returns to small epochs for low latency. The
+// foil is a fixed epoch-size policy, which pays per-epoch overhead (offset
+// planning, WAL writes, task launch, state commit) many more times.
+
+#include <cstdio>
+
+#include "connectors/memory.h"
+#include "exec/streaming_query.h"
+#include "runtime/scheduler.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+namespace {
+
+constexpr int64_t kBacklog = 400000;
+
+SchemaPtr EventSchema() {
+  return Schema::Make({{"k", TypeId::kInt64, false},
+                       {"v", TypeId::kInt64, false}});
+}
+
+// Catch-up time in simulated cluster seconds (1 node x 8 cores): each
+// epoch pays real task-launch and commit-coordination overheads, which is
+// exactly what adaptive batching amortizes.
+double CatchUpSeconds(int64_t max_records_per_epoch, int64_t* epochs) {
+  auto stream = std::make_shared<MemoryStream>("s", EventSchema(), 4);
+  std::vector<Row> backlog;
+  backlog.reserve(kBacklog);
+  for (int64_t i = 0; i < kBacklog; ++i) {
+    backlog.push_back({Value::Int64(i % 100), Value::Int64(i)});
+  }
+  SS_CHECK_OK(stream->AddData(backlog));
+
+  auto dir = MakeTempDir("bench_adaptive").TakeValue();
+  auto sink = std::make_shared<MemorySink>();
+  DataFrame df = DataFrame::ReadStream(stream).GroupBy({"k"}).Count();
+  SimClusterScheduler::Options cluster;
+  cluster.num_nodes = 1;
+  cluster.cores_per_node = 8;
+  cluster.denoise_outliers = true;
+  SimClusterScheduler scheduler(cluster);
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  opts.num_partitions = 8;
+  opts.checkpoint_dir = dir;  // durable: per-epoch WAL + state commits
+  opts.max_records_per_epoch = max_records_per_epoch;
+  opts.scheduler = &scheduler;
+  auto query = StreamingQuery::Start(df, sink, opts);
+  SS_CHECK(query.ok()) << query.status().ToString();
+  SS_CHECK_OK((*query)->ProcessAllAvailable());
+  double seconds = static_cast<double>(scheduler.virtual_nanos()) / 1e9;
+  *epochs = (*query)->last_epoch();
+  RemoveDirRecursive(dir).ok();
+  return seconds;
+}
+
+void Run() {
+  std::printf("=== §7.3 ablation: adaptive batching vs. fixed epoch size "
+              "===\n");
+  std::printf("backlog: %lld records; durable checkpointing; simulated\n"
+              "1-node x 8-core cluster (task launch overhead 0.2 ms)\n\n",
+              static_cast<long long>(kBacklog));
+  std::printf("%-28s %8s %12s %14s\n", "policy", "epochs", "catch-up (s)",
+              "M rec/s");
+  struct Config {
+    const char* name;
+    int64_t cap;
+  };
+  const Config configs[] = {
+      {"adaptive (unbounded epoch)", 0},
+      {"fixed 100k records/epoch", 100000},
+      {"fixed 20k records/epoch", 20000},
+      {"fixed 5k records/epoch", 5000},
+  };
+  double adaptive_seconds = 0;
+  for (const Config& c : configs) {
+    int64_t epochs = 0;
+    double seconds = CatchUpSeconds(c.cap, &epochs);
+    if (c.cap == 0) adaptive_seconds = seconds;
+    std::printf("%-28s %8lld %12.3f %14.2f\n", c.name,
+                static_cast<long long>(epochs), seconds,
+                static_cast<double>(kBacklog) / seconds / 1e6);
+  }
+  std::printf("\nadaptive batching catches up the backlog in one epoch; "
+              "fixed-size\npolicies pay per-epoch overheads (paper: \"will "
+              "automatically execute\nlonger epochs in order to catch up\") "
+              "— adaptive baseline: %.3fs\n", adaptive_seconds);
+}
+
+}  // namespace
+}  // namespace sstreaming
+
+int main() {
+  sstreaming::Run();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Reproduces Figure 7 of the paper: latency of continuous processing mode
+// versus input rate for a map job, with microbatch mode's maximum stable
+// throughput as the reference line. Paper (4-core server): latency stays in
+// the low milliseconds until the rate approaches capacity, then blows up;
+// microbatch max throughput sits slightly below the continuous maximum,
+// with far higher (task-scheduling-bound) latency.
+//
+// This benchmark runs in real time on the local machine; absolute rates
+// depend on the hardware, so rates are swept as fractions of the measured
+// continuous-mode capacity.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/clock.h"
+#include "connectors/bus_connectors.h"
+#include "connectors/memory.h"
+#include "connectors/rate_source.h"
+#include "exec/continuous.h"
+#include "exec/streaming_query.h"
+
+namespace sstreaming {
+namespace {
+
+DataFrame MapQuery(SourcePtr source) {
+  // Map-only job as in §9.3: filter + projection from bus to bus.
+  return DataFrame::ReadStream(std::move(source))
+      .Where(Ge(Col("value"), Lit(0)))
+      .Select({As(Col("value"), "value"),
+               As(Col("timestamp"), "timestamp")});
+}
+
+struct LatencyStats {
+  double mean_ms = 0;
+  double p99_ms = 0;
+  int64_t count = 0;
+};
+
+// Runs continuous mode at `rate` rows/s for `duration_ms`, measuring the
+// event->sink latency of each delivered record.
+LatencyStats RunContinuousAtRate(int64_t rate, int64_t duration_ms) {
+  SystemClock clock;
+  auto source = std::make_shared<RateSource>("rate", rate, 1, &clock);
+  std::vector<double> latencies;
+  std::mutex mu;
+  auto sink = std::make_shared<ForeachSink>(
+      [&](int64_t, OutputMode, const std::vector<Row>& rows) -> Status {
+        int64_t now = SystemClock().NowMicros();
+        std::lock_guard<std::mutex> lock(mu);
+        for (const Row& r : rows) {
+          latencies.push_back(
+              static_cast<double>(now - r[1].int64_value()) / 1000.0);
+        }
+        return Status::OK();
+      });
+  ContinuousQuery::Options opts;
+  opts.poll_sleep_micros = 100;
+  opts.epoch_interval_micros = 50000;
+  opts.max_chunk_records = 4096;
+  auto query = ContinuousQuery::Start(MapQuery(source), sink, opts);
+  SS_CHECK(query.ok()) << query.status().ToString();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  (*query)->Stop();
+
+  LatencyStats stats;
+  std::lock_guard<std::mutex> lock(mu);
+  if (latencies.empty()) return stats;
+  // Discard the warmup half-second.
+  size_t skip = std::min(latencies.size() / 4, size_t{10000});
+  std::vector<double> window(latencies.begin() + skip, latencies.end());
+  if (window.empty()) return stats;
+  double sum = 0;
+  for (double l : window) sum += l;
+  std::sort(window.begin(), window.end());
+  stats.mean_ms = sum / static_cast<double>(window.size());
+  stats.p99_ms = window[static_cast<size_t>(
+      static_cast<double>(window.size() - 1) * 0.99)];
+  stats.count = static_cast<int64_t>(latencies.size());
+  return stats;
+}
+
+// Measures microbatch max throughput for the same job over a pre-built
+// backlog from the same RateSource the continuous runs use (identical
+// record generation cost on both paths).
+double MicrobatchMaxThroughput() {
+  constexpr int64_t kRows = 4000000;
+  ManualClock clock(0);
+  auto source = std::make_shared<RateSource>("backlog", kRows, 1, &clock);
+  clock.AdvanceMicros(1000000);  // 1 virtual second => kRows available
+  auto sink = std::make_shared<ForeachSink>(
+      [](int64_t, OutputMode, const std::vector<Row>&) -> Status {
+        return Status::OK();
+      });
+  QueryOptions opts;
+  opts.mode = OutputMode::kAppend;
+  opts.num_partitions = 1;
+  // Microbatch in steady state runs many short epochs, paying the epoch
+  // setup each time; use epochs of ~100ms worth of data.
+  opts.max_records_per_epoch = kRows / 10;
+  auto query = StreamingQuery::Start(MapQuery(source), sink, opts);
+  SS_CHECK(query.ok()) << query.status().ToString();
+  int64_t t0 = MonotonicNanos();
+  SS_CHECK_OK((*query)->ProcessAllAvailable());
+  double seconds = static_cast<double>(MonotonicNanos() - t0) / 1e9;
+  return static_cast<double>(kRows) / seconds;
+}
+
+void Run() {
+  std::printf("=== Figure 7: continuous processing latency vs. input rate "
+              "===\n");
+  // Probe the continuous-mode capacity with a short saturating run.
+  LatencyStats probe = RunContinuousAtRate(30000000, 1200);
+  double capacity = static_cast<double>(probe.count) / 1.2;
+  std::printf("measured continuous capacity: %.2f M rec/s (1 core)\n",
+              capacity / 1e6);
+  double microbatch = MicrobatchMaxThroughput();
+  std::printf("microbatch max throughput (dashed line in the paper): "
+              "%.2f M rec/s\n\n",
+              microbatch / 1e6);
+
+  std::printf("%12s %14s %12s %12s\n", "rate (rec/s)", "% of capacity",
+              "mean (ms)", "p99 (ms)");
+  const double fractions[] = {0.05, 0.1, 0.25, 0.5, 0.75, 0.9};
+  for (double f : fractions) {
+    int64_t rate = static_cast<int64_t>(capacity * f);
+    if (rate < 1000) rate = 1000;
+    LatencyStats stats = RunContinuousAtRate(rate, 2000);
+    std::printf("%12lld %13.0f%% %12.2f %12.2f\n",
+                static_cast<long long>(rate), f * 100, stats.mean_ms,
+                stats.p99_ms);
+  }
+  std::printf("\npaper shape: <10ms latency at half the microbatch max "
+              "throughput;\nlatency explodes only as the rate approaches "
+              "capacity.\n");
+}
+
+}  // namespace
+}  // namespace sstreaming
+
+int main() {
+  sstreaming::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation for §5.2, the core design claim: incrementalization updates the
+// result "in time proportional to the amount of new data received before
+// each trigger ... without a dependence on the total amount of data
+// received so far". The foil recomputes the aggregation from scratch over
+// all data on every trigger (what a naive periodic batch job does).
+
+#include <cstdio>
+
+#include "connectors/memory.h"
+#include "exec/batch_executor.h"
+#include "exec/streaming_query.h"
+
+namespace sstreaming {
+namespace {
+
+constexpr int64_t kSec = 1000000;
+
+SchemaPtr EventSchema() {
+  return Schema::Make({{"k", TypeId::kInt64, false},
+                       {"v", TypeId::kInt64, false},
+                       {"time", TypeId::kTimestamp, false}});
+}
+
+std::vector<Row> MakeBatch(int64_t start, int64_t n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64((start + i) % 500), Value::Int64(1),
+                    Value::Timestamp((start + i) * kSec / 1000)});
+  }
+  return rows;
+}
+
+void Run() {
+  std::printf("=== §5.2 ablation: incremental update vs. full recompute "
+              "===\n");
+  std::printf("windowed count query; 20k new records per trigger\n\n");
+  std::printf("%16s %22s %22s\n", "history (rows)",
+              "incremental (ms/trig)", "recompute (ms/trig)");
+
+  constexpr int64_t kPerTrigger = 20000;
+  auto stream = std::make_shared<MemoryStream>("s", EventSchema(), 2);
+  auto sink = std::make_shared<MemorySink>();
+  DataFrame streaming =
+      DataFrame::ReadStream(stream)
+          .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec), "w"),
+                    NamedExpr{Col("k"), "k"}})
+          .Count();
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  opts.num_partitions = 2;
+  auto query = StreamingQuery::Start(streaming, sink, opts).TakeValue();
+
+  std::vector<Row> history;
+  for (int trigger = 1; trigger <= 16; ++trigger) {
+    std::vector<Row> batch =
+        MakeBatch(static_cast<int64_t>(history.size()), kPerTrigger);
+    history.insert(history.end(), batch.begin(), batch.end());
+    SS_CHECK_OK(stream->AddData(batch));
+
+    int64_t t0 = MonotonicNanos();
+    SS_CHECK_OK(query->ProcessAllAvailable());
+    double incremental_ms = static_cast<double>(MonotonicNanos() - t0) / 1e6;
+
+    if ((trigger & (trigger - 1)) != 0) continue;  // report powers of two
+    // Full recompute: the same query over the whole history as a batch job.
+    DataFrame batch_df =
+        DataFrame::FromRows(EventSchema(), history)
+            .TakeValue()
+            .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec), "w"),
+                      NamedExpr{Col("k"), "k"}})
+            .Count();
+    t0 = MonotonicNanos();
+    auto result = RunBatch(batch_df, 2);
+    SS_CHECK(result.ok());
+    double recompute_ms = static_cast<double>(MonotonicNanos() - t0) / 1e6;
+    std::printf("%16lld %22.2f %22.2f\n",
+                static_cast<long long>(history.size()), incremental_ms,
+                recompute_ms);
+  }
+  std::printf("\npaper claim: incremental trigger cost stays flat as "
+              "history grows;\nrecompute cost grows linearly.\n");
+}
+
+}  // namespace
+}  // namespace sstreaming
+
+int main() {
+  sstreaming::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation for §6.2 "straggler mitigation" and "fine-grained fault
+// recovery": epoch completion time on the simulated cluster with straggler
+// and failure injection, with and without speculative backup tasks.
+
+#include <cstdio>
+
+#include "connectors/bus_connectors.h"
+#include "connectors/memory.h"
+#include "exec/streaming_query.h"
+#include "workloads/yahoo.h"
+
+namespace sstreaming {
+namespace {
+
+double EpochSeconds(MessageBus* bus, const std::vector<Row>& campaigns,
+                    int64_t num_events, SimClusterScheduler::Options cluster,
+                    SimClusterScheduler* out_sched) {
+  auto source =
+      std::make_shared<BusSource>(bus, "events", YahooEventSchema());
+  auto sink = std::make_shared<MemorySink>();
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  opts.num_partitions = 40;
+  SimClusterScheduler scheduler(cluster);
+  opts.scheduler = &scheduler;
+  auto query = StreamingQuery::Start(YahooQuery(source, campaigns), sink,
+                                     opts);
+  SS_CHECK(query.ok()) << query.status().ToString();
+  SS_CHECK_OK((*query)->ProcessAllAvailable());
+  if (out_sched != nullptr) *out_sched = scheduler;
+  (void)num_events;
+  return static_cast<double>(scheduler.virtual_nanos()) / 1e9;
+}
+
+void Run() {
+  std::printf("=== §6.2 ablation: stragglers, speculation, task failures "
+              "===\n");
+  YahooConfig config;
+  config.num_partitions = 40;
+  config.num_events = 800000;
+  MessageBus bus;
+  auto campaigns = GenerateYahooData(&bus, "events", config);
+  SS_CHECK(campaigns.ok());
+
+  SimClusterScheduler::Options base;
+  base.num_nodes = 5;
+  base.cores_per_node = 8;
+  base.denoise_outliers = true;
+
+  struct Scenario {
+    const char* name;
+    double straggler_p;
+    bool speculation;
+    double failure_p;
+  };
+  const Scenario scenarios[] = {
+      {"clean cluster", 0.0, false, 0.0},
+      {"10% stragglers, no mitigation", 0.10, false, 0.0},
+      {"10% stragglers + speculation", 0.10, true, 0.0},
+      {"5% task failures (retried)", 0.0, false, 0.05},
+      {"stragglers + failures + spec", 0.10, true, 0.05},
+  };
+  std::printf("%-32s %12s %10s %9s %7s\n", "scenario", "epoch (s)",
+              "slowdown", "straggle", "fail");
+  double clean = 0;
+  for (const Scenario& s : scenarios) {
+    SimClusterScheduler::Options cluster = base;
+    cluster.straggler_probability = s.straggler_p;
+    cluster.straggler_factor = 8.0;
+    cluster.speculation = s.speculation;
+    cluster.task_failure_probability = s.failure_p;
+    SimClusterScheduler stats(cluster);
+    double seconds = EpochSeconds(&bus, *campaigns, config.num_events,
+                                  cluster, &stats);
+    if (clean == 0) clean = seconds;
+    std::printf("%-32s %12.3f %9.2fx %9lld %7lld\n", s.name, seconds,
+                seconds / clean,
+                static_cast<long long>(stats.stragglers_injected()),
+                static_cast<long long>(stats.failures_injected()));
+  }
+  std::printf("\npaper claim: backup copies of slow tasks cap the straggler "
+              "penalty; failed\ntasks are rerun individually instead of "
+              "rolling back the whole cluster.\n");
+}
+
+}  // namespace
+}  // namespace sstreaming
+
+int main() {
+  sstreaming::Run();
+  return 0;
+}

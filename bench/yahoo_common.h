@@ -1,0 +1,87 @@
+#ifndef SSTREAMING_BENCH_YAHOO_COMMON_H_
+#define SSTREAMING_BENCH_YAHOO_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/flinksim.h"
+#include "baselines/kstreamssim.h"
+#include "connectors/bus_connectors.h"
+#include "connectors/memory.h"
+#include "exec/streaming_query.h"
+#include "runtime/scheduler.h"
+#include "workloads/yahoo.h"
+
+namespace sstreaming {
+namespace bench {
+
+// Runs the Structured Streaming Yahoo query over all data in `bus`'s
+// `topic`, charging task durations to `scheduler`. Returns records/second
+// of simulated cluster time.
+inline double RunStructured(MessageBus* bus, const std::string& topic,
+                            const std::vector<Row>& campaigns,
+                            int num_partitions,
+                            SimClusterScheduler* scheduler,
+                            int64_t num_events) {
+  auto source = std::make_shared<BusSource>(bus, topic, YahooEventSchema());
+  auto sink = std::make_shared<MemorySink>();
+  DataFrame df = YahooQuery(source, campaigns);
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  opts.num_partitions = num_partitions;
+  opts.scheduler = scheduler;
+  scheduler->reset_virtual_time();
+  auto query = StreamingQuery::Start(df, sink, opts);
+  SS_CHECK(query.ok()) << query.status().ToString();
+  SS_CHECK_OK((*query)->ProcessAllAvailable());
+  double seconds =
+      static_cast<double>(scheduler->virtual_nanos()) / 1e9;
+  return static_cast<double>(num_events) / seconds;
+}
+
+// Runs the flinksim pipelines (one per partition, as scheduler tasks).
+inline double RunFlink(MessageBus* bus, const std::string& topic,
+                       const std::vector<Row>& campaigns, int num_partitions,
+                       SimClusterScheduler* scheduler, int64_t num_events) {
+  scheduler->reset_virtual_time();
+  std::vector<std::unique_ptr<flinksim::Pipeline>> pipelines;
+  for (int p = 0; p < num_partitions; ++p) {
+    pipelines.push_back(
+        flinksim::BuildYahooPipeline(campaigns).TakeValue());
+  }
+  std::vector<std::function<Status()>> tasks;
+  for (int p = 0; p < num_partitions; ++p) {
+    tasks.push_back([=, &pipelines]() -> Status {
+      SS_ASSIGN_OR_RETURN(int64_t end, bus->EndOffset(topic, p));
+      SS_ASSIGN_OR_RETURN(std::vector<Row> rows, bus->Read(topic, p, 0, end));
+      pipelines[static_cast<size_t>(p)]->ProcessAll(rows);
+      pipelines[static_cast<size_t>(p)]->Finish();
+      return Status::OK();
+    });
+  }
+  SS_CHECK_OK(scheduler->RunStage("flink", std::move(tasks)));
+  double seconds =
+      static_cast<double>(scheduler->virtual_nanos()) / 1e9;
+  return static_cast<double>(num_events) / seconds;
+}
+
+// Runs the kstreamssim topology.
+inline double RunKStreams(MessageBus* bus, const std::string& topic,
+                          const std::vector<Row>& campaigns,
+                          SimClusterScheduler* scheduler,
+                          int64_t num_events,
+                          const std::string& repartition_topic) {
+  scheduler->reset_virtual_time();
+  auto result = kstreamssim::RunYahoo(bus, topic, repartition_topic,
+                                      campaigns, scheduler);
+  SS_CHECK(result.ok()) << result.status().ToString();
+  double seconds =
+      static_cast<double>(scheduler->virtual_nanos()) / 1e9;
+  return static_cast<double>(num_events) / seconds;
+}
+
+}  // namespace bench
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_BENCH_YAHOO_COMMON_H_

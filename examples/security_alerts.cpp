@@ -1,0 +1,115 @@
+// Information-security platform (paper §8.1): the DNS-exfiltration detector.
+//
+//   "One simplified query to detect such an attack essentially computes the
+//    aggregate size of the DNS requests sent by every host over a time
+//    interval. If the aggregate is greater than a given threshold, the
+//    query flags the corresponding host as potentially being compromised."
+//
+// The example also demonstrates the platform's other pillar: joining the
+// streaming DNS log against the organization's static device inventory so
+// alerts name a machine and owner, not just an IP, and querying a
+// consistent snapshot of the alert table interactively while the stream
+// runs (paper §1: "interactive queries on consistent snapshots").
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "connectors/memory.h"
+#include "exec/streaming_query.h"
+
+using namespace sstreaming;  // NOLINT — example brevity
+
+namespace {
+
+constexpr int64_t kSec = 1000000;
+
+SchemaPtr DnsLogSchema() {
+  return Schema::Make({{"src_ip", TypeId::kString, false},
+                       {"query", TypeId::kString, false},
+                       {"bytes", TypeId::kInt64, false},
+                       {"time", TypeId::kTimestamp, false}});
+}
+
+Row Dns(const char* ip, const char* q, int64_t bytes, int64_t sec) {
+  return {Value::Str(ip), Value::Str(q), Value::Int64(bytes),
+          Value::Timestamp(sec * kSec)};
+}
+
+}  // namespace
+
+int main() {
+  GlobalLogLevel() = LogLevel::kInfo;
+
+  // IDS output lands on the message-bus analogue of S3/Kafka.
+  auto dns_log = std::make_shared<MemoryStream>("dns", DnsLogSchema(), 4);
+
+  // Static device inventory (the "organization's internal database").
+  DataFrame devices =
+      DataFrame::FromRows(
+          Schema::Make({{"src_ip", TypeId::kString, false},
+                        {"hostname", TypeId::kString, false},
+                        {"owner", TypeId::kString, false}}),
+          {{Value::Str("10.0.0.1"), Value::Str("laptop-ann"),
+            Value::Str("ann")},
+           {Value::Str("10.0.0.2"), Value::Str("build-server"),
+            Value::Str("infra")},
+           {Value::Str("10.0.0.3"), Value::Str("laptop-bob"),
+            Value::Str("bob")}})
+          .TakeValue();
+
+  // The alert query: per-host DNS bytes over 60s event-time windows,
+  // enriched with the device inventory, thresholded. The analyst "develops
+  // the query offline and pushes it to the alerting cluster" — here it is
+  // just a DataFrame.
+  constexpr int64_t kThresholdBytes = 4096;
+  DataFrame alerts =
+      DataFrame::ReadStream(dns_log)
+          .WithWatermark("time", 30 * kSec)
+          .GroupBy({As(TumblingWindow(Col("time"), 60 * kSec), "window"),
+                    NamedExpr{Col("src_ip"), "src_ip"}})
+          .Agg({SumOf(Col("bytes"), "dns_bytes"), CountAll("requests")})
+          .Where(Gt(Col("dns_bytes"), Lit(kThresholdBytes)))
+          .Join(devices, {"src_ip"}, JoinType::kLeftOuter);
+
+  auto alert_table = std::make_shared<MemorySink>();
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  opts.num_partitions = 4;
+  auto query = StreamingQuery::Start(alerts, alert_table, opts);
+  SS_CHECK(query.ok()) << query.status().ToString();
+
+  // Normal traffic plus a host exfiltrating data in DNS queries.
+  std::vector<Row> traffic;
+  for (int i = 0; i < 20; ++i) {
+    traffic.push_back(Dns("10.0.0.1", "example.com", 80, 5 + i));
+    traffic.push_back(Dns("10.0.0.3", "updates.vendor.com", 95, 5 + i));
+    // Malware on 10.0.0.2 piggybacks stolen data into long subdomains.
+    traffic.push_back(
+        Dns("10.0.0.2", "aGVsbG8gd29ybGQ.attacker.example", 700, 5 + i));
+  }
+  SS_CHECK_OK(dns_log->AddData(traffic));
+  SS_CHECK_OK((*query)->ProcessAllAvailable());
+
+  // An analyst queries the alert table interactively: this snapshot is
+  // prefix-consistent — it reflects exactly the committed epochs.
+  std::printf("--- alerts (interactive snapshot) ---\n");
+  for (const Row& row : alert_table->SortedSnapshot()) {
+    // (window_start, window_end, src_ip, dns_bytes, requests, host, owner)
+    std::printf(
+        "window [%llds..%llds) host=%s bytes=%s requests=%s device=%s "
+        "owner=%s\n",
+        static_cast<long long>(row[0].int64_value() / kSec),
+        static_cast<long long>(row[1].int64_value() / kSec),
+        row[2].ToString().c_str(), row[3].ToString().c_str(),
+        row[4].ToString().c_str(), row[5].ToString().c_str(),
+        row[6].ToString().c_str());
+  }
+  const auto& progress = (*query)->recent_progress().back();
+  std::printf("\nquery progress: epoch=%lld rows_read=%lld state=%lld "
+              "entries watermark=%llds\n",
+              static_cast<long long>(progress.epoch),
+              static_cast<long long>(progress.rows_read),
+              static_cast<long long>(progress.state_entries),
+              static_cast<long long>(progress.watermark_micros / kSec));
+  return 0;
+}

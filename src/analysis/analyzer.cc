@@ -1,0 +1,455 @@
+#include "analysis/analyzer.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace sstreaming {
+
+namespace {
+
+Status CheckNoDuplicateNames(const Schema& schema, const char* where) {
+  std::set<std::string> seen;
+  for (const Field& f : schema.fields()) {
+    if (!seen.insert(f.name).second) {
+      return Status::AnalysisError(std::string(where) +
+                                   ": duplicate output column '" + f.name +
+                                   "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// Definitions live outside the anonymous namespace because Analyzer is a
+// friend of LogicalPlan (needed to set schema_ on the rebuilt nodes).
+Result<PlanPtr> Analyzer::Analyze(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case LogicalPlan::Kind::kScan: {
+      const auto& node = static_cast<const ScanNode&>(*plan);
+      auto out = std::make_shared<ScanNode>(node.data_schema(),
+                                            node.batches());
+      out->schema_ = node.data_schema();
+      return PlanPtr(out);
+    }
+    case LogicalPlan::Kind::kStreamScan: {
+      const auto& node = static_cast<const StreamScanNode&>(*plan);
+      auto out = std::make_shared<StreamScanNode>(node.source());
+      out->schema_ = node.source()->schema();
+      return PlanPtr(out);
+    }
+    case LogicalPlan::Kind::kFilter: {
+      const auto& node = static_cast<const FilterNode&>(*plan);
+      SS_ASSIGN_OR_RETURN(PlanPtr child, Analyze(node.children()[0]));
+      SS_ASSIGN_OR_RETURN(ExprPtr pred,
+                          node.predicate()->Resolve(*child->schema()));
+      if (pred->type() != TypeId::kBool && pred->type() != TypeId::kNull) {
+        return Status::AnalysisError(
+            "filter predicate must be boolean, got " +
+            std::string(TypeName(pred->type())) + " in " +
+            node.predicate()->ToString());
+      }
+      auto out = std::make_shared<FilterNode>(child, std::move(pred));
+      out->schema_ = child->schema();
+      return PlanPtr(out);
+    }
+    case LogicalPlan::Kind::kProject: {
+      const auto& node = static_cast<const ProjectNode&>(*plan);
+      SS_ASSIGN_OR_RETURN(PlanPtr child, Analyze(node.children()[0]));
+      const Schema& in = *child->schema();
+      std::vector<NamedExpr> items;
+      if (node.include_star()) {
+        // Expand '*': all child columns, with same-named items overriding.
+        for (const Field& f : in.fields()) {
+          const NamedExpr* override_item = nullptr;
+          for (const NamedExpr& e : node.exprs()) {
+            if (e.OutputName() == f.name) override_item = &e;
+          }
+          items.push_back(override_item
+                              ? *override_item
+                              : NamedExpr{Col(f.name), f.name});
+        }
+        for (const NamedExpr& e : node.exprs()) {
+          if (in.IndexOf(e.OutputName()) < 0) items.push_back(e);
+        }
+      } else {
+        items = node.exprs();
+      }
+      std::vector<NamedExpr> resolved;
+      std::vector<Field> fields;
+      for (const NamedExpr& item : items) {
+        SS_ASSIGN_OR_RETURN(ExprPtr e, item.expr->Resolve(in));
+        std::string name =
+            item.name.empty() ? item.expr->output_name() : item.name;
+        fields.push_back(Field{name, e->type(), /*nullable=*/true});
+        resolved.push_back(NamedExpr{std::move(e), std::move(name)});
+      }
+      Schema schema(std::move(fields));
+      SS_RETURN_IF_ERROR(CheckNoDuplicateNames(schema, "project"));
+      auto out = std::make_shared<ProjectNode>(child, std::move(resolved));
+      out->schema_ = std::make_shared<Schema>(std::move(schema));
+      return PlanPtr(out);
+    }
+    case LogicalPlan::Kind::kAggregate: {
+      const auto& node = static_cast<const AggregateNode&>(*plan);
+      SS_ASSIGN_OR_RETURN(PlanPtr child, Analyze(node.children()[0]));
+      const Schema& in = *child->schema();
+      std::vector<NamedExpr> group_resolved;
+      std::vector<Field> fields;
+      int window_keys = 0;
+      for (const NamedExpr& g : node.group_exprs()) {
+        SS_ASSIGN_OR_RETURN(ExprPtr e, g.expr->Resolve(in));
+        std::string name = g.name.empty() ? g.expr->output_name() : g.name;
+        if (e->kind() == Expr::Kind::kWindow) {
+          ++window_keys;
+          if (window_keys > 1) {
+            return Status::AnalysisError(
+                "at most one window() group key is supported");
+          }
+          fields.push_back(Field{name + "_start", TypeId::kTimestamp, false});
+          fields.push_back(Field{name + "_end", TypeId::kTimestamp, false});
+        } else {
+          fields.push_back(Field{name, e->type(), /*nullable=*/true});
+        }
+        group_resolved.push_back(NamedExpr{std::move(e), std::move(name)});
+      }
+      std::vector<AggSpec> aggs_resolved;
+      for (const AggSpec& spec : node.aggregates()) {
+        AggSpec r = spec;
+        TypeId arg_type = TypeId::kNull;
+        if (spec.func != AggFunc::kCountAll) {
+          if (spec.arg == nullptr) {
+            return Status::AnalysisError("aggregate " +
+                                         std::string(AggFuncName(spec.func)) +
+                                         " needs an argument");
+          }
+          SS_ASSIGN_OR_RETURN(ExprPtr a, spec.arg->Resolve(in));
+          arg_type = a->type();
+          r.arg = std::move(a);
+        }
+        SS_ASSIGN_OR_RETURN(TypeId out_type,
+                            AggOutputType(spec.func, arg_type));
+        fields.push_back(Field{r.name, out_type, /*nullable=*/true});
+        aggs_resolved.push_back(std::move(r));
+      }
+      if (aggs_resolved.empty()) {
+        return Status::AnalysisError("aggregation requires at least one "
+                                     "aggregate function");
+      }
+      Schema schema(std::move(fields));
+      SS_RETURN_IF_ERROR(CheckNoDuplicateNames(schema, "aggregate"));
+      auto out = std::make_shared<AggregateNode>(
+          child, std::move(group_resolved), std::move(aggs_resolved));
+      out->schema_ = std::make_shared<Schema>(std::move(schema));
+      return PlanPtr(out);
+    }
+    case LogicalPlan::Kind::kJoin: {
+      const auto& node = static_cast<const JoinNode&>(*plan);
+      SS_ASSIGN_OR_RETURN(PlanPtr left, Analyze(node.children()[0]));
+      SS_ASSIGN_OR_RETURN(PlanPtr right, Analyze(node.children()[1]));
+      if (node.left_keys().empty()) {
+        return Status::AnalysisError("join requires at least one key");
+      }
+      std::vector<ExprPtr> lkeys;
+      std::vector<ExprPtr> rkeys;
+      // Right key columns that mirror a same-named left key are dropped from
+      // the output (the usual USING-join behavior).
+      std::set<std::string> dropped_right;
+      for (size_t i = 0; i < node.left_keys().size(); ++i) {
+        SS_ASSIGN_OR_RETURN(ExprPtr lk,
+                            node.left_keys()[i]->Resolve(*left->schema()));
+        SS_ASSIGN_OR_RETURN(ExprPtr rk,
+                            node.right_keys()[i]->Resolve(*right->schema()));
+        bool compatible = lk->type() == rk->type() ||
+                          (IsNumeric(lk->type()) && IsNumeric(rk->type()));
+        if (!compatible) {
+          return Status::AnalysisError(
+              std::string("join key type mismatch: ") + TypeName(lk->type()) +
+              " vs " + TypeName(rk->type()));
+        }
+        if (node.left_keys()[i]->kind() == Expr::Kind::kColumnRef &&
+            node.right_keys()[i]->kind() == Expr::Kind::kColumnRef) {
+          const auto& lref =
+              static_cast<const ColumnRefExpr&>(*node.left_keys()[i]);
+          const auto& rref =
+              static_cast<const ColumnRefExpr&>(*node.right_keys()[i]);
+          if (lref.name() == rref.name()) dropped_right.insert(rref.name());
+        }
+        lkeys.push_back(std::move(lk));
+        rkeys.push_back(std::move(rk));
+      }
+      std::vector<Field> fields = left->schema()->fields();
+      std::set<std::string> left_names;
+      for (const Field& f : fields) left_names.insert(f.name);
+      for (const Field& f : right->schema()->fields()) {
+        if (dropped_right.count(f.name)) continue;
+        Field out_field = f;
+        if (left_names.count(f.name)) out_field.name = f.name + "_r";
+        // Outer joins make the non-preserved side nullable.
+        out_field.nullable = true;
+        fields.push_back(std::move(out_field));
+      }
+      Schema schema(std::move(fields));
+      SS_RETURN_IF_ERROR(CheckNoDuplicateNames(schema, "join"));
+      auto out = std::make_shared<JoinNode>(left, right, node.join_type(),
+                                            std::move(lkeys),
+                                            std::move(rkeys));
+      out->schema_ = std::make_shared<Schema>(std::move(schema));
+      return PlanPtr(out);
+    }
+    case LogicalPlan::Kind::kDistinct: {
+      const auto& node = static_cast<const DistinctNode&>(*plan);
+      SS_ASSIGN_OR_RETURN(PlanPtr child, Analyze(node.children()[0]));
+      auto out = std::make_shared<DistinctNode>(child);
+      out->schema_ = child->schema();
+      return PlanPtr(out);
+    }
+    case LogicalPlan::Kind::kSort: {
+      const auto& node = static_cast<const SortNode&>(*plan);
+      SS_ASSIGN_OR_RETURN(PlanPtr child, Analyze(node.children()[0]));
+      std::vector<SortKey> keys;
+      for (const SortKey& k : node.keys()) {
+        SS_ASSIGN_OR_RETURN(ExprPtr e, k.expr->Resolve(*child->schema()));
+        keys.push_back(SortKey{std::move(e), k.ascending});
+      }
+      auto out = std::make_shared<SortNode>(child, std::move(keys));
+      out->schema_ = child->schema();
+      return PlanPtr(out);
+    }
+    case LogicalPlan::Kind::kLimit: {
+      const auto& node = static_cast<const LimitNode&>(*plan);
+      SS_ASSIGN_OR_RETURN(PlanPtr child, Analyze(node.children()[0]));
+      if (node.n() < 0) {
+        return Status::AnalysisError("limit must be non-negative");
+      }
+      auto out = std::make_shared<LimitNode>(child, node.n());
+      out->schema_ = child->schema();
+      return PlanPtr(out);
+    }
+    case LogicalPlan::Kind::kWithWatermark: {
+      const auto& node = static_cast<const WithWatermarkNode&>(*plan);
+      SS_ASSIGN_OR_RETURN(PlanPtr child, Analyze(node.children()[0]));
+      int idx = child->schema()->IndexOf(node.column());
+      if (idx < 0) {
+        return Status::AnalysisError("withWatermark: no column '" +
+                                     node.column() + "'");
+      }
+      if (child->schema()->field(idx).type != TypeId::kTimestamp) {
+        return Status::AnalysisError(
+            "withWatermark: column '" + node.column() +
+            "' must be a timestamp, is " +
+            TypeName(child->schema()->field(idx).type));
+      }
+      if (node.delay_micros() < 0) {
+        return Status::AnalysisError("withWatermark: negative delay");
+      }
+      auto out = std::make_shared<WithWatermarkNode>(child, node.column(),
+                                                     node.delay_micros());
+      out->schema_ = child->schema();
+      return PlanPtr(out);
+    }
+    case LogicalPlan::Kind::kFlatMapGroupsWithState: {
+      const auto& node =
+          static_cast<const FlatMapGroupsWithStateNode&>(*plan);
+      SS_ASSIGN_OR_RETURN(PlanPtr child, Analyze(node.children()[0]));
+      if (node.key_exprs().empty()) {
+        return Status::AnalysisError("groupByKey requires at least one key");
+      }
+      std::vector<NamedExpr> keys;
+      for (const NamedExpr& k : node.key_exprs()) {
+        SS_ASSIGN_OR_RETURN(ExprPtr e, k.expr->Resolve(*child->schema()));
+        std::string name = k.name.empty() ? k.expr->output_name() : k.name;
+        keys.push_back(NamedExpr{std::move(e), std::move(name)});
+      }
+      if (node.output_schema() == nullptr ||
+          node.output_schema()->num_fields() == 0) {
+        return Status::AnalysisError(
+            "mapGroupsWithState requires a non-empty output schema");
+      }
+      auto out = std::make_shared<FlatMapGroupsWithStateNode>(
+          child, std::move(keys), node.update_fn(), node.output_schema(),
+          node.timeout(), node.require_single_output());
+      out->schema_ = node.output_schema();
+      return PlanPtr(out);
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+namespace {
+
+struct StreamingStats {
+  int streaming_aggregates = 0;
+  int stateful_ops = 0;
+  bool has_sort = false;
+  bool sort_above_aggregate = false;
+  bool has_limit = false;
+  bool has_event_time_timeout_without_watermark = false;
+  Status error = Status::OK();
+};
+
+// Watermarked timestamp columns visible in `plan`'s output.
+std::set<std::string> WatermarkedColumns(const PlanPtr& plan) {
+  std::set<std::string> out;
+  for (const auto& [col, delay] : CollectWatermarkColumns(plan)) {
+    (void)delay;
+    out.insert(col);
+  }
+  return out;
+}
+
+// Walks the analyzed tree gathering streaming-validity facts; fails fast on
+// structural violations.
+Status Walk(const PlanPtr& plan, OutputMode mode, bool above_aggregate,
+            StreamingStats* stats) {
+  // Children first (bottom-up errors read more naturally).
+  bool child_above_aggregate =
+      above_aggregate || plan->kind() == LogicalPlan::Kind::kAggregate;
+  for (const PlanPtr& child : plan->children()) {
+    SS_RETURN_IF_ERROR(Walk(child, mode, child_above_aggregate, stats));
+  }
+  switch (plan->kind()) {
+    case LogicalPlan::Kind::kAggregate: {
+      if (!plan->IsStreaming()) break;
+      ++stats->streaming_aggregates;
+      if (stats->streaming_aggregates > 1) {
+        return Status::UnsupportedOperation(
+            "streaming queries support at most one aggregation (paper "
+            "§5.2); use mapGroupsWithState for custom multi-level logic");
+      }
+      if (mode == OutputMode::kAppend) {
+        // Append requires monotonic results: the group key must include an
+        // event-time window over a watermarked column so each group closes.
+        const auto& agg = static_cast<const AggregateNode&>(*plan);
+        std::set<std::string> wm = WatermarkedColumns(plan->children()[0]);
+        bool ok = false;
+        for (const NamedExpr& g : agg.group_exprs()) {
+          if (g.expr->kind() != Expr::Kind::kWindow) continue;
+          const auto& w = static_cast<const WindowExpr&>(*g.expr);
+          std::vector<std::string> refs;
+          w.CollectColumnRefs(&refs);
+          for (const std::string& r : refs) {
+            if (wm.count(r)) ok = true;
+          }
+        }
+        if (!ok) {
+          return Status::AnalysisError(
+              "append output mode is not allowed for aggregations without a "
+              "window over a watermarked event-time column: the engine can "
+              "never know it has stopped receiving records for a group "
+              "(paper §4.2)");
+        }
+      }
+      break;
+    }
+    case LogicalPlan::Kind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(*plan);
+      bool left_stream = join.children()[0]->IsStreaming();
+      bool right_stream = join.children()[1]->IsStreaming();
+      if (!left_stream && !right_stream) break;
+      if (left_stream && right_stream) {
+        if (join.join_type() != JoinType::kInner) {
+          std::set<std::string> lwm = WatermarkedColumns(join.children()[0]);
+          std::set<std::string> rwm = WatermarkedColumns(join.children()[1]);
+          if (lwm.empty() || rwm.empty()) {
+            return Status::AnalysisError(
+                "stream-stream outer joins require watermarks on both "
+                "inputs so the unmatched side can eventually be emitted "
+                "(paper §5.2)");
+          }
+        }
+      } else {
+        // Stream-static: the preserved (outer) side must be the stream.
+        if (join.join_type() == JoinType::kLeftOuter && !left_stream) {
+          return Status::UnsupportedOperation(
+              "left-outer join with a static left side and streaming right "
+              "side is not incrementalizable (the static side would need "
+              "re-emission as the stream grows)");
+        }
+        if (join.join_type() == JoinType::kRightOuter && !right_stream) {
+          return Status::UnsupportedOperation(
+              "right-outer join with a static right side and streaming left "
+              "side is not incrementalizable");
+        }
+      }
+      break;
+    }
+    case LogicalPlan::Kind::kSort: {
+      if (!plan->IsStreaming()) break;
+      stats->has_sort = true;
+      stats->sort_above_aggregate = above_aggregate || child_above_aggregate;
+      if (mode != OutputMode::kComplete) {
+        return Status::UnsupportedOperation(
+            "sorting a streaming query is only supported in complete output "
+            "mode (paper §5.2)");
+      }
+      if (stats->streaming_aggregates == 0) {
+        return Status::UnsupportedOperation(
+            "sorting a streaming query is only supported after an "
+            "aggregation (paper §5.2)");
+      }
+      break;
+    }
+    case LogicalPlan::Kind::kLimit: {
+      if (!plan->IsStreaming()) break;
+      if (mode != OutputMode::kComplete) {
+        return Status::UnsupportedOperation(
+            "limit on a streaming query is only supported in complete "
+            "output mode");
+      }
+      break;
+    }
+    case LogicalPlan::Kind::kFlatMapGroupsWithState: {
+      if (!plan->IsStreaming()) break;
+      ++stats->stateful_ops;
+      const auto& fm = static_cast<const FlatMapGroupsWithStateNode&>(*plan);
+      if (fm.timeout() == GroupStateTimeout::kEventTime &&
+          WatermarkedColumns(plan->children()[0]).empty()) {
+        return Status::AnalysisError(
+            "event-time timeouts in mapGroupsWithState require a watermark "
+            "on the input");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateStreamingQuery(const PlanPtr& plan, OutputMode mode) {
+  if (!plan->IsStreaming()) {
+    return Status::InvalidArgument(
+        "not a streaming query (no streaming source); run it with the batch "
+        "executor instead");
+  }
+  StreamingStats stats;
+  SS_RETURN_IF_ERROR(Walk(plan, mode, /*above_aggregate=*/false, &stats));
+  if (mode == OutputMode::kComplete && stats.streaming_aggregates == 0) {
+    return Status::AnalysisError(
+        "complete output mode requires an aggregation: the engine only "
+        "retains state proportional to the number of result keys (paper "
+        "§5.1)");
+  }
+  return Status::OK();
+}
+
+std::map<std::string, int64_t> CollectWatermarkColumns(const PlanPtr& plan) {
+  std::map<std::string, int64_t> out;
+  if (plan->kind() == LogicalPlan::Kind::kWithWatermark) {
+    const auto& node = static_cast<const WithWatermarkNode&>(*plan);
+    out[node.column()] = node.delay_micros();
+  }
+  for (const PlanPtr& child : plan->children()) {
+    for (const auto& [col, delay] : CollectWatermarkColumns(child)) {
+      auto it = out.find(col);
+      if (it == out.end() || delay > it->second) out[col] = delay;
+    }
+  }
+  return out;
+}
+
+}  // namespace sstreaming

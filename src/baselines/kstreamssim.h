@@ -1,0 +1,58 @@
+#ifndef SSTREAMING_BASELINES_KSTREAMSSIM_H_
+#define SSTREAMING_BASELINES_KSTREAMSSIM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bus/message_bus.h"
+#include "runtime/scheduler.h"
+#include "types/row.h"
+
+namespace sstreaming {
+namespace kstreamssim {
+
+/// A Kafka-Streams-style execution of the Yahoo benchmark: "a simple
+/// message-passing model through the Kafka message bus" (paper §9.1). The
+/// topology has two stages connected by a repartition topic on the bus:
+///
+///   stage 1: events topic -> filter(view) -> project -> join KTable
+///            -> serialize -> produce to repartition topic (keyed by
+///               campaign hash), ONE RECORD AT A TIME
+///   stage 2: repartition topic -> deserialize -> windowed count
+///
+/// Every intermediate record pays serialization, a broker append under the
+/// partition lock, a broker read, and deserialization — the through-the-bus
+/// cost that produces the paper's ~90x gap. Nothing is artificially slowed:
+/// these are the real costs of the architecture.
+/// Modeled broker costs, charged as virtual time on simulated clusters:
+/// an unbatched per-record produce and per-record consumer poll through a
+/// real Kafka broker each cost on the order of 0.1 ms (network round trip +
+/// broker request handling); our in-process bus append costs ~0.1 us, so
+/// the difference must be charged explicitly for the comparison against
+/// the paper's numbers to be meaningful.
+struct BrokerCosts {
+  BrokerCosts() {}
+  int64_t produce_nanos = 20000;  // per intermediate record produced
+  int64_t consume_nanos = 30000;  // per intermediate record consumed
+};
+
+struct YahooRunResult {
+  std::map<std::pair<int64_t, int64_t>, int64_t> counts;
+  int64_t intermediate_records = 0;
+};
+
+/// Runs the benchmark over events already in `events_topic` ([0, end) of
+/// every partition), scheduling per-partition stage tasks on `scheduler`.
+/// `repartition_topic` is created on the bus.
+Result<YahooRunResult> RunYahoo(MessageBus* bus,
+                                const std::string& events_topic,
+                                const std::string& repartition_topic,
+                                const std::vector<Row>& campaigns,
+                                TaskScheduler* scheduler,
+                                BrokerCosts broker = BrokerCosts());
+
+}  // namespace kstreamssim
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_BASELINES_KSTREAMSSIM_H_

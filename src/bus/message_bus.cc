@@ -1,0 +1,159 @@
+#include "bus/message_bus.h"
+
+namespace sstreaming {
+
+Status MessageBus::CreateTopic(const std::string& topic, int num_partitions) {
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("topic needs >= 1 partition");
+  }
+  std::lock_guard<std::mutex> lock(topics_mu_);
+  if (topics_.find(topic) != topics_.end()) {
+    return Status::AlreadyExists("topic " + topic + " already exists");
+  }
+  Topic& t = topics_[topic];
+  t.partitions.reserve(static_cast<size_t>(num_partitions));
+  for (int i = 0; i < num_partitions; ++i) {
+    t.partitions.push_back(std::make_unique<Partition>());
+  }
+  return Status::OK();
+}
+
+bool MessageBus::HasTopic(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(topics_mu_);
+  return topics_.find(topic) != topics_.end();
+}
+
+Result<const MessageBus::Topic*> MessageBus::FindTopic(
+    const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(topics_mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return Status::NotFound("unknown topic " + topic);
+  }
+  // Topics are never removed, so the pointer stays valid after unlocking.
+  return const_cast<const Topic*>(&it->second);
+}
+
+Result<int> MessageBus::NumPartitions(const std::string& topic) const {
+  SS_ASSIGN_OR_RETURN(const Topic* t, FindTopic(topic));
+  return static_cast<int>(t->partitions.size());
+}
+
+Result<int64_t> MessageBus::Append(const std::string& topic, int partition,
+                                   Row row) {
+  SS_ASSIGN_OR_RETURN(const Topic* t, FindTopic(topic));
+  if (partition < 0 || partition >= static_cast<int>(t->partitions.size())) {
+    return Status::OutOfRange("partition out of range");
+  }
+  Partition& p = *t->partitions[static_cast<size_t>(partition)];
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.log.push_back(std::move(row));
+  return static_cast<int64_t>(p.log.size()) - 1;
+}
+
+Result<int64_t> MessageBus::AppendBatch(const std::string& topic,
+                                        int partition,
+                                        std::vector<Row> rows) {
+  SS_ASSIGN_OR_RETURN(const Topic* t, FindTopic(topic));
+  if (partition < 0 || partition >= static_cast<int>(t->partitions.size())) {
+    return Status::OutOfRange("partition out of range");
+  }
+  Partition& p = *t->partitions[static_cast<size_t>(partition)];
+  std::lock_guard<std::mutex> lock(p.mu);
+  int64_t first = static_cast<int64_t>(p.log.size());
+  for (Row& r : rows) p.log.push_back(std::move(r));
+  return first;
+}
+
+Result<std::vector<Row>> MessageBus::Read(const std::string& topic,
+                                          int partition, int64_t start,
+                                          int64_t end) const {
+  SS_ASSIGN_OR_RETURN(const Topic* t, FindTopic(topic));
+  if (partition < 0 || partition >= static_cast<int>(t->partitions.size())) {
+    return Status::OutOfRange("partition out of range");
+  }
+  const Partition& p = *t->partitions[static_cast<size_t>(partition)];
+  std::lock_guard<std::mutex> lock(p.mu);
+  int64_t log_end = static_cast<int64_t>(p.log.size());
+  if (start < 0 || start > log_end) {
+    return Status::OutOfRange("start offset " + std::to_string(start) +
+                              " outside log [0, " + std::to_string(log_end) +
+                              "]");
+  }
+  if (end > log_end) end = log_end;
+  std::vector<Row> out;
+  if (end > start) {
+    out.assign(p.log.begin() + start, p.log.begin() + end);
+  }
+  return out;
+}
+
+Result<RecordBatchPtr> MessageBus::ReadBatch(
+    const std::string& topic, int partition, int64_t start, int64_t end,
+    const SchemaPtr& schema, const std::vector<int>* projection) const {
+  SS_ASSIGN_OR_RETURN(const Topic* t, FindTopic(topic));
+  if (partition < 0 || partition >= static_cast<int>(t->partitions.size())) {
+    return Status::OutOfRange("partition out of range");
+  }
+  const Partition& p = *t->partitions[static_cast<size_t>(partition)];
+  std::lock_guard<std::mutex> lock(p.mu);
+  int64_t log_end = static_cast<int64_t>(p.log.size());
+  if (start < 0 || start > log_end) {
+    return Status::OutOfRange("start offset outside log");
+  }
+  if (end > log_end) end = log_end;
+  const int num_fields = schema->num_fields();
+  std::vector<ColumnPtr> columns;
+  columns.reserve(static_cast<size_t>(num_fields));
+  for (const Field& f : schema->fields()) {
+    ColumnPtr col = Column::Make(f.type);
+    col->Reserve(end > start ? end - start : 0);
+    columns.push_back(std::move(col));
+  }
+  for (int64_t i = start; i < end; ++i) {
+    const Row& row = p.log[static_cast<size_t>(i)];
+    for (int c = 0; c < num_fields; ++c) {
+      size_t src = projection == nullptr
+                       ? static_cast<size_t>(c)
+                       : static_cast<size_t>((*projection)[
+                             static_cast<size_t>(c)]);
+      if (src >= row.size()) {
+        return Status::InvalidArgument("record arity does not match schema");
+      }
+      columns[static_cast<size_t>(c)]->AppendValue(row[src]);
+    }
+  }
+  return RecordBatch::Make(schema, std::move(columns));
+}
+
+Result<int64_t> MessageBus::EndOffset(const std::string& topic,
+                                      int partition) const {
+  SS_ASSIGN_OR_RETURN(const Topic* t, FindTopic(topic));
+  if (partition < 0 || partition >= static_cast<int>(t->partitions.size())) {
+    return Status::OutOfRange("partition out of range");
+  }
+  const Partition& p = *t->partitions[static_cast<size_t>(partition)];
+  std::lock_guard<std::mutex> lock(p.mu);
+  return static_cast<int64_t>(p.log.size());
+}
+
+Result<std::vector<int64_t>> MessageBus::EndOffsets(
+    const std::string& topic) const {
+  SS_ASSIGN_OR_RETURN(const Topic* t, FindTopic(topic));
+  std::vector<int64_t> out;
+  out.reserve(t->partitions.size());
+  for (const auto& p : t->partitions) {
+    std::lock_guard<std::mutex> lock(p->mu);
+    out.push_back(static_cast<int64_t>(p->log.size()));
+  }
+  return out;
+}
+
+Result<int64_t> MessageBus::TotalRecords(const std::string& topic) const {
+  SS_ASSIGN_OR_RETURN(std::vector<int64_t> ends, EndOffsets(topic));
+  int64_t total = 0;
+  for (int64_t e : ends) total += e;
+  return total;
+}
+
+}  // namespace sstreaming

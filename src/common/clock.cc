@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace sstreaming {
+
+int64_t SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,455 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace sstreaming {
+
+namespace {
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Recursive-descent JSON parser over a string.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    SkipWhitespace();
+    SS_ASSIGN_OR_RETURN(Json v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  Result<Json> ParseValue() {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        SS_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json::Str(std::move(s));
+      }
+      case 't':
+        if (Consume("true")) return Json::Bool(true);
+        return Fail("invalid literal");
+      case 'f':
+        if (Consume("false")) return Json::Bool(false);
+        return Fail("invalid literal");
+      case 'n':
+        if (Consume("null")) return Json::Null();
+        return Fail("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json obj = Json::Object();
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (Peek() != '"') return Fail("expected object key");
+      SS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (Peek() != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipWhitespace();
+      SS_ASSIGN_OR_RETURN(Json value, ParseValue());
+      obj.Set(key, std::move(value));
+      SkipWhitespace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return obj;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    ++pos_;  // '['
+    Json arr = Json::Array();
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      SkipWhitespace();
+      SS_ASSIGN_OR_RETURN(Json value, ParseValue());
+      arr.Append(std::move(value));
+      SkipWhitespace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return arr;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            unsigned int cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') {
+                cp |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+            // passed through as two separate 3-byte sequences).
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("invalid number");
+    std::string token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0') return Json::Int(v);
+      is_double = true;  // overflowed int64; fall back to double
+    }
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (!end || *end != '\0') return Fail("invalid number");
+    return Json::Double(d);
+  }
+
+  bool Consume(const char* literal) {
+    size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Status Fail(const std::string& msg) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Int(int64_t v) {
+  Json j;
+  j.type_ = Type::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::Double(double v) {
+  Json j;
+  j.type_ = Type::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+int64_t Json::int_value() const {
+  if (type_ == Type::kDouble) return static_cast<int64_t>(double_);
+  return int_;
+}
+
+double Json::double_value() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  return double_;
+}
+
+void Json::Append(Json v) { arr_.push_back(std::move(v)); }
+
+void Json::Set(const std::string& key, Json v) { obj_[key] = std::move(v); }
+
+bool Json::Has(const std::string& key) const {
+  return obj_.find(key) != obj_.end();
+}
+
+const Json& Json::Get(const std::string& key) const {
+  static const Json kNull;
+  auto it = obj_.find(key);
+  return it == obj_.end() ? kNull : it->second;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  auto newline = [&](int d) {
+    if (pretty) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Type::kDouble: {
+      if (std::isfinite(double_)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        *out += buf;
+      } else {
+        *out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    }
+    case Type::kString:
+      EscapeString(str_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, v] : obj_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        EscapeString(key, out);
+        out->push_back(':');
+        if (pretty) out->push_back(' ');
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string Json::DumpPretty() const {
+  std::string out;
+  DumpTo(&out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) {
+    // int 3 == double 3.0 for convenience.
+    if (is_number() && other.is_number()) {
+      return double_value() == other.double_value();
+    }
+    return false;
+  }
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kInt:
+      return int_ == other.int_;
+    case Type::kDouble:
+      return double_ == other.double_;
+    case Type::kString:
+      return str_ == other.str_;
+    case Type::kArray:
+      return arr_ == other.arr_;
+    case Type::kObject:
+      return obj_ == other.obj_;
+  }
+  return false;
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace sstreaming {
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+}  // namespace sstreaming

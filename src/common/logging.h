@@ -1,0 +1,101 @@
+#ifndef SSTREAMING_COMMON_LOGGING_H_
+#define SSTREAMING_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sstreaming {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level for log emission. Defaults to kWarn so tests and
+/// benchmarks stay quiet; examples raise it to kInfo.
+LogLevel& GlobalLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false)
+      : level_(level), fatal_(fatal) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  ~LogMessage() {
+    if (fatal_ || level_ >= GlobalLogLevel()) {
+      static std::mutex mu;
+      std::lock_guard<std::mutex> lock(mu);
+      std::cerr << stream_.str() << std::endl;
+    }
+    if (fatal_) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarn:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+      default:
+        return "?";
+    }
+  }
+  static const char* Basename(const char* file) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+// Turns an ostream expression into void so it can appear on the right side of
+// the ternary in SS_CHECK (glog's "voidify" trick; avoids dangling-else).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define SS_LOG(level)                                                     \
+  ::sstreaming::internal_logging::LogMessage(                             \
+      ::sstreaming::LogLevel::k##level, __FILE__, __LINE__)               \
+      .stream()
+
+// Invariant checks: abort with a message on violation. For programmer errors
+// only; user-facing failures must go through Status.
+#define SS_CHECK(cond)                                                     \
+  (cond) ? (void)0                                                         \
+         : ::sstreaming::internal_logging::Voidify() &                     \
+               ::sstreaming::internal_logging::LogMessage(                 \
+                   ::sstreaming::LogLevel::kError, __FILE__, __LINE__,     \
+                   /*fatal=*/true)                                         \
+                   .stream()                                               \
+                   << "Check failed: " #cond " "
+
+#define SS_CHECK_OK(expr)                                                  \
+  do {                                                                     \
+    ::sstreaming::Status _st = (expr);                                     \
+    SS_CHECK(_st.ok()) << _st.ToString();                                  \
+  } while (0)
+
+#define SS_DCHECK(cond) SS_CHECK(cond)
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_COMMON_LOGGING_H_

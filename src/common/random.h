@@ -1,0 +1,46 @@
+#ifndef SSTREAMING_COMMON_RANDOM_H_
+#define SSTREAMING_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace sstreaming {
+
+/// Deterministic, fast PRNG (xorshift128+). Used by workload generators and
+/// fault/straggler injection so experiments are reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    s0_ = seed ^ 0x2545F4914F6CDD1DULL;
+    s1_ = seed * 0x9E3779B97F4A7C15ULL + 1;
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool OneIn(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_COMMON_RANDOM_H_

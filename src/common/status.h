@@ -1,0 +1,149 @@
+#ifndef SSTREAMING_COMMON_STATUS_H_
+#define SSTREAMING_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sstreaming {
+
+/// Error codes used across the library. Modeled on the RocksDB/Arrow Status
+/// idiom: fallible public APIs never throw; they return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kAborted,
+  kCancelled,
+  kOutOfRange,
+  kAnalysisError,   // query failed analysis (unresolved name, type error, ...)
+  kUnsupportedOperation,  // query is valid SQL but not incrementalizable
+};
+
+/// Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AnalysisError(std::string msg) {
+    return Status(StatusCode::kAnalysisError, std::move(msg));
+  }
+  static Status UnsupportedOperation(std::string msg) {
+    return Status(StatusCode::kUnsupportedOperation, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsAnalysisError() const { return code_ == StatusCode::kAnalysisError; }
+  bool IsUnsupportedOperation() const {
+    return code_ == StatusCode::kUnsupportedOperation;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Never both.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Moves the value out. Precondition: ok().
+  T TakeValue() { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate a non-OK Status from an expression of type Status.
+#define SS_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::sstreaming::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+// Evaluate an expression of type Result<T>; on error propagate the Status,
+// otherwise bind the value to `lhs`.
+#define SS_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                             \
+  if (!var.ok()) return var.status();             \
+  lhs = std::move(var).TakeValue();
+
+#define SS_CONCAT_IMPL(x, y) x##y
+#define SS_CONCAT(x, y) SS_CONCAT_IMPL(x, y)
+
+#define SS_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SS_ASSIGN_OR_RETURN_IMPL(SS_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_COMMON_STATUS_H_

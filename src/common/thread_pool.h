@@ -1,0 +1,46 @@
+#ifndef SSTREAMING_COMMON_THREAD_POOL_H_
+#define SSTREAMING_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sstreaming {
+
+/// A fixed-size worker pool. Tasks are arbitrary closures; Wait() blocks
+/// until every submitted task has finished (a simple fork/join barrier used
+/// by the microbatch engine between stages).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_COMMON_THREAD_POOL_H_

@@ -1,0 +1,68 @@
+#include "connectors/bus_connectors.h"
+
+#include "common/logging.h"
+
+namespace sstreaming {
+
+BusSource::BusSource(MessageBus* bus, std::string topic, SchemaPtr schema)
+    : bus_(bus),
+      topic_(std::move(topic)),
+      name_("bus:" + topic_),
+      schema_(std::move(schema)) {
+  auto np = bus_->NumPartitions(topic_);
+  SS_CHECK(np.ok()) << "BusSource over unknown topic " << topic_;
+  num_partitions_ = *np;
+}
+
+Result<std::vector<int64_t>> BusSource::LatestOffsets() const {
+  return bus_->EndOffsets(topic_);
+}
+
+Result<RecordBatchPtr> BusSource::ReadPartition(int partition, int64_t start,
+                                                int64_t end) const {
+  return bus_->ReadBatch(topic_, partition, start, end, schema_);
+}
+
+Result<RecordBatchPtr> BusSource::ReadPartitionProjected(
+    int partition, int64_t start, int64_t end,
+    const std::vector<int>& columns) const {
+  std::vector<Field> fields;
+  fields.reserve(columns.size());
+  for (int c : columns) fields.push_back(schema_->field(c));
+  return bus_->ReadBatch(topic_, partition, start, end,
+                         Schema::Make(std::move(fields)), &columns);
+}
+
+BusSink::BusSink(MessageBus* bus, std::string topic)
+    : bus_(bus), topic_(std::move(topic)) {}
+
+Status BusSink::CommitEpoch(int64_t epoch, OutputMode /*mode*/,
+                            int /*num_key_columns*/,
+                            const std::vector<RecordBatchPtr>& batches) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (committed_.count(epoch)) return Status::OK();  // suppress re-commit
+    committed_[epoch] = true;
+  }
+  SS_ASSIGN_OR_RETURN(int num_partitions, bus_->NumPartitions(topic_));
+  std::vector<std::vector<Row>> per_partition(
+      static_cast<size_t>(num_partitions));
+  for (const auto& b : batches) {
+    for (int64_t i = 0; i < b->num_rows(); ++i) {
+      Row row = b->RowAt(i);
+      int p = static_cast<int>(HashRow(row) %
+                               static_cast<uint64_t>(num_partitions));
+      per_partition[static_cast<size_t>(p)].push_back(std::move(row));
+    }
+  }
+  for (int p = 0; p < num_partitions; ++p) {
+    if (per_partition[static_cast<size_t>(p)].empty()) continue;
+    SS_RETURN_IF_ERROR(
+        bus_->AppendBatch(topic_, p,
+                          std::move(per_partition[static_cast<size_t>(p)]))
+            .status());
+  }
+  return Status::OK();
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,204 @@
+#include "connectors/file_connectors.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+
+namespace {
+
+Json ValueToJson(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull:
+      return Json::Null();
+    case TypeId::kBool:
+      return Json::Bool(v.bool_value());
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return Json::Int(v.int64_value());
+    case TypeId::kFloat64:
+      return Json::Double(v.float64_value());
+    case TypeId::kString:
+      return Json::Str(v.string_value());
+  }
+  return Json::Null();
+}
+
+Value JsonToValue(const Json& j, TypeId type) {
+  if (j.is_null()) return Value::Null();
+  switch (type) {
+    case TypeId::kBool:
+      if (j.is_bool()) return Value::Bool(j.bool_value());
+      return Value::Null();
+    case TypeId::kInt64:
+      if (j.is_number()) return Value::Int64(j.int_value());
+      return Value::Null();
+    case TypeId::kTimestamp:
+      if (j.is_number()) return Value::Timestamp(j.int_value());
+      return Value::Null();
+    case TypeId::kFloat64:
+      if (j.is_number()) return Value::Float64(j.double_value());
+      return Value::Null();
+    case TypeId::kString:
+      if (j.is_string()) return Value::Str(j.string_value());
+      // Tolerate non-string scalars by stringifying them.
+      return Value::Str(j.Dump());
+    case TypeId::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+std::string RowToJsonl(const Schema& schema, const Row& row) {
+  Json obj = Json::Object();
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    obj.Set(schema.field(i).name, ValueToJson(row[static_cast<size_t>(i)]));
+  }
+  return obj.Dump();
+}
+
+std::vector<Row> ParseJsonl(const Schema& schema, const std::string& text) {
+  std::vector<Row> rows;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    auto row = JsonFileSource::ParseLine(schema, line);
+    if (row.ok()) rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+JsonFileSource::JsonFileSource(std::string dir, SchemaPtr schema)
+    : dir_(std::move(dir)), name_("files:" + dir_),
+      schema_(std::move(schema)) {}
+
+Result<Row> JsonFileSource::ParseLine(const Schema& schema,
+                                      const std::string& line) {
+  SS_ASSIGN_OR_RETURN(Json obj, Json::Parse(line));
+  if (!obj.is_object()) {
+    return Status::InvalidArgument("JSONL line is not an object");
+  }
+  Row row;
+  row.reserve(static_cast<size_t>(schema.num_fields()));
+  for (const Field& f : schema.fields()) {
+    row.push_back(obj.Has(f.name) ? JsonToValue(obj.Get(f.name), f.type)
+                                  : Value::Null());
+  }
+  return row;
+}
+
+Result<std::vector<int64_t>> JsonFileSource::LatestOffsets() const {
+  SS_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
+  int64_t total = 0;
+  for (const std::string& name : names) {
+    SS_ASSIGN_OR_RETURN(std::string text, ReadFile(dir_ + "/" + name));
+    total += static_cast<int64_t>(
+        std::count(text.begin(), text.end(), '\n'));
+    if (!text.empty() && text.back() != '\n') ++total;
+  }
+  return std::vector<int64_t>{total};
+}
+
+Result<RecordBatchPtr> JsonFileSource::ReadPartition(int partition,
+                                                     int64_t start,
+                                                     int64_t end) const {
+  if (partition != 0) return Status::OutOfRange("file source has 1 partition");
+  SS_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
+  std::vector<Row> rows;
+  int64_t index = 0;
+  for (const std::string& name : names) {
+    if (index >= end) break;
+    SS_ASSIGN_OR_RETURN(std::string text, ReadFile(dir_ + "/" + name));
+    std::vector<Row> file_rows = ParseJsonl(*schema_, text);
+    for (Row& row : file_rows) {
+      if (index >= start && index < end) rows.push_back(std::move(row));
+      ++index;
+      if (index >= end) break;
+    }
+  }
+  return RecordBatch::FromRows(schema_, rows);
+}
+
+JsonFileSink::JsonFileSink(std::string dir) : dir_(std::move(dir)) {
+  EnsureDir(dir_).ok();
+}
+
+std::string JsonFileSink::EpochPath(int64_t epoch) const {
+  char name[40];
+  std::snprintf(name, sizeof(name), "epoch=%012lld.jsonl",
+                static_cast<long long>(epoch));
+  return dir_ + "/" + name;
+}
+
+Status JsonFileSink::CommitEpoch(int64_t epoch, OutputMode mode,
+                                 int /*num_key_columns*/,
+                                 const std::vector<RecordBatchPtr>& batches) {
+  if (!SupportsMode(mode)) {
+    return Status::InvalidArgument("file sink does not support update mode");
+  }
+  std::string text;
+  for (const auto& b : batches) {
+    for (int64_t i = 0; i < b->num_rows(); ++i) {
+      text += RowToJsonl(*b->schema(), b->RowAt(i));
+      text += "\n";
+    }
+  }
+  if (mode == OutputMode::kComplete) {
+    // One file holds the whole table; older epoch files are superseded and
+    // removed so the directory always shows exactly one consistent result.
+    SS_RETURN_IF_ERROR(WriteFileAtomic(EpochPath(epoch), text));
+    SS_ASSIGN_OR_RETURN(std::vector<int64_t> epochs, ListEpochs());
+    for (int64_t e : epochs) {
+      if (e < epoch) SS_RETURN_IF_ERROR(RemoveFile(EpochPath(e)));
+    }
+    return Status::OK();
+  }
+  return WriteFileAtomic(EpochPath(epoch), text);
+}
+
+Result<std::vector<int64_t>> JsonFileSink::ListEpochs() const {
+  SS_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
+  std::vector<int64_t> epochs;
+  for (const std::string& name : names) {
+    long long e;
+    if (std::sscanf(name.c_str(), "epoch=%lld.jsonl", &e) == 1) {
+      epochs.push_back(e);
+    }
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Result<std::vector<Row>> JsonFileSink::ReadEpoch(const Schema& schema,
+                                                 int64_t epoch) const {
+  SS_ASSIGN_OR_RETURN(std::string text, ReadFile(EpochPath(epoch)));
+  return ParseJsonl(schema, text);
+}
+
+Result<std::vector<Row>> JsonFileSink::ReadAll(const Schema& schema) const {
+  SS_ASSIGN_OR_RETURN(std::vector<int64_t> epochs, ListEpochs());
+  std::vector<Row> rows;
+  for (int64_t e : epochs) {
+    SS_ASSIGN_OR_RETURN(std::vector<Row> epoch_rows, ReadEpoch(schema, e));
+    rows.insert(rows.end(), epoch_rows.begin(), epoch_rows.end());
+  }
+  return rows;
+}
+
+Status JsonFileSink::RemoveEpochsAfter(int64_t epoch) {
+  SS_ASSIGN_OR_RETURN(std::vector<int64_t> epochs, ListEpochs());
+  for (int64_t e : epochs) {
+    if (e > epoch) SS_RETURN_IF_ERROR(RemoveFile(EpochPath(e)));
+  }
+  return Status::OK();
+}
+
+}  // namespace sstreaming

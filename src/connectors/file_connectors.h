@@ -1,0 +1,74 @@
+#ifndef SSTREAMING_CONNECTORS_FILE_CONNECTORS_H_
+#define SSTREAMING_CONNECTORS_FILE_CONNECTORS_H_
+
+#include <string>
+#include <vector>
+
+#include "connectors/sink.h"
+#include "connectors/source.h"
+
+namespace sstreaming {
+
+/// Streaming source over a directory of JSONL files (the paper's running
+/// example reads JSON files continually uploaded to a directory, §4.1).
+/// Files are ordered by name; the single partition's offset is the global
+/// record index across that ordering. Replayable as long as files are not
+/// deleted; new files appended to the directory extend the stream.
+class JsonFileSource : public Source {
+ public:
+  JsonFileSource(std::string dir, SchemaPtr schema);
+
+  const std::string& name() const override { return name_; }
+  SchemaPtr schema() const override { return schema_; }
+  int num_partitions() const override { return 1; }
+  Result<std::vector<int64_t>> LatestOffsets() const override;
+  Result<RecordBatchPtr> ReadPartition(int partition, int64_t start,
+                                       int64_t end) const override;
+
+  /// Parses one JSONL line against `schema` (exposed for tests). Missing
+  /// keys and unparseable fields become NULL — the paper's motivating
+  /// "mis-parsed input" scenario surfaces as NULLs, not crashes (§7.2).
+  static Result<Row> ParseLine(const Schema& schema, const std::string& line);
+
+ private:
+  std::string dir_;
+  std::string name_;
+  SchemaPtr schema_;
+};
+
+/// Epoch-atomic file sink: each committed epoch becomes one JSONL file
+/// `epoch=<N>.jsonl`, written via temp+rename; re-committing an epoch
+/// replaces its file (idempotence). Supports append (one file per epoch's
+/// new rows) and complete (one file per epoch holding the whole table,
+/// the paper's §4.1 example).
+class JsonFileSink : public Sink {
+ public:
+  explicit JsonFileSink(std::string dir);
+
+  bool SupportsMode(OutputMode mode) const override {
+    return mode != OutputMode::kUpdate;  // files can't update in place
+  }
+
+  Status CommitEpoch(int64_t epoch, OutputMode mode, int num_key_columns,
+                     const std::vector<RecordBatchPtr>& batches) override;
+
+  /// All rows across committed epoch files, given the schema (append mode);
+  /// for complete mode use ReadEpoch of the latest epoch.
+  Result<std::vector<Row>> ReadAll(const Schema& schema) const;
+  Result<std::vector<Row>> ReadEpoch(const Schema& schema,
+                                     int64_t epoch) const;
+  Result<std::vector<int64_t>> ListEpochs() const;
+
+  /// Removes epoch files > epoch (manual rollback cleanup, paper §7.2
+  /// footnote: "remove faulty data from the output sink").
+  Status RemoveEpochsAfter(int64_t epoch);
+
+ private:
+  std::string EpochPath(int64_t epoch) const;
+
+  std::string dir_;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_CONNECTORS_FILE_CONNECTORS_H_

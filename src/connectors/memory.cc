@@ -1,0 +1,142 @@
+#include "connectors/memory.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sstreaming {
+
+MemoryStream::MemoryStream(std::string name, SchemaPtr schema,
+                           int num_partitions)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  SS_CHECK(num_partitions >= 1);
+  partitions_.resize(static_cast<size_t>(num_partitions));
+}
+
+Status MemoryStream::AddData(const std::vector<Row>& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Row& row : rows) {
+    if (static_cast<int>(row.size()) != schema_->num_fields()) {
+      return Status::InvalidArgument("row arity mismatch in AddData");
+    }
+    partitions_[static_cast<size_t>(next_partition_)].push_back(row);
+    next_partition_ = (next_partition_ + 1) % num_partitions();
+  }
+  return Status::OK();
+}
+
+Status MemoryStream::AddDataToPartition(int partition,
+                                        const std::vector<Row>& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition < 0 || partition >= num_partitions()) {
+    return Status::OutOfRange("bad partition");
+  }
+  auto& log = partitions_[static_cast<size_t>(partition)];
+  log.insert(log.end(), rows.begin(), rows.end());
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> MemoryStream::LatestOffsets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> out;
+  out.reserve(partitions_.size());
+  for (const auto& p : partitions_) {
+    out.push_back(static_cast<int64_t>(p.size()));
+  }
+  return out;
+}
+
+Result<RecordBatchPtr> MemoryStream::ReadPartition(int partition,
+                                                   int64_t start,
+                                                   int64_t end) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition < 0 || partition >= num_partitions()) {
+    return Status::OutOfRange("bad partition");
+  }
+  const auto& log = partitions_[static_cast<size_t>(partition)];
+  if (start < 0 || start > static_cast<int64_t>(log.size()) || end < start) {
+    return Status::OutOfRange("bad offset range");
+  }
+  if (end > static_cast<int64_t>(log.size())) {
+    end = static_cast<int64_t>(log.size());
+  }
+  std::vector<Row> rows(log.begin() + start, log.begin() + end);
+  return RecordBatch::FromRows(schema_, rows);
+}
+
+Status MemorySink::CommitEpoch(int64_t epoch, OutputMode mode,
+                               int num_key_columns,
+                               const std::vector<RecordBatchPtr>& batches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (mode) {
+    case OutputMode::kAppend: {
+      std::vector<Row> rows;
+      for (const auto& b : batches) {
+        auto brows = b->ToRows();
+        rows.insert(rows.end(), brows.begin(), brows.end());
+      }
+      append_epochs_[epoch] = std::move(rows);  // idempotent by epoch
+      break;
+    }
+    case OutputMode::kUpdate: {
+      if (num_key_columns <= 0) {
+        return Status::InvalidArgument(
+            "update mode requires key columns for upsert");
+      }
+      for (const auto& b : batches) {
+        for (int64_t i = 0; i < b->num_rows(); ++i) {
+          Row row = b->RowAt(i);
+          Row key(row.begin(), row.begin() + num_key_columns);
+          update_table_[std::move(key)] = std::move(row);
+        }
+      }
+      break;
+    }
+    case OutputMode::kComplete: {
+      if (epoch < last_epoch_) break;  // stale recommit of an older epoch
+      std::vector<Row> rows;
+      for (const auto& b : batches) {
+        auto brows = b->ToRows();
+        rows.insert(rows.end(), brows.begin(), brows.end());
+      }
+      complete_table_ = std::move(rows);
+      break;
+    }
+  }
+  if (epoch > last_epoch_) last_epoch_ = epoch;
+  ++committed_count_;
+  return Status::OK();
+}
+
+std::vector<Row> MemorySink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Row> out;
+  for (const auto& [epoch, rows] : append_epochs_) {
+    (void)epoch;
+    out.insert(out.end(), rows.begin(), rows.end());
+  }
+  for (const auto& [key, row] : update_table_) {
+    (void)key;
+    out.push_back(row);
+  }
+  out.insert(out.end(), complete_table_.begin(), complete_table_.end());
+  return out;
+}
+
+std::vector<Row> MemorySink::SortedSnapshot() const {
+  std::vector<Row> out = Snapshot();
+  std::sort(out.begin(), out.end(), RowLess());
+  return out;
+}
+
+int64_t MemorySink::num_committed_epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_count_;
+}
+
+int64_t MemorySink::last_committed_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_epoch_;
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,75 @@
+#ifndef SSTREAMING_CONNECTORS_MEMORY_H_
+#define SSTREAMING_CONNECTORS_MEMORY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "connectors/sink.h"
+#include "connectors/source.h"
+#include "types/row.h"
+
+namespace sstreaming {
+
+/// An in-memory replayable source, primarily for tests and examples: data is
+/// added explicitly with AddData() and retained forever, so any offset range
+/// can be re-read (the strongest form of replayability).
+class MemoryStream : public Source {
+ public:
+  MemoryStream(std::string name, SchemaPtr schema, int num_partitions = 1);
+
+  /// Appends rows round-robin across partitions (deterministic).
+  Status AddData(const std::vector<Row>& rows);
+  /// Appends rows to one partition.
+  Status AddDataToPartition(int partition, const std::vector<Row>& rows);
+
+  const std::string& name() const override { return name_; }
+  SchemaPtr schema() const override { return schema_; }
+  int num_partitions() const override {
+    return static_cast<int>(partitions_.size());
+  }
+  Result<std::vector<int64_t>> LatestOffsets() const override;
+  Result<RecordBatchPtr> ReadPartition(int partition, int64_t start,
+                                       int64_t end) const override;
+
+ private:
+  std::string name_;
+  SchemaPtr schema_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<Row>> partitions_;
+  int next_partition_ = 0;
+};
+
+/// An in-memory table sink that exposes only *committed* epochs — the
+/// mechanism behind the paper's "interactive queries on consistent snapshots
+/// of stream output" (§1): a reader always sees a prefix-consistent table.
+class MemorySink : public Sink {
+ public:
+  bool SupportsMode(OutputMode) const override { return true; }
+
+  Status CommitEpoch(int64_t epoch, OutputMode mode, int num_key_columns,
+                     const std::vector<RecordBatchPtr>& batches) override;
+
+  /// The committed result table (order unspecified for update/complete).
+  std::vector<Row> Snapshot() const;
+  /// Rows sorted for deterministic assertions.
+  std::vector<Row> SortedSnapshot() const;
+  int64_t num_committed_epochs() const;
+  int64_t last_committed_epoch() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Append mode: per-epoch row sets (idempotent re-commit replaces).
+  std::map<int64_t, std::vector<Row>> append_epochs_;
+  // Update mode: table keyed by the first num_key_columns columns.
+  std::map<Row, Row, RowLess> update_table_;
+  // Complete mode: the latest table.
+  std::vector<Row> complete_table_;
+  int64_t last_epoch_ = -1;
+  int64_t committed_count_ = 0;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_CONNECTORS_MEMORY_H_

@@ -1,0 +1,55 @@
+#include "connectors/rate_source.h"
+
+#include "common/logging.h"
+
+namespace sstreaming {
+
+RateSource::RateSource(std::string name, int64_t rows_per_second,
+                       int num_partitions, const Clock* clock)
+    : name_(std::move(name)),
+      rows_per_second_(rows_per_second),
+      num_partitions_(num_partitions),
+      clock_(clock),
+      start_micros_(clock->NowMicros()),
+      schema_(Schema::Make({{"value", TypeId::kInt64, false},
+                            {"timestamp", TypeId::kTimestamp, false}})) {
+  SS_CHECK(rows_per_second_ > 0);
+  SS_CHECK(num_partitions_ >= 1);
+}
+
+Result<std::vector<int64_t>> RateSource::LatestOffsets() const {
+  int64_t elapsed = clock_->NowMicros() - start_micros_;
+  if (elapsed < 0) elapsed = 0;
+  // Total rows produced so far, split evenly (remainder to low partitions).
+  int64_t total = elapsed * rows_per_second_ / 1000000;
+  std::vector<int64_t> out(static_cast<size_t>(num_partitions_));
+  for (int p = 0; p < num_partitions_; ++p) {
+    out[static_cast<size_t>(p)] =
+        total / num_partitions_ + (p < total % num_partitions_ ? 1 : 0);
+  }
+  return out;
+}
+
+int64_t RateSource::TimestampFor(int partition, int64_t offset) const {
+  // Global index of this record in production order.
+  int64_t global = offset * num_partitions_ + partition;
+  return start_micros_ + global * 1000000 / rows_per_second_;
+}
+
+Result<RecordBatchPtr> RateSource::ReadPartition(int partition, int64_t start,
+                                                 int64_t end) const {
+  if (partition < 0 || partition >= num_partitions_) {
+    return Status::OutOfRange("bad partition");
+  }
+  ColumnPtr values = Column::Make(TypeId::kInt64);
+  ColumnPtr times = Column::Make(TypeId::kTimestamp);
+  values->Reserve(end - start);
+  times->Reserve(end - start);
+  for (int64_t off = start; off < end; ++off) {
+    values->AppendInt64(off * num_partitions_ + partition);
+    times->AppendInt64(TimestampFor(partition, off));
+  }
+  return RecordBatch::Make(schema_, {std::move(values), std::move(times)});
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,43 @@
+#ifndef SSTREAMING_CONNECTORS_RATE_SOURCE_H_
+#define SSTREAMING_CONNECTORS_RATE_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "connectors/source.h"
+
+namespace sstreaming {
+
+/// A deterministic load-generating source producing `rows_per_second`
+/// records spread across partitions, with schema (value: int64, timestamp:
+/// timestamp). Offsets are derived from the clock, so the source is fully
+/// replayable: record k of a partition always has the same contents.
+/// Used for latency/throughput experiments (paper §9.3).
+class RateSource : public Source {
+ public:
+  RateSource(std::string name, int64_t rows_per_second, int num_partitions,
+             const Clock* clock);
+
+  const std::string& name() const override { return name_; }
+  SchemaPtr schema() const override { return schema_; }
+  int num_partitions() const override { return num_partitions_; }
+  Result<std::vector<int64_t>> LatestOffsets() const override;
+  Result<RecordBatchPtr> ReadPartition(int partition, int64_t start,
+                                       int64_t end) const override;
+
+  /// The event time assigned to offset `offset` of `partition`.
+  int64_t TimestampFor(int partition, int64_t offset) const;
+
+ private:
+  std::string name_;
+  int64_t rows_per_second_;
+  int num_partitions_;
+  const Clock* clock_;
+  int64_t start_micros_;
+  SchemaPtr schema_;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_CONNECTORS_RATE_SOURCE_H_

@@ -1,0 +1,42 @@
+#ifndef SSTREAMING_CONNECTORS_SINK_H_
+#define SSTREAMING_CONNECTORS_SINK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "logical/output_mode.h"
+#include "types/record_batch.h"
+
+namespace sstreaming {
+
+/// A streaming output (paper §3 requirement 2): epoch commits must be
+/// idempotent — re-delivering an epoch after a crash overwrites rather than
+/// duplicates — which, combined with replayable sources, yields exactly-once
+/// results.
+///
+/// The meaning of `batches` depends on the output mode:
+///  - kAppend:   new result rows produced by this epoch (final, never
+///               retracted);
+///  - kUpdate:   result rows whose values changed this epoch; the first
+///               `num_key_columns` columns identify the row to upsert;
+///  - kComplete: the entire result table as of this epoch.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// True if the sink can apply the given output mode.
+  virtual bool SupportsMode(OutputMode mode) const = 0;
+
+  /// Atomically and idempotently commits one epoch's output.
+  virtual Status CommitEpoch(int64_t epoch, OutputMode mode,
+                             int num_key_columns,
+                             const std::vector<RecordBatchPtr>& batches) = 0;
+};
+
+using SinkPtr = std::shared_ptr<Sink>;
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_CONNECTORS_SINK_H_

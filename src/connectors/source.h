@@ -1,0 +1,55 @@
+#ifndef SSTREAMING_CONNECTORS_SOURCE_H_
+#define SSTREAMING_CONNECTORS_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/record_batch.h"
+#include "types/schema.h"
+
+namespace sstreaming {
+
+/// A replayable streaming input (paper §3 requirement 1): data is addressed
+/// by (partition, offset) and any recent range can be re-read, which is what
+/// makes exactly-once recovery possible. Offsets are per-partition,
+/// monotonically increasing, half-open ranges.
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  /// Stable name used in the write-ahead log.
+  virtual const std::string& name() const = 0;
+
+  virtual SchemaPtr schema() const = 0;
+
+  virtual int num_partitions() const = 0;
+
+  /// Current end offset (one past last record) for each partition. The
+  /// master calls this when defining an epoch (paper §6.1 step 1).
+  virtual Result<std::vector<int64_t>> LatestOffsets() const = 0;
+
+  /// Reads records [start, end) of one partition as a columnar batch.
+  /// Must be deterministic for committed ranges (replayability).
+  virtual Result<RecordBatchPtr> ReadPartition(int partition, int64_t start,
+                                               int64_t end) const = 0;
+
+  /// Projection pushdown (paper §5.3): reads only the given columns (indices
+  /// into schema()). Sources that can skip column materialization override
+  /// this; the default reads everything and selects.
+  virtual Result<RecordBatchPtr> ReadPartitionProjected(
+      int partition, int64_t start, int64_t end,
+      const std::vector<int>& columns) const {
+    SS_ASSIGN_OR_RETURN(RecordBatchPtr batch,
+                        ReadPartition(partition, start, end));
+    return batch->SelectColumns(columns);
+  }
+};
+
+using SourcePtr = std::shared_ptr<Source>;
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_CONNECTORS_SOURCE_H_

@@ -1,0 +1,24 @@
+#ifndef SSTREAMING_EXEC_BATCH_EXECUTOR_H_
+#define SSTREAMING_EXEC_BATCH_EXECUTOR_H_
+
+#include <vector>
+
+#include "logical/dataframe.h"
+
+namespace sstreaming {
+
+/// One-shot batch execution of a static DataFrame query — the other half of
+/// the paper's batch/stream unification (§7.3): the same logical plan,
+/// optimizer and physical operators as streaming, run over all data at once
+/// with ephemeral state ("the update function will only be called once",
+/// §4.3.2). Returns the full result table.
+Result<std::vector<Row>> RunBatch(const DataFrame& df,
+                                  int num_partitions = 4);
+
+/// RunBatch with rows sorted for deterministic comparison.
+Result<std::vector<Row>> RunBatchSorted(const DataFrame& df,
+                                        int num_partitions = 4);
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_EXEC_BATCH_EXECUTOR_H_

@@ -1,0 +1,154 @@
+#include "exec/query_manager.h"
+
+#include <fstream>
+
+#include "storage/fs.h"
+
+namespace sstreaming {
+
+Status QueryManager::StartQuery(const std::string& name, const DataFrame& df,
+                                SinkPtr sink, QueryOptions options) {
+  SS_RETURN_IF_ERROR(
+      StartQuerySynchronous(name, df, std::move(sink), options));
+  StreamingQuery* query;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    query = queries_[name].get();
+  }
+  return query->StartBackground();
+}
+
+Status QueryManager::StartQuerySynchronous(const std::string& name,
+                                           const DataFrame& df, SinkPtr sink,
+                                           QueryOptions options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queries_.count(name)) {
+      return Status::AlreadyExists("query '" + name + "' is already active");
+    }
+  }
+  SS_ASSIGN_OR_RETURN(std::unique_ptr<StreamingQuery> query,
+                      StreamingQuery::Start(df, std::move(sink), options));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queries_.count(name)) {
+    return Status::AlreadyExists("query '" + name + "' raced registration");
+  }
+  queries_[name] = std::move(query);
+  return Status::OK();
+}
+
+StreamingQuery* QueryManager::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(name);
+  return it == queries_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> QueryManager::ActiveQueryNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const auto& [name, query] : queries_) names.push_back(name);
+  return names;
+}
+
+Status QueryManager::ProcessAllAvailable() {
+  std::vector<StreamingQuery*> active;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, query] : queries_) active.push_back(query.get());
+  }
+  for (StreamingQuery* query : active) {
+    SS_RETURN_IF_ERROR(query->ProcessAllAvailable());
+  }
+  return Status::OK();
+}
+
+Status QueryManager::StopQuery(const std::string& name) {
+  std::unique_ptr<StreamingQuery> query;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(name);
+    if (it == queries_.end()) {
+      return Status::NotFound("no active query '" + name + "'");
+    }
+    query = std::move(it->second);
+    queries_.erase(it);
+  }
+  query->Stop();
+  return Status::OK();
+}
+
+void QueryManager::StopAll() {
+  std::map<std::string, std::unique_ptr<StreamingQuery>> taken;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    taken.swap(queries_);
+  }
+  for (auto& [name, query] : taken) query->Stop();
+}
+
+std::map<std::string, QueryProgress> QueryManager::LatestProgress() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, QueryProgress> out;
+  for (const auto& [name, query] : queries_) {
+    if (!query->recent_progress().empty()) {
+      out[name] = query->recent_progress().back();
+    }
+  }
+  return out;
+}
+
+Status QueryManager::AnyError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, query] : queries_) {
+    if (!query->error().ok()) return query->error();
+  }
+  return Status::OK();
+}
+
+Status MetricsEventLog::Report(const std::string& query_name,
+                               const StreamingQuery& query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t& last = last_reported_[query_name];
+  std::string lines;
+  for (const QueryProgress& p : query.recent_progress()) {
+    if (p.epoch <= last) continue;
+    Json obj = Json::Object();
+    obj.Set("query", Json::Str(query_name));
+    obj.Set("epoch", Json::Int(p.epoch));
+    obj.Set("rowsRead", Json::Int(p.rows_read));
+    obj.Set("rowsWritten", Json::Int(p.rows_written));
+    if (p.watermark_micros != INT64_MIN) {
+      obj.Set("watermarkMicros", Json::Int(p.watermark_micros));
+    }
+    obj.Set("stateEntries", Json::Int(p.state_entries));
+    obj.Set("durationNanos", Json::Int(p.duration_nanos));
+    lines += obj.Dump();
+    lines += "\n";
+    last = p.epoch;
+  }
+  if (lines.empty()) return Status::OK();
+  std::ofstream out(path_, std::ios::app | std::ios::binary);
+  if (!out) return Status::IOError("cannot open metrics log " + path_);
+  out.write(lines.data(), static_cast<std::streamsize>(lines.size()));
+  if (!out) return Status::IOError("short write to metrics log");
+  return Status::OK();
+}
+
+Result<std::vector<Json>> MetricsEventLog::ReadAll() const {
+  SS_ASSIGN_OR_RETURN(std::string text, ReadFile(path_));
+  std::vector<Json> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    SS_ASSIGN_OR_RETURN(Json json, Json::Parse(line));
+    out.push_back(std::move(json));
+  }
+  return out;
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,83 @@
+#ifndef SSTREAMING_EXEC_QUERY_MANAGER_H_
+#define SSTREAMING_EXEC_QUERY_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/streaming_query.h"
+
+namespace sstreaming {
+
+/// Manages the streaming queries of an application (paper §1: "users can
+/// manage multiple streaming queries dynamically"): start queries under
+/// names, list/stop them, drive them together, and aggregate their
+/// progress. Production deployments in §8 run many queries side by side
+/// (ETL + alerting + dashboards) against shared sources.
+class QueryManager {
+ public:
+  QueryManager() = default;
+  ~QueryManager() { StopAll(); }
+
+  QueryManager(const QueryManager&) = delete;
+  QueryManager& operator=(const QueryManager&) = delete;
+
+  /// Starts and registers a query under `name` (must be unique among
+  /// active queries) and launches its background trigger loop.
+  Status StartQuery(const std::string& name, const DataFrame& df,
+                    SinkPtr sink, QueryOptions options);
+
+  /// Starts without a background thread (caller drives it via Get()).
+  Status StartQuerySynchronous(const std::string& name, const DataFrame& df,
+                               SinkPtr sink, QueryOptions options);
+
+  /// The named query, or nullptr.
+  StreamingQuery* Get(const std::string& name);
+
+  std::vector<std::string> ActiveQueryNames() const;
+
+  /// Runs every registered query until its currently-available input is
+  /// consumed (deterministic test/ETL driver).
+  Status ProcessAllAvailable();
+
+  /// Stops and unregisters one query. NotFound if absent.
+  Status StopQuery(const std::string& name);
+
+  void StopAll();
+
+  /// Latest progress of every active query (paper §7.4 monitoring).
+  std::map<std::string, QueryProgress> LatestProgress() const;
+
+  /// First error across queries (OK if none failed).
+  Status AnyError() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<StreamingQuery>> queries_;
+};
+
+/// Appends each epoch's QueryProgress as one JSON line to a file — the
+/// "structured event log" operators feed into their monitoring stacks
+/// (paper §7.4). Call Report() after triggers, or wire it into a driver
+/// loop.
+class MetricsEventLog {
+ public:
+  explicit MetricsEventLog(std::string path) : path_(std::move(path)) {}
+
+  /// Appends progress entries newer than the last reported epoch.
+  Status Report(const std::string& query_name, const StreamingQuery& query);
+
+  /// Parses the log back (for tests/tools).
+  Result<std::vector<Json>> ReadAll() const;
+
+ private:
+  std::string path_;
+  std::map<std::string, int64_t> last_reported_;
+  std::mutex mu_;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_EXEC_QUERY_MANAGER_H_

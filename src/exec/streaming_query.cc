@@ -1,0 +1,337 @@
+#include "exec/streaming_query.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#include "analysis/analyzer.h"
+#include "common/logging.h"
+#include "optimizer/optimizer.h"
+#include "state/state_store.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+
+Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Start(
+    const DataFrame& df, SinkPtr sink, QueryOptions options) {
+  if (!df.IsStreaming()) {
+    return Status::InvalidArgument(
+        "not a streaming query; use RunBatch for static data (§7.3)");
+  }
+  if (!sink->SupportsMode(options.mode)) {
+    return Status::InvalidArgument(std::string("sink does not support ") +
+                                   OutputModeName(options.mode) +
+                                   " output mode");
+  }
+  // Plan: optimize (on names), re-analyze, validate (§5.1), incrementalize.
+  PlanPtr logical = df.plan();
+  if (options.run_optimizer) {
+    logical = Optimizer::Optimize(logical);
+  }
+  SS_ASSIGN_OR_RETURN(PlanPtr analyzed, Analyzer::Analyze(logical));
+  SS_RETURN_IF_ERROR(ValidateStreamingQuery(analyzed, options.mode));
+
+  std::unique_ptr<StreamingQuery> query(new StreamingQuery());
+  query->options_ = options;
+  query->sink_ = std::move(sink);
+  query->clock_ = options.clock != nullptr ? options.clock
+                                           : SystemClock::Default();
+  if (options.scheduler != nullptr) {
+    query->scheduler_ = options.scheduler;
+  } else {
+    query->owned_scheduler_ = std::make_unique<InlineScheduler>();
+    query->scheduler_ = query->owned_scheduler_.get();
+  }
+  SS_ASSIGN_OR_RETURN(query->plan_,
+                      Incrementalize(analyzed, options.num_partitions));
+
+  // Initialize per-source consumed offsets to zero.
+  for (const SourcePtr& source : query->plan_.sources) {
+    query->committed_offsets_[source->name()] = std::vector<int64_t>(
+        static_cast<size_t>(source->num_partitions()), 0);
+  }
+
+  if (!options.checkpoint_dir.empty()) {
+    SS_ASSIGN_OR_RETURN(WriteAheadLog wal,
+                        WriteAheadLog::Open(options.checkpoint_dir + "/wal"));
+    query->wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
+    SS_RETURN_IF_ERROR(query->Recover());
+  } else {
+    query->state_ = std::make_unique<StateManager>("", 0,
+                                                   options.state_options);
+  }
+  return query;
+}
+
+StreamingQuery::~StreamingQuery() { Stop(); }
+
+Status StreamingQuery::Recover() {
+  // Paper §6.1 step 4: find the last planned epoch; reload state at the
+  // newest checkpoint at or below the last *committed* epoch; replay
+  // everything after it (sinks are idempotent, so replayed commits are
+  // safe); then resume defining new epochs.
+  SS_ASSIGN_OR_RETURN(std::optional<int64_t> latest_planned,
+                      wal_->LatestPlannedEpoch());
+  SS_ASSIGN_OR_RETURN(std::optional<int64_t> latest_committed,
+                      wal_->LatestCommittedEpoch());
+  int64_t committed = latest_committed.value_or(0);
+
+  state_ = std::make_unique<StateManager>(options_.checkpoint_dir + "/state",
+                                          committed, options_.state_options);
+  if (!latest_planned.has_value()) return Status::OK();
+
+  // Open every store that exists on disk so MinLoadedVersion reflects how
+  // far state checkpoints lag the committed epoch (they may legally lag
+  // when state_checkpoint_interval > 1). Epochs after the state restore
+  // point are replayed from the log; sink re-commits are idempotent.
+  SS_RETURN_IF_ERROR(state_->PreopenExisting());
+  int64_t state_floor = state_->MinLoadedVersion();
+  if (plan_.has_stateful && state_->num_open_stores() == 0) {
+    state_floor = 0;  // stateful query that never checkpointed: replay all
+  }
+  last_state_commit_ = state_floor;
+  int64_t replay_from = std::min(state_floor, committed) + 1;
+  for (int64_t e = replay_from; e <= *latest_planned; ++e) {
+    auto plan = wal_->ReadPlan(e);
+    if (!plan.ok()) {
+      if (plan.status().IsNotFound()) continue;  // hole after rollback
+      return plan.status();
+    }
+    SS_RETURN_IF_ERROR(RunPlannedEpoch(*plan));
+  }
+  // Adopt the consumed offsets / watermark of the last replayed or
+  // committed epoch.
+  if (last_epoch_ < *latest_planned) {
+    // Nothing replayed (everything committed): rebuild cursor state from
+    // the last plan.
+    SS_ASSIGN_OR_RETURN(EpochPlan plan, wal_->ReadPlan(*latest_planned));
+    last_epoch_ = plan.epoch;
+    watermark_micros_ = plan.watermark_micros;
+    for (const SourceOffsets& so : plan.sources) {
+      committed_offsets_[so.source_name] = so.end;
+    }
+  }
+  // The commit record carries the watermark as advanced by the epoch's own
+  // data; prefer it over the plan's pre-epoch watermark.
+  if (latest_committed.has_value()) {
+    auto commit_wm = wal_->ReadCommitWatermark(*latest_committed);
+    if (commit_wm.ok() && *commit_wm > watermark_micros_) {
+      watermark_micros_ = *commit_wm;
+    }
+  }
+  return Status::OK();
+}
+
+Result<EpochPlan> StreamingQuery::PlanNextEpoch() {
+  EpochPlan plan;
+  plan.epoch = last_epoch_ + 1;
+  plan.watermark_micros = watermark_micros_;
+  int64_t budget = options_.max_records_per_epoch;
+  bool any_new = false;
+  for (const SourcePtr& source : plan_.sources) {
+    SS_ASSIGN_OR_RETURN(std::vector<int64_t> latest,
+                        source->LatestOffsets());
+    std::vector<int64_t>& start = committed_offsets_[source->name()];
+    if (latest.size() != start.size()) {
+      return Status::Internal("source repartitioned mid-query: " +
+                              source->name());
+    }
+    std::vector<int64_t> end = latest;
+    if (options_.max_records_per_epoch > 0) {
+      // Fixed-size batching (adaptive batching disabled): cap the total
+      // records taken this epoch, spread across partitions.
+      int64_t per_part = std::max<int64_t>(
+          1, budget / static_cast<int64_t>(start.size()));
+      for (size_t p = 0; p < end.size(); ++p) {
+        end[p] = std::min(end[p], start[p] + per_part);
+      }
+    }
+    for (size_t p = 0; p < end.size(); ++p) {
+      if (end[p] < start[p]) {
+        return Status::Internal("source offsets moved backwards: " +
+                                source->name());
+      }
+      if (end[p] > start[p]) any_new = true;
+    }
+    plan.sources.push_back(SourceOffsets{source->name(), start, end});
+  }
+  if (!any_new) plan.epoch = -1;  // sentinel: nothing to do
+  return plan;
+}
+
+Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
+  int64_t t0 = MonotonicNanos();
+  ExecContext ctx;
+  ctx.epoch = plan.epoch;
+  ctx.watermark_micros = plan.watermark_micros;
+  ctx.mode = options_.mode;
+  ctx.scheduler = scheduler_;
+  ctx.state = state_.get();
+  ctx.clock = clock_;
+  for (const SourceOffsets& so : plan.sources) {
+    ctx.offsets[so.source_name] = {so.start, so.end};
+  }
+
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> output,
+                      plan_.root->Execute(&ctx));
+
+  // §6.1 commit protocol: checkpoint state, then commit the sink, then log
+  // the commit. A crash between any two steps is repaired by replaying this
+  // epoch (idempotent sink, state restored to the pre-epoch version).
+  if (plan_.has_stateful) {
+    const int interval = options_.state_checkpoint_interval;
+    if (interval <= 1 || plan.epoch % interval == 0) {
+      SS_RETURN_IF_ERROR(state_->CommitAll(plan.epoch));
+      last_state_commit_ = plan.epoch;
+    }
+  }
+  int num_keys = options_.mode == OutputMode::kUpdate
+                     ? plan_.num_key_columns
+                     : 0;
+  OutputMode sink_mode = options_.mode;
+  if (sink_mode == OutputMode::kUpdate && num_keys == 0) {
+    // Update mode on a keyless (map-only / stateful-op) query degenerates
+    // to append: every emitted row is new.
+    sink_mode = OutputMode::kAppend;
+  }
+  SS_RETURN_IF_ERROR(
+      sink_->CommitEpoch(plan.epoch, sink_mode, num_keys, output));
+
+  // Advance cursors and the watermark for the next epoch (§4.3.1: the
+  // watermark moves at epoch boundaries using event times seen so far).
+  last_epoch_ = plan.epoch;
+  for (const SourceOffsets& so : plan.sources) {
+    committed_offsets_[so.source_name] = so.end;
+  }
+  if (plan.watermark_micros > watermark_micros_) {
+    watermark_micros_ = plan.watermark_micros;  // recovery replay case
+  }
+  // Fold this epoch's per-operator candidates into the running per-operator
+  // maxima, then advance the global watermark to the MINIMUM across
+  // watermarked inputs that have reported data — the safe policy when a
+  // query has several event-time streams (each input's lateness bound must
+  // hold). The global watermark itself never regresses.
+  for (const auto& [op_id, candidate] : ctx.observed_watermarks) {
+    auto it = per_op_watermark_.find(op_id);
+    if (it == per_op_watermark_.end() || candidate > it->second) {
+      per_op_watermark_[op_id] = candidate;
+    }
+  }
+  if (!per_op_watermark_.empty()) {
+    int64_t combined = INT64_MAX;
+    for (const auto& [op_id, candidate] : per_op_watermark_) {
+      combined = std::min(combined, candidate);
+    }
+    if (combined > watermark_micros_) watermark_micros_ = combined;
+  }
+  if (wal_ != nullptr) {
+    SS_RETURN_IF_ERROR(wal_->WriteCommit(plan.epoch, watermark_micros_));
+    // Retention: drop history older than the configured horizon, but never
+    // past the newest state checkpoint (recovery must be able to replay
+    // from it).
+    if (options_.retain_epochs > 0) {
+      int64_t keep = last_epoch_ - options_.retain_epochs + 1;
+      if (plan_.has_stateful) keep = std::min(keep, last_state_commit_);
+      if (keep > 1) {
+        SS_RETURN_IF_ERROR(wal_->PurgeBefore(keep));
+        SS_RETURN_IF_ERROR(state_->PurgeBefore(keep));
+      }
+    }
+  }
+
+  QueryProgress progress;
+  progress.epoch = plan.epoch;
+  progress.rows_read = ctx.rows_read;
+  for (const RecordBatchPtr& b : output) progress.rows_written += b->num_rows();
+  progress.watermark_micros = watermark_micros_;
+  progress.state_entries = state_->TotalEntries();
+  progress.duration_nanos = MonotonicNanos() - t0;
+  progress_.push_back(progress);
+  if (progress_.size() > 256) {
+    progress_.erase(progress_.begin(), progress_.begin() + 128);
+  }
+  return Status::OK();
+}
+
+Result<bool> StreamingQuery::ProcessOneTrigger() {
+  if (!error_.ok()) {
+    return Status::FailedPrecondition(
+        "query previously failed (" + error_.ToString() +
+        "); fix the code and restart from the checkpoint (§7.1)");
+  }
+  SS_ASSIGN_OR_RETURN(EpochPlan plan, PlanNextEpoch());
+  if (plan.epoch < 0) return false;  // no new data
+  // Write the plan to the log *before* executing (§6.1 step 1).
+  if (wal_ != nullptr) {
+    SS_RETURN_IF_ERROR(wal_->WritePlan(plan));
+  }
+  Status s = RunPlannedEpoch(plan);
+  if (!s.ok()) {
+    error_ = s;
+    return s;
+  }
+  return true;
+}
+
+Status StreamingQuery::ProcessAllAvailable() {
+  while (true) {
+    SS_ASSIGN_OR_RETURN(bool ran, ProcessOneTrigger());
+    if (!ran) return Status::OK();
+  }
+}
+
+Status StreamingQuery::StartBackground() {
+  if (background_active_.load()) {
+    return Status::FailedPrecondition("query already running");
+  }
+  stop_requested_.store(false);
+  background_active_.store(true);
+  background_ = std::thread([this] {
+    while (!stop_requested_.load()) {
+      int64_t t0 = MonotonicNanos();
+      auto ran = ProcessOneTrigger();
+      if (!ran.ok()) break;  // error_ is set; operator restarts the query
+      if (options_.trigger.type == Trigger::Type::kOnce) break;
+      int64_t elapsed_micros = (MonotonicNanos() - t0) / 1000;
+      int64_t wait = options_.trigger.interval_micros - elapsed_micros;
+      if (!*ran && wait < 1000) wait = 1000;  // idle backoff
+      while (wait > 0 && !stop_requested_.load()) {
+        int64_t chunk = std::min<int64_t>(wait, 5000);
+        std::this_thread::sleep_for(std::chrono::microseconds(chunk));
+        wait -= chunk;
+      }
+    }
+    background_active_.store(false);
+  });
+  return Status::OK();
+}
+
+void StreamingQuery::Stop() {
+  stop_requested_.store(true);
+  if (background_.joinable()) background_.join();
+  background_active_.store(false);
+}
+
+Status StreamingQuery::Rollback(const std::string& checkpoint_dir,
+                                int64_t epoch) {
+  SS_ASSIGN_OR_RETURN(WriteAheadLog wal,
+                      WriteAheadLog::Open(checkpoint_dir + "/wal"));
+  SS_RETURN_IF_ERROR(wal.TruncateAfter(epoch));
+  // State stores live under state/op<N>/p<M>; truncate each.
+  std::string state_root = checkpoint_dir + "/state";
+  if (!FileExists(state_root)) return Status::OK();
+  std::error_code ec;
+  for (const auto& op_entry :
+       std::filesystem::directory_iterator(state_root, ec)) {
+    if (!op_entry.is_directory()) continue;
+    for (const auto& part_entry :
+         std::filesystem::directory_iterator(op_entry.path(), ec)) {
+      if (!part_entry.is_directory()) continue;
+      SS_RETURN_IF_ERROR(
+          StateStore::TruncateAfter(part_entry.path().string(), epoch));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sstreaming

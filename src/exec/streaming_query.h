@@ -1,0 +1,161 @@
+#ifndef SSTREAMING_EXEC_STREAMING_QUERY_H_
+#define SSTREAMING_EXEC_STREAMING_QUERY_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "connectors/sink.h"
+#include "incremental/incrementalizer.h"
+#include "logical/dataframe.h"
+#include "runtime/scheduler.h"
+#include "wal/write_ahead_log.h"
+
+namespace sstreaming {
+
+/// When the engine attempts a new incremental computation (paper §4, API
+/// feature 1). Continuous triggers are served by ContinuousQuery.
+struct Trigger {
+  enum class Type { kProcessingTime, kOnce };
+
+  Type type = Type::kProcessingTime;
+  int64_t interval_micros = 0;  // 0 = re-trigger as soon as possible
+
+  /// Fire every `interval_micros` of processing time.
+  static Trigger ProcessingTime(int64_t interval_micros) {
+    return Trigger{Type::kProcessingTime, interval_micros};
+  }
+  /// Run exactly one epoch then stop — the paper's "run-once" trigger used
+  /// for discontinuous processing (§7.3).
+  static Trigger Once() { return Trigger{Type::kOnce, 0}; }
+};
+
+struct QueryOptions {
+  QueryOptions() {}
+
+  OutputMode mode = OutputMode::kAppend;
+  Trigger trigger;
+  /// Directory for the write-ahead log and state store. Empty = ephemeral
+  /// (no durability, no recovery) — for tests and throwaway queries.
+  std::string checkpoint_dir;
+  /// Shuffle fan-out for stateful stages.
+  int num_partitions = 4;
+  /// Cap on records ingested per epoch across all sources (0 = unlimited).
+  /// The default (unlimited) IS the paper's adaptive batching (§7.3): a
+  /// backlog yields one large catch-up epoch; setting a cap disables that
+  /// and is used by the adaptive-batching ablation benchmark.
+  int64_t max_records_per_epoch = 0;
+  /// Checkpoint operator state every N epochs (paper §6.1: "these
+  /// checkpoints do not need to happen on every epoch"; footnote 2 says
+  /// Spark 2.3 checkpointed per epoch but planned to reduce frequency).
+  /// With N > 1, recovery replays the epochs since the newest checkpoint
+  /// from the write-ahead log — re-commits to the sink are idempotent.
+  int state_checkpoint_interval = 1;
+  /// Keep at least this many recent epochs of WAL entries and state files
+  /// (0 = keep everything). Bounds checkpoint growth while preserving
+  /// manual rollback over that horizon (§7.2).
+  int64_t retain_epochs = 0;
+  StateStore::Options state_options;
+  const Clock* clock = nullptr;           // default: SystemClock
+  TaskScheduler* scheduler = nullptr;     // default: InlineScheduler
+  bool run_optimizer = true;
+};
+
+/// Per-epoch progress information (paper §7.4 monitoring).
+struct QueryProgress {
+  int64_t epoch = 0;
+  int64_t rows_read = 0;
+  int64_t rows_written = 0;
+  int64_t watermark_micros = INT64_MIN;
+  int64_t state_entries = 0;
+  int64_t duration_nanos = 0;
+};
+
+/// A running (or runnable) incremental query: the microbatch execution mode
+/// (paper §6.2). Each trigger plans an epoch in the write-ahead log,
+/// executes it as a DAG of per-partition tasks, checkpoints state, commits
+/// the sink idempotently, then records the commit — the exactly-once
+/// protocol of §6.1.
+class StreamingQuery {
+ public:
+  /// Analyzes, validates (output-mode rules §5.1), optimizes and
+  /// incrementalizes the query; recovers from `checkpoint_dir` if it holds a
+  /// previous run's log (replaying uncommitted epochs against the sink).
+  static Result<std::unique_ptr<StreamingQuery>> Start(const DataFrame& df,
+                                                       SinkPtr sink,
+                                                       QueryOptions options);
+
+  ~StreamingQuery();
+
+  StreamingQuery(const StreamingQuery&) = delete;
+  StreamingQuery& operator=(const StreamingQuery&) = delete;
+
+  /// Runs one trigger synchronously. Returns true if an epoch executed
+  /// (false when no new data was available and the query is idle).
+  Result<bool> ProcessOneTrigger();
+
+  /// Runs triggers until all currently-available input is processed (the
+  /// standard way to drive a query deterministically in tests/examples).
+  Status ProcessAllAvailable();
+
+  /// Runs the trigger loop on a background thread until Stop().
+  Status StartBackground();
+  void Stop();
+  bool IsActive() const { return background_active_.load(); }
+
+  /// Monitoring (§7.4).
+  const std::vector<QueryProgress>& recent_progress() const {
+    return progress_;
+  }
+  int64_t last_epoch() const { return last_epoch_; }
+  int64_t watermark_micros() const { return watermark_micros_; }
+  const PhysicalPlan& physical_plan() const { return plan_; }
+  /// Non-OK once an epoch has failed; the query must be restarted (§7.1:
+  /// fix the UDF, restart from the log).
+  const Status& error() const { return error_; }
+
+  /// Manual rollback (paper §7.2): removes WAL entries and state versions
+  /// after `epoch` so a restarted query recomputes from there. The query
+  /// using this checkpoint must be stopped. Sink cleanup (removing output
+  /// of rolled-back epochs) is sink-specific and up to the operator.
+  static Status Rollback(const std::string& checkpoint_dir, int64_t epoch);
+
+ private:
+  StreamingQuery() = default;
+
+  Status Recover();
+  /// Executes `plan` and commits sink+WAL. Used for both new epochs and
+  /// recovery replay.
+  Status RunPlannedEpoch(const EpochPlan& plan);
+  Result<EpochPlan> PlanNextEpoch();
+
+  QueryOptions options_;
+  SinkPtr sink_;
+  PhysicalPlan plan_;
+  std::unique_ptr<WriteAheadLog> wal_;          // null when ephemeral
+  std::unique_ptr<StateManager> state_;
+  std::unique_ptr<TaskScheduler> owned_scheduler_;
+  TaskScheduler* scheduler_ = nullptr;
+  const Clock* clock_ = nullptr;
+
+  int64_t last_epoch_ = 0;
+  int64_t last_state_commit_ = 0;
+  int64_t watermark_micros_ = INT64_MIN;
+  // Running per-watermark-operator candidates (min across them = global).
+  std::map<int, int64_t> per_op_watermark_;
+  // Offsets consumed so far per source (end of last epoch).
+  std::map<std::string, std::vector<int64_t>> committed_offsets_;
+  std::vector<QueryProgress> progress_;
+  Status error_;
+
+  std::thread background_;
+  std::atomic<bool> background_active_{false};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_EXEC_STREAMING_QUERY_H_

@@ -1,0 +1,307 @@
+#include "incremental/incrementalizer.h"
+
+#include <set>
+
+#include "analysis/analyzer.h"
+#include "common/logging.h"
+#include "physical/operators.h"
+#include "physical/stateful_ops.h"
+
+namespace sstreaming {
+
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(int num_partitions) : num_partitions_(num_partitions) {}
+
+  Result<PhysOpPtr> Build(const PlanPtr& plan) {
+    switch (plan->kind()) {
+      case LogicalPlan::Kind::kScan: {
+        const auto& node = static_cast<const ScanNode&>(*plan);
+        return PhysOpPtr(std::make_shared<StaticSourceExec>(
+            NextId(), node.schema(), node.batches(), num_partitions_));
+      }
+      case LogicalPlan::Kind::kStreamScan: {
+        const auto& node = static_cast<const StreamScanNode&>(*plan);
+        sources_.push_back(node.source());
+        return PhysOpPtr(
+            std::make_shared<SourceExec>(NextId(), node.source()));
+      }
+      case LogicalPlan::Kind::kFilter: {
+        const auto& node = static_cast<const FilterNode&>(*plan);
+        SS_ASSIGN_OR_RETURN(PhysOpPtr child, Build(node.children()[0]));
+        return PhysOpPtr(std::make_shared<FilterExec>(NextId(), child,
+                                                      node.predicate()));
+      }
+      case LogicalPlan::Kind::kProject: {
+        const auto& node = static_cast<const ProjectNode&>(*plan);
+        // Pure column projection directly above a stream scan: push the
+        // column subset into the source read itself (§5.3).
+        if (node.children()[0]->kind() == LogicalPlan::Kind::kStreamScan) {
+          bool pure = true;
+          std::vector<int> indices;
+          for (const NamedExpr& e : node.exprs()) {
+            if (e.expr->kind() != Expr::Kind::kColumnRef) {
+              pure = false;
+              break;
+            }
+            indices.push_back(
+                static_cast<const ColumnRefExpr&>(*e.expr).index());
+          }
+          if (pure && !indices.empty()) {
+            const auto& scan =
+                static_cast<const StreamScanNode&>(*node.children()[0]);
+            sources_.push_back(scan.source());
+            return PhysOpPtr(std::make_shared<SourceExec>(
+                NextId(), scan.source(), std::move(indices), node.schema()));
+          }
+        }
+        SS_ASSIGN_OR_RETURN(PhysOpPtr child, Build(node.children()[0]));
+        return PhysOpPtr(std::make_shared<ProjectExec>(
+            NextId(), child, node.schema(), node.exprs()));
+      }
+      case LogicalPlan::Kind::kWithWatermark: {
+        const auto& node = static_cast<const WithWatermarkNode&>(*plan);
+        SS_ASSIGN_OR_RETURN(PhysOpPtr child, Build(node.children()[0]));
+        int idx = node.schema()->IndexOf(node.column());
+        SS_CHECK(idx >= 0);
+        return PhysOpPtr(std::make_shared<WatermarkExec>(
+            NextId(), child, idx, node.delay_micros()));
+      }
+      case LogicalPlan::Kind::kDistinct: {
+        const auto& node = static_cast<const DistinctNode&>(*plan);
+        SS_ASSIGN_OR_RETURN(PhysOpPtr child, Build(node.children()[0]));
+        // Co-locate equal rows: shuffle on every column.
+        std::vector<ExprPtr> keys;
+        for (const Field& f : node.schema()->fields()) {
+          SS_ASSIGN_OR_RETURN(ExprPtr key,
+                              Col(f.name)->Resolve(*node.schema()));
+          keys.push_back(std::move(key));
+        }
+        auto shuffle = std::make_shared<ShuffleExec>(
+            NextId(), child, std::move(keys), num_partitions_);
+        has_stateful_ = true;
+        return PhysOpPtr(
+            std::make_shared<DedupExec>(NextId(), PhysOpPtr(shuffle)));
+      }
+      case LogicalPlan::Kind::kAggregate:
+        return BuildAggregate(static_cast<const AggregateNode&>(*plan));
+      case LogicalPlan::Kind::kJoin:
+        return BuildJoin(static_cast<const JoinNode&>(*plan));
+      case LogicalPlan::Kind::kSort: {
+        const auto& node = static_cast<const SortNode&>(*plan);
+        SS_ASSIGN_OR_RETURN(PhysOpPtr child, Build(node.children()[0]));
+        std::vector<SortExec::Key> keys;
+        for (const SortKey& k : node.keys()) {
+          keys.push_back(SortExec::Key{k.expr, k.ascending});
+        }
+        return PhysOpPtr(
+            std::make_shared<SortExec>(NextId(), child, std::move(keys)));
+      }
+      case LogicalPlan::Kind::kLimit: {
+        const auto& node = static_cast<const LimitNode&>(*plan);
+        SS_ASSIGN_OR_RETURN(PhysOpPtr child, Build(node.children()[0]));
+        return PhysOpPtr(
+            std::make_shared<LimitExec>(NextId(), child, node.n()));
+      }
+      case LogicalPlan::Kind::kFlatMapGroupsWithState: {
+        const auto& node =
+            static_cast<const FlatMapGroupsWithStateNode&>(*plan);
+        SS_ASSIGN_OR_RETURN(PhysOpPtr child, Build(node.children()[0]));
+        std::vector<ExprPtr> shuffle_keys;
+        for (const NamedExpr& k : node.key_exprs()) {
+          shuffle_keys.push_back(k.expr);
+        }
+        auto shuffle = std::make_shared<ShuffleExec>(
+            NextId(), child, std::move(shuffle_keys), num_partitions_);
+        has_stateful_ = true;
+        return PhysOpPtr(std::make_shared<FlatMapGroupsWithStateExec>(
+            NextId(), PhysOpPtr(shuffle), node.output_schema(),
+            node.key_exprs(), node.update_fn(), node.timeout(),
+            node.require_single_output()));
+      }
+    }
+    return Status::Internal("unknown logical node");
+  }
+
+  const std::vector<SourcePtr>& sources() const { return sources_; }
+  bool has_stateful() const { return has_stateful_; }
+  int top_level_key_columns() const { return top_level_key_columns_; }
+
+ private:
+  int NextId() { return next_id_++; }
+
+  Result<PhysOpPtr> BuildAggregate(const AggregateNode& node) {
+    SS_ASSIGN_OR_RETURN(PhysOpPtr child, Build(node.children()[0]));
+    // Shuffle so equal group keys land in the same partition. Tumbling
+    // windows hash by window start; sliding windows rely on the scalar keys
+    // (or collapse to one partition if the window is the only key, since a
+    // record's windows would otherwise span partitions).
+    std::vector<ExprPtr> shuffle_keys;
+    for (const NamedExpr& g : node.group_exprs()) {
+      if (g.expr->kind() == Expr::Kind::kWindow) {
+        const auto& w = static_cast<const WindowExpr&>(*g.expr);
+        if (w.is_tumbling()) shuffle_keys.push_back(g.expr);
+      } else {
+        shuffle_keys.push_back(g.expr);
+      }
+    }
+    if (shuffle_keys.empty()) {
+      SS_ASSIGN_OR_RETURN(
+          ExprPtr zero,
+          Lit(0)->Resolve(*node.children()[0]->schema()));
+      shuffle_keys.push_back(std::move(zero));
+    }
+    auto shuffle = std::make_shared<ShuffleExec>(
+        NextId(), child, std::move(shuffle_keys), num_partitions_);
+    has_stateful_ = true;
+    auto agg = std::make_shared<StatefulAggExec>(
+        NextId(), PhysOpPtr(shuffle), node.schema(), node.group_exprs(),
+        node.aggregates());
+    top_level_key_columns_ = agg->num_output_key_columns();
+    return PhysOpPtr(agg);
+  }
+
+  Result<PhysOpPtr> BuildJoin(const JoinNode& node) {
+    const PlanPtr& left = node.children()[0];
+    const PlanPtr& right = node.children()[1];
+    const bool left_stream = left->IsStreaming();
+    const bool right_stream = right->IsStreaming();
+
+    // Which right-side columns survive into the output (the analyzer drops
+    // right key columns that mirror a same-named left key), plus the
+    // (left column, right column) pairs for USING-key coalescing when the
+    // preserved side's key column was the dropped one.
+    std::set<int> dropped_right;
+    std::vector<std::pair<int, int>> left_from_right;
+    for (size_t i = 0; i < node.left_keys().size(); ++i) {
+      if (node.left_keys()[i]->kind() == Expr::Kind::kColumnRef &&
+          node.right_keys()[i]->kind() == Expr::Kind::kColumnRef) {
+        const auto& lref =
+            static_cast<const ColumnRefExpr&>(*node.left_keys()[i]);
+        const auto& rref =
+            static_cast<const ColumnRefExpr&>(*node.right_keys()[i]);
+        if (lref.name() == rref.name()) {
+          dropped_right.insert(rref.index());
+          left_from_right.emplace_back(lref.index(), rref.index());
+        }
+      }
+    }
+    std::vector<int> right_output_indices;
+    for (int i = 0; i < right->schema()->num_fields(); ++i) {
+      if (!dropped_right.count(i)) right_output_indices.push_back(i);
+    }
+    std::vector<int> all_left_indices;
+    for (int i = 0; i < left->schema()->num_fields(); ++i) {
+      all_left_indices.push_back(i);
+    }
+
+    if (left_stream && right_stream) {
+      SS_ASSIGN_OR_RETURN(PhysOpPtr lchild, Build(left));
+      SS_ASSIGN_OR_RETURN(PhysOpPtr rchild, Build(right));
+      auto lshuffle = std::make_shared<ShuffleExec>(
+          NextId(), lchild, node.left_keys(), num_partitions_);
+      auto rshuffle = std::make_shared<ShuffleExec>(
+          NextId(), rchild, node.right_keys(), num_partitions_);
+      // Event-time columns for state eviction, from each side's watermark.
+      auto time_index = [](const PlanPtr& side) {
+        auto wm = CollectWatermarkColumns(side);
+        if (wm.empty()) return -1;
+        return side->schema()->IndexOf(wm.begin()->first);
+      };
+      has_stateful_ = true;
+      return PhysOpPtr(std::make_shared<StreamStreamJoinExec>(
+          NextId(), PhysOpPtr(lshuffle), PhysOpPtr(rshuffle), node.schema(),
+          node.left_keys(), node.right_keys(), node.join_type(),
+          right_output_indices, time_index(left), time_index(right),
+          left_from_right));
+    }
+
+    // Stream-static (or static-static in batch runs): materialize the
+    // static side once, broadcast-hash-join against the (possibly
+    // streaming) other side.
+    const bool stream_is_left = left_stream || !right_stream;
+    const PlanPtr& stream_side = stream_is_left ? left : right;
+    const PlanPtr& static_side = stream_is_left ? right : left;
+    SS_ASSIGN_OR_RETURN(std::vector<Row> static_rows,
+                        RunStaticPlan(static_side, num_partitions_));
+    SS_ASSIGN_OR_RETURN(PhysOpPtr stream_child, Build(stream_side));
+    bool preserve_stream =
+        (stream_is_left && node.join_type() == JoinType::kLeftOuter) ||
+        (!stream_is_left && node.join_type() == JoinType::kRightOuter);
+    std::vector<int> stream_output_indices;
+    std::vector<int> static_output_indices;
+    if (stream_is_left) {
+      stream_output_indices = all_left_indices;
+      static_output_indices = right_output_indices;
+    } else {
+      stream_output_indices = right_output_indices;
+      static_output_indices = all_left_indices;
+    }
+    // Coalescing applies when the stream is the right side: its dropped key
+    // columns come back from the static (left) column positions.
+    std::vector<std::pair<int, int>> static_from_stream;
+    if (!stream_is_left) static_from_stream = left_from_right;
+    return PhysOpPtr(std::make_shared<StreamStaticJoinExec>(
+        NextId(), stream_child, node.schema(),
+        stream_is_left ? node.left_keys() : node.right_keys(),
+        static_side->schema(), std::move(static_rows),
+        stream_is_left ? node.right_keys() : node.left_keys(),
+        std::move(stream_output_indices), std::move(static_output_indices),
+        /*stream_first=*/stream_is_left, preserve_stream,
+        std::move(static_from_stream)));
+  }
+
+  int num_partitions_;
+  int next_id_ = 0;
+  std::vector<SourcePtr> sources_;
+  bool has_stateful_ = false;
+  int top_level_key_columns_ = 0;
+};
+
+}  // namespace
+
+Result<PhysicalPlan> Incrementalize(const PlanPtr& analyzed,
+                                    int num_partitions) {
+  if (!analyzed->analyzed()) {
+    return Status::InvalidArgument("plan must be analyzed first");
+  }
+  Builder builder(num_partitions);
+  SS_ASSIGN_OR_RETURN(PhysOpPtr root, builder.Build(analyzed));
+  PhysicalPlan plan;
+  plan.root = std::move(root);
+  plan.sources = builder.sources();
+  plan.has_stateful = builder.has_stateful();
+  plan.num_key_columns = builder.top_level_key_columns();
+  return plan;
+}
+
+Result<std::vector<Row>> RunStaticPlan(const PlanPtr& analyzed,
+                                       int num_partitions) {
+  if (analyzed->IsStreaming()) {
+    return Status::InvalidArgument("RunStaticPlan needs a static plan");
+  }
+  SS_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                      Incrementalize(analyzed, num_partitions));
+  InlineScheduler scheduler;
+  StateManager state("", 0, StateStore::Options());
+  SystemClock clock;
+  ExecContext ctx;
+  ctx.epoch = 1;
+  ctx.mode = OutputMode::kAppend;
+  ctx.is_batch = true;
+  ctx.scheduler = &scheduler;
+  ctx.state = &state;
+  ctx.clock = &clock;
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> batches,
+                      plan.root->Execute(&ctx));
+  std::vector<Row> rows;
+  for (const RecordBatchPtr& b : batches) {
+    auto brows = b->ToRows();
+    rows.insert(rows.end(), brows.begin(), brows.end());
+  }
+  return rows;
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,27 @@
+#ifndef SSTREAMING_LOGICAL_OUTPUT_MODE_H_
+#define SSTREAMING_LOGICAL_OUTPUT_MODE_H_
+
+namespace sstreaming {
+
+/// How the result table is written to the sink (paper §4.2):
+///  - Append: only new rows are ever written; a written row is final.
+///  - Update: rows whose value changed are (re)written, keyed by the
+///    query's grouping key.
+///  - Complete: the whole result table is rewritten on every trigger.
+enum class OutputMode { kAppend, kUpdate, kComplete };
+
+inline const char* OutputModeName(OutputMode mode) {
+  switch (mode) {
+    case OutputMode::kAppend:
+      return "append";
+    case OutputMode::kUpdate:
+      return "update";
+    case OutputMode::kComplete:
+      return "complete";
+  }
+  return "?";
+}
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_LOGICAL_OUTPUT_MODE_H_

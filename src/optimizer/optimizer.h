@@ -1,0 +1,34 @@
+#ifndef SSTREAMING_OPTIMIZER_OPTIMIZER_H_
+#define SSTREAMING_OPTIMIZER_OPTIMIZER_H_
+
+#include "logical/plan.h"
+
+namespace sstreaming {
+
+/// Rule-based logical optimization (paper §5.3): predicate pushdown, filter
+/// merging, constant folding, projection collapsing. Rules operate on the
+/// *unresolved* plan (column references by name), so the result must be
+/// re-analyzed before execution; this mirrors how the engine applies the
+/// same optimizations to both batch and streaming plans.
+class Optimizer {
+ public:
+  struct Stats {
+    int predicates_pushed = 0;
+    int filters_merged = 0;
+    int constants_folded = 0;
+    int projects_collapsed = 0;
+    int trivial_filters_removed = 0;
+    int scans_pruned = 0;
+  };
+
+  /// Applies all rules to a fixed point (bounded).
+  static PlanPtr Optimize(const PlanPtr& plan, Stats* stats = nullptr);
+};
+
+/// Folds literal-only subtrees of an expression to literals (exposed for
+/// tests). UDFs and column references are never folded.
+ExprPtr FoldConstants(const ExprPtr& expr, int* folded);
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,269 @@
+#include "physical/operators.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sstreaming {
+
+SourceExec::SourceExec(int op_id, SourcePtr source)
+    : PhysOp(op_id, source->schema(), {}), source_(std::move(source)) {}
+
+SourceExec::SourceExec(int op_id, SourcePtr source, std::vector<int> columns,
+                       SchemaPtr schema)
+    : PhysOp(op_id, std::move(schema), {}),
+      source_(std::move(source)),
+      columns_(std::move(columns)) {}
+
+Result<std::vector<RecordBatchPtr>> SourceExec::Execute(ExecContext* ctx) {
+  auto it = ctx->offsets.find(source_->name());
+  if (it == ctx->offsets.end()) {
+    return Status::Internal("no offsets planned for source " +
+                            source_->name());
+  }
+  const auto& [starts, ends] = it->second;
+  const int parts = source_->num_partitions();
+  if (static_cast<int>(starts.size()) != parts) {
+    return Status::Internal("offset arity mismatch for " + source_->name());
+  }
+  std::vector<RecordBatchPtr> out(static_cast<size_t>(parts));
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(static_cast<size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    tasks.push_back([this, ctx, p, &starts, &ends, &out]() -> Status {
+      RecordBatchPtr batch;
+      if (columns_.empty()) {
+        SS_ASSIGN_OR_RETURN(
+            batch, source_->ReadPartition(p, starts[static_cast<size_t>(p)],
+                                          ends[static_cast<size_t>(p)]));
+      } else {
+        SS_ASSIGN_OR_RETURN(batch, source_->ReadPartitionProjected(
+                                       p, starts[static_cast<size_t>(p)],
+                                       ends[static_cast<size_t>(p)],
+                                       columns_));
+      }
+      ctx->CountRowsRead(batch->num_rows());
+      out[static_cast<size_t>(p)] = std::move(batch);
+      return Status::OK();
+    });
+  }
+  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  return out;
+}
+
+StaticSourceExec::StaticSourceExec(int op_id, SchemaPtr schema,
+                                   std::vector<RecordBatchPtr> batches,
+                                   int num_partitions)
+    : PhysOp(op_id, schema, {}),
+      batches_(std::move(batches)),
+      num_partitions_(num_partitions) {}
+
+Result<std::vector<RecordBatchPtr>> StaticSourceExec::Execute(
+    ExecContext* ctx) {
+  std::vector<RecordBatchPtr> out;
+  if (!ctx->is_batch) {
+    // In a streaming epoch static data contributes nothing new after epoch
+    // 1; joins against static data materialize the table separately, so a
+    // bare static source in a streaming plan emits only in the first epoch.
+    if (ctx->epoch > 1) {
+      for (int p = 0; p < num_partitions_; ++p) {
+        out.push_back(RecordBatch::Empty(schema_));
+      }
+      return out;
+    }
+  }
+  // Round-robin row split across partitions.
+  RecordBatchPtr all = RecordBatch::Concat(schema_, batches_);
+  std::vector<std::vector<uint8_t>> masks(
+      static_cast<size_t>(num_partitions_),
+      std::vector<uint8_t>(static_cast<size_t>(all->num_rows()), 0));
+  for (int64_t i = 0; i < all->num_rows(); ++i) {
+    masks[static_cast<size_t>(i % num_partitions_)]
+         [static_cast<size_t>(i)] = 1;
+  }
+  for (int p = 0; p < num_partitions_; ++p) {
+    out.push_back(all->Filter(masks[static_cast<size_t>(p)]));
+  }
+  return out;
+}
+
+FilterExec::FilterExec(int op_id, PhysOpPtr child, ExprPtr predicate)
+    : PhysOp(op_id, child->schema(), {child}),
+      predicate_(std::move(predicate)) {}
+
+Result<std::vector<RecordBatchPtr>> FilterExec::Execute(ExecContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
+                      children_[0]->Execute(ctx));
+  std::vector<RecordBatchPtr> out(in.size());
+  std::vector<std::function<Status()>> tasks;
+  for (size_t p = 0; p < in.size(); ++p) {
+    tasks.push_back([this, &in, &out, p]() -> Status {
+      const RecordBatchPtr& batch = in[p];
+      SS_ASSIGN_OR_RETURN(ColumnPtr mask_col, predicate_->EvalBatch(*batch));
+      std::vector<uint8_t> mask(static_cast<size_t>(batch->num_rows()));
+      for (int64_t i = 0; i < batch->num_rows(); ++i) {
+        // NULL predicate results drop the row (SQL semantics).
+        mask[static_cast<size_t>(i)] =
+            !mask_col->IsNull(i) && mask_col->BoolAt(i) ? 1 : 0;
+      }
+      out[p] = batch->Filter(mask);
+      return Status::OK();
+    });
+  }
+  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  return out;
+}
+
+ProjectExec::ProjectExec(int op_id, PhysOpPtr child, SchemaPtr schema,
+                         std::vector<NamedExpr> exprs)
+    : PhysOp(op_id, std::move(schema), {std::move(child)}),
+      exprs_(std::move(exprs)) {}
+
+Result<std::vector<RecordBatchPtr>> ProjectExec::Execute(ExecContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
+                      children_[0]->Execute(ctx));
+  std::vector<RecordBatchPtr> out(in.size());
+  std::vector<std::function<Status()>> tasks;
+  for (size_t p = 0; p < in.size(); ++p) {
+    tasks.push_back([this, &in, &out, p]() -> Status {
+      const RecordBatchPtr& batch = in[p];
+      std::vector<ColumnPtr> columns;
+      columns.reserve(exprs_.size());
+      for (const NamedExpr& e : exprs_) {
+        SS_ASSIGN_OR_RETURN(ColumnPtr col, e.expr->EvalBatch(*batch));
+        columns.push_back(std::move(col));
+      }
+      out[p] = RecordBatch::Make(schema_, std::move(columns));
+      return Status::OK();
+    });
+  }
+  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  return out;
+}
+
+WatermarkExec::WatermarkExec(int op_id, PhysOpPtr child, int column_index,
+                             int64_t delay_micros)
+    : PhysOp(op_id, child->schema(), {child}),
+      column_index_(column_index),
+      delay_micros_(delay_micros) {}
+
+Result<std::vector<RecordBatchPtr>> WatermarkExec::Execute(ExecContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
+                      children_[0]->Execute(ctx));
+  for (const RecordBatchPtr& batch : in) {
+    const Column& col = *batch->column(column_index_);
+    int64_t max_ts = INT64_MIN;
+    for (int64_t i = 0; i < col.size(); ++i) {
+      if (!col.IsNull(i) && col.Int64At(i) > max_ts) max_ts = col.Int64At(i);
+    }
+    if (max_ts != INT64_MIN) {
+      ctx->ObserveEventTime(op_id_, max_ts - delay_micros_);
+    }
+  }
+  return in;
+}
+
+ShuffleExec::ShuffleExec(int op_id, PhysOpPtr child, std::vector<ExprPtr> keys,
+                         int num_partitions)
+    : PhysOp(op_id, child->schema(), {child}),
+      keys_(std::move(keys)),
+      num_partitions_(num_partitions) {}
+
+Result<std::vector<RecordBatchPtr>> ShuffleExec::Execute(ExecContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
+                      children_[0]->Execute(ctx));
+  const size_t in_parts = in.size();
+  const size_t out_parts = static_cast<size_t>(num_partitions_);
+  // Map stage: each input partition splits into one bucket per output
+  // partition by key hash.
+  std::vector<std::vector<RecordBatchPtr>> buckets(
+      in_parts, std::vector<RecordBatchPtr>(out_parts));
+  std::vector<std::function<Status()>> map_tasks;
+  for (size_t p = 0; p < in_parts; ++p) {
+    map_tasks.push_back([this, &in, &buckets, p, out_parts]() -> Status {
+      const RecordBatchPtr& batch = in[p];
+      const int64_t n = batch->num_rows();
+      std::vector<uint64_t> hashes(static_cast<size_t>(n), 0x811C9DC5ULL);
+      for (const ExprPtr& key : keys_) {
+        SS_ASSIGN_OR_RETURN(ColumnPtr col, key->EvalBatch(*batch));
+        col->HashInto(&hashes);
+      }
+      // Single pass: bucket row indices, then one typed gather per bucket.
+      std::vector<std::vector<int32_t>> indices(out_parts);
+      for (int64_t i = 0; i < n; ++i) {
+        indices[hashes[static_cast<size_t>(i)] % out_parts].push_back(
+            static_cast<int32_t>(i));
+      }
+      for (size_t op = 0; op < out_parts; ++op) {
+        buckets[p][op] = batch->Gather(indices[op]);
+      }
+      return Status::OK();
+    });
+  }
+  SS_RETURN_IF_ERROR(
+      ctx->scheduler->RunStage(name() + "/map", std::move(map_tasks)));
+
+  // Reduce-side concat: one task per output partition.
+  std::vector<RecordBatchPtr> out(out_parts);
+  std::vector<std::function<Status()>> reduce_tasks;
+  for (size_t op = 0; op < out_parts; ++op) {
+    reduce_tasks.push_back([this, &buckets, &out, op, in_parts]() -> Status {
+      std::vector<RecordBatchPtr> pieces;
+      pieces.reserve(in_parts);
+      for (size_t p = 0; p < in_parts; ++p) {
+        pieces.push_back(buckets[p][op]);
+      }
+      out[op] = RecordBatch::Concat(schema_, pieces);
+      return Status::OK();
+    });
+  }
+  SS_RETURN_IF_ERROR(
+      ctx->scheduler->RunStage(name() + "/reduce", std::move(reduce_tasks)));
+  return out;
+}
+
+SortExec::SortExec(int op_id, PhysOpPtr child, std::vector<Key> keys)
+    : PhysOp(op_id, child->schema(), {child}),
+      keys_(std::move(keys)) {}
+
+Result<std::vector<RecordBatchPtr>> SortExec::Execute(ExecContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
+                      children_[0]->Execute(ctx));
+  RecordBatchPtr all = RecordBatch::Concat(schema_, in);
+  // Evaluate the sort keys once, then order row indices.
+  std::vector<ColumnPtr> key_cols;
+  for (const Key& k : keys_) {
+    SS_ASSIGN_OR_RETURN(ColumnPtr col, k.expr->EvalBatch(*all));
+    key_cols.push_back(std::move(col));
+  }
+  std::vector<int64_t> order(static_cast<size_t>(all->num_rows()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int64_t a, int64_t b) {
+                     for (size_t k = 0; k < key_cols.size(); ++k) {
+                       int c = key_cols[k]->ValueAt(a).Compare(
+                           key_cols[k]->ValueAt(b));
+                       if (c != 0) return keys_[k].ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  std::vector<Row> rows;
+  rows.reserve(order.size());
+  for (int64_t idx : order) rows.push_back(all->RowAt(idx));
+  SS_ASSIGN_OR_RETURN(RecordBatchPtr sorted,
+                      RecordBatch::FromRows(schema_, rows));
+  return std::vector<RecordBatchPtr>{sorted};
+}
+
+LimitExec::LimitExec(int op_id, PhysOpPtr child, int64_t n)
+    : PhysOp(op_id, child->schema(), {child}), n_(n) {}
+
+Result<std::vector<RecordBatchPtr>> LimitExec::Execute(ExecContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
+                      children_[0]->Execute(ctx));
+  RecordBatchPtr all = RecordBatch::Concat(schema_, in);
+  int64_t keep = std::min(n_, all->num_rows());
+  return std::vector<RecordBatchPtr>{all->Slice(0, keep)};
+}
+
+}  // namespace sstreaming

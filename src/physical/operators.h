@@ -1,0 +1,145 @@
+#ifndef SSTREAMING_PHYSICAL_OPERATORS_H_
+#define SSTREAMING_PHYSICAL_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "connectors/source.h"
+#include "expr/expression.h"
+#include "physical/phys_op.h"
+
+namespace sstreaming {
+
+/// Reads this epoch's offset range from a streaming source, one task per
+/// partition. When a projection is set (pushed down by the incrementalizer
+/// from a pure column projection above the scan, §5.3), only those columns
+/// are materialized.
+class SourceExec : public PhysOp {
+ public:
+  SourceExec(int op_id, SourcePtr source);
+  /// Projected read: `schema` describes `columns` of the source schema.
+  SourceExec(int op_id, SourcePtr source, std::vector<int> columns,
+             SchemaPtr schema);
+
+  std::string name() const override { return "Source[" + source_->name() + "]"; }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+  const SourcePtr& source() const { return source_; }
+  bool projected() const { return !columns_.empty(); }
+
+ private:
+  SourcePtr source_;
+  std::vector<int> columns_;  // empty = all
+};
+
+/// Emits a static dataset, split round-robin into `num_partitions` — used
+/// when a batch plan runs through the streaming operator pipeline
+/// (paper §7.3, batch/stream unification).
+class StaticSourceExec : public PhysOp {
+ public:
+  StaticSourceExec(int op_id, SchemaPtr schema,
+                   std::vector<RecordBatchPtr> batches, int num_partitions);
+
+  std::string name() const override { return "StaticSource"; }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+ private:
+  std::vector<RecordBatchPtr> batches_;
+  int num_partitions_;
+};
+
+/// Vectorized filter.
+class FilterExec : public PhysOp {
+ public:
+  FilterExec(int op_id, PhysOpPtr child, ExprPtr predicate);
+
+  std::string name() const override {
+    return "Filter " + predicate_->ToString();
+  }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// Vectorized projection.
+class ProjectExec : public PhysOp {
+ public:
+  ProjectExec(int op_id, PhysOpPtr child, SchemaPtr schema,
+              std::vector<NamedExpr> exprs);
+
+  std::string name() const override { return "Project"; }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+ private:
+  std::vector<NamedExpr> exprs_;
+};
+
+/// Pass-through operator that records the max event time of a watermarked
+/// column so the engine can advance the query watermark (paper §4.3.1).
+class WatermarkExec : public PhysOp {
+ public:
+  WatermarkExec(int op_id, PhysOpPtr child, int column_index,
+                int64_t delay_micros);
+
+  std::string name() const override { return "Watermark"; }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+  int64_t delay_micros() const { return delay_micros_; }
+
+ private:
+  int column_index_;
+  int64_t delay_micros_;
+};
+
+/// Hash repartitioning on key expressions: the "exchange" between map and
+/// reduce stages of the microbatch job (paper §6.2).
+class ShuffleExec : public PhysOp {
+ public:
+  ShuffleExec(int op_id, PhysOpPtr child, std::vector<ExprPtr> keys,
+              int num_partitions);
+
+  std::string name() const override {
+    return "Shuffle p=" + std::to_string(num_partitions_);
+  }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+  int num_partitions() const { return num_partitions_; }
+
+ private:
+  std::vector<ExprPtr> keys_;
+  int num_partitions_;
+};
+
+/// Gathers all partitions into one and sorts (complete mode only).
+class SortExec : public PhysOp {
+ public:
+  struct Key {
+    ExprPtr expr;
+    bool ascending;
+  };
+
+  SortExec(int op_id, PhysOpPtr child, std::vector<Key> keys);
+
+  std::string name() const override { return "Sort"; }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+ private:
+  std::vector<Key> keys_;
+};
+
+/// Keeps the first n rows of partition 0 (used after SortExec).
+class LimitExec : public PhysOp {
+ public:
+  LimitExec(int op_id, PhysOpPtr child, int64_t n);
+
+  std::string name() const override { return "Limit " + std::to_string(n_); }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+ private:
+  int64_t n_;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_PHYSICAL_OPERATORS_H_

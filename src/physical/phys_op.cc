@@ -1,0 +1,136 @@
+#include "physical/phys_op.h"
+
+#include <filesystem>
+
+#include "common/logging.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+
+StateManager::StateManager(std::string dir, int64_t version,
+                           StateStore::Options options)
+    : dir_(std::move(dir)), version_(version), options_(options),
+      durable_(!dir_.empty()) {
+  if (!durable_) {
+    auto tmp = MakeTempDir("sstreaming_ephemeral_state");
+    SS_CHECK(tmp.ok()) << tmp.status().ToString();
+    ephemeral_dir_ = *tmp;
+  }
+}
+
+StateManager::~StateManager() {
+  if (!durable_ && !ephemeral_dir_.empty()) {
+    RemoveDirRecursive(ephemeral_dir_).ok();
+  }
+}
+
+std::string StateManager::StoreDir(int op_id, int partition) const {
+  const std::string& root = durable_ ? dir_ : ephemeral_dir_;
+  return root + "/op" + std::to_string(op_id) + "/p" +
+         std::to_string(partition);
+}
+
+Result<StateStore*> StateManager::GetStore(int op_id, int partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(op_id, partition);
+  auto it = stores_.find(key);
+  if (it != stores_.end()) return it->second.get();
+  int64_t restore = durable_ ? version_ : 0;
+  SS_ASSIGN_OR_RETURN(
+      std::unique_ptr<StateStore> store,
+      StateStore::Open(StoreDir(op_id, partition), restore, options_));
+  StateStore* raw = store.get();
+  stores_[key] = std::move(store);
+  return raw;
+}
+
+Status StateManager::PreopenExisting() {
+  if (!durable_ || !FileExists(dir_)) return Status::OK();
+  std::error_code ec;
+  for (const auto& op_entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!op_entry.is_directory()) continue;
+    std::string op_name = op_entry.path().filename().string();
+    if (op_name.rfind("op", 0) != 0) continue;
+    int op_id = std::atoi(op_name.c_str() + 2);
+    for (const auto& part_entry :
+         std::filesystem::directory_iterator(op_entry.path(), ec)) {
+      if (!part_entry.is_directory()) continue;
+      std::string part_name = part_entry.path().filename().string();
+      if (part_name.rfind("p", 0) != 0) continue;
+      int partition = std::atoi(part_name.c_str() + 1);
+      SS_RETURN_IF_ERROR(GetStore(op_id, partition).status());
+    }
+  }
+  return Status::OK();
+}
+
+Status StateManager::CommitAll(int64_t epoch) {
+  if (!durable_) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, store] : stores_) {
+    (void)key;
+    SS_RETURN_IF_ERROR(store->Commit(epoch));
+  }
+  return Status::OK();
+}
+
+Status StateManager::PurgeBefore(int64_t keep) {
+  if (!durable_) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, store] : stores_) {
+    SS_RETURN_IF_ERROR(
+        StateStore::PurgeBefore(StoreDir(key.first, key.second), keep));
+  }
+  return Status::OK();
+}
+
+int64_t StateManager::MinLoadedVersion() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t min_version = version_;
+  for (const auto& [key, store] : stores_) {
+    (void)key;
+    if (store->loaded_version() < min_version) {
+      min_version = store->loaded_version();
+    }
+  }
+  return min_version;
+}
+
+int64_t StateManager::TotalEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [key, store] : stores_) {
+    (void)key;
+    total += store->size();
+  }
+  return total;
+}
+
+int64_t StateManager::TotalBytesWritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [key, store] : stores_) {
+    (void)key;
+    total += store->bytes_written();
+  }
+  return total;
+}
+
+namespace {
+void TreeStringRec(const PhysOp& op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += op.name();
+  *out += "\n";
+  for (const PhysOpPtr& child : op.children()) {
+    TreeStringRec(*child, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string PhysOp::TreeString() const {
+  std::string out;
+  TreeStringRec(*this, 0, &out);
+  return out;
+}
+
+}  // namespace sstreaming

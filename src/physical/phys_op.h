@@ -1,0 +1,148 @@
+#ifndef SSTREAMING_PHYSICAL_PHYS_OP_H_
+#define SSTREAMING_PHYSICAL_PHYS_OP_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "logical/output_mode.h"
+#include "runtime/scheduler.h"
+#include "state/state_store.h"
+#include "types/record_batch.h"
+
+namespace sstreaming {
+
+/// Creates and caches one StateStore per (stateful operator, partition),
+/// and commits them together at epoch boundaries (paper §6.1 step 2).
+/// When `durable` is false (batch runs, tests without recovery), stores live
+/// in a throwaway temp directory and commits are skipped.
+class StateManager {
+ public:
+  /// `dir`: checkpoint state root. `version`: epoch whose state to restore
+  /// (0 = fresh). Empty dir = ephemeral (non-durable) state.
+  StateManager(std::string dir, int64_t version, StateStore::Options options);
+  ~StateManager();
+
+  Result<StateStore*> GetStore(int op_id, int partition);
+
+  /// Opens every store that already exists on disk (stores are otherwise
+  /// opened lazily). Recovery calls this so MinLoadedVersion() reflects how
+  /// far behind the durable state really is before any epoch runs.
+  Status PreopenExisting();
+
+  /// Commits every opened store at `epoch`. No-op when ephemeral.
+  Status CommitAll(int64_t epoch);
+
+  /// Removes durable state files older than needed to restore `keep`.
+  Status PurgeBefore(int64_t keep);
+
+  /// The oldest version any opened store actually restored; the engine must
+  /// replay epochs after this (checkpoints may lag, §6.1 step 4).
+  int64_t MinLoadedVersion() const;
+
+  int64_t TotalEntries() const;
+  int64_t TotalBytesWritten() const;
+  bool durable() const { return durable_; }
+  int num_open_stores() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(stores_.size());
+  }
+
+ private:
+  std::string StoreDir(int op_id, int partition) const;
+
+  std::string dir_;
+  int64_t version_;
+  StateStore::Options options_;
+  bool durable_;
+  std::string ephemeral_dir_;
+  mutable std::mutex mu_;
+  std::map<std::pair<int, int>, std::unique_ptr<StateStore>> stores_;
+};
+
+/// Per-epoch execution context threaded through the physical operators.
+struct ExecContext {
+  int64_t epoch = 0;
+  /// Event-time watermark in force for this epoch (computed from data seen
+  /// in *earlier* epochs; INT64_MIN before any watermark exists).
+  int64_t watermark_micros = INT64_MIN;
+  /// Sink output mode (drives what stateful operators emit).
+  OutputMode mode = OutputMode::kAppend;
+  /// True when running as a one-shot batch job (paper §7.3): stateful
+  /// operators see all data at once and emit final results.
+  bool is_batch = false;
+
+  TaskScheduler* scheduler = nullptr;
+  StateManager* state = nullptr;
+  const Clock* clock = nullptr;
+
+  /// Offset ranges for this epoch, per source name: (start, end) per
+  /// partition. Filled by the engine from the WAL plan.
+  std::map<std::string, std::pair<std::vector<int64_t>, std::vector<int64_t>>>
+      offsets;
+
+  /// Per-watermark-operator candidate (max event time minus delay) observed
+  /// this epoch. The engine combines candidates with the MIN-across-inputs
+  /// policy: a query with several watermarked inputs only advances to a
+  /// point safe for all of them.
+  std::mutex observed_mu;
+  std::map<int, int64_t> observed_watermarks;
+
+  void ObserveEventTime(int watermark_op_id, int64_t candidate) {
+    std::lock_guard<std::mutex> lock(observed_mu);
+    auto it = observed_watermarks.find(watermark_op_id);
+    if (it == observed_watermarks.end() || candidate > it->second) {
+      observed_watermarks[watermark_op_id] = candidate;
+    }
+  }
+
+  /// Rows read from sources this epoch (metrics, §7.4).
+  std::mutex metrics_mu;
+  int64_t rows_read = 0;
+  void CountRowsRead(int64_t n) {
+    std::lock_guard<std::mutex> lock(metrics_mu);
+    rows_read += n;
+  }
+};
+
+/// A physical operator: executes one epoch across all partitions, returning
+/// one output batch per partition. Operators parallelize internally by
+/// submitting per-partition tasks to the scheduler (the paper's fine-grained
+/// task model, §6.2). Incremental operators return only this epoch's *new*
+/// contribution to the result (their intra-DAG output mode, §5.2).
+class PhysOp {
+ public:
+  PhysOp(int op_id, SchemaPtr schema, std::vector<std::shared_ptr<PhysOp>>
+                                          children)
+      : op_id_(op_id), schema_(std::move(schema)),
+        children_(std::move(children)) {}
+  virtual ~PhysOp() = default;
+
+  int op_id() const { return op_id_; }
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<std::shared_ptr<PhysOp>>& children() const {
+    return children_;
+  }
+
+  virtual std::string name() const = 0;
+
+  virtual Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) = 0;
+
+  /// Multi-line tree rendering for explain().
+  std::string TreeString() const;
+
+ protected:
+  int op_id_;
+  SchemaPtr schema_;
+  std::vector<std::shared_ptr<PhysOp>> children_;
+};
+
+using PhysOpPtr = std::shared_ptr<PhysOp>;
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_PHYSICAL_PHYS_OP_H_

@@ -1,0 +1,868 @@
+#include "physical/stateful_ops.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace sstreaming {
+
+namespace {
+
+// Appends value i of src to dst with matching physical type (no boxing).
+void AppendFromColumn(const Column& src, int64_t i, Column* dst) {
+  if (src.IsNull(i)) {
+    dst->AppendNull();
+    return;
+  }
+  switch (PhysicalKindOf(src.type())) {
+    case PhysicalKind::kBool:
+      dst->AppendBool(src.BoolAt(i));
+      break;
+    case PhysicalKind::kInt64:
+      dst->AppendInt64(src.Int64At(i));
+      break;
+    case PhysicalKind::kFloat64:
+      dst->AppendFloat64(src.Float64At(i));
+      break;
+    case PhysicalKind::kString:
+      dst->AppendString(src.StringAt(i));
+      break;
+    case PhysicalKind::kNone:
+      dst->AppendNull();
+      break;
+  }
+}
+
+void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool GetFixed64(const std::string& data, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StatefulAggExec
+// ---------------------------------------------------------------------------
+
+StatefulAggExec::StatefulAggExec(int op_id, PhysOpPtr child,
+                                 SchemaPtr out_schema,
+                                 std::vector<NamedExpr> group_exprs,
+                                 std::vector<AggSpec> aggregates)
+    : PhysOp(op_id, std::move(out_schema), {std::move(child)}),
+      group_exprs_(std::move(group_exprs)),
+      aggregates_(std::move(aggregates)) {
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (group_exprs_[i].expr->kind() == Expr::Kind::kWindow) {
+      window_key_index_ = static_cast<int>(i);
+      window_expr_ = static_cast<const WindowExpr*>(group_exprs_[i].expr.get());
+    }
+  }
+}
+
+int StatefulAggExec::num_output_key_columns() const {
+  int n = 0;
+  for (const NamedExpr& g : group_exprs_) {
+    n += g.expr->kind() == Expr::Kind::kWindow ? 2 : 1;
+  }
+  return n;
+}
+
+Result<std::vector<RecordBatchPtr>> StatefulAggExec::Execute(
+    ExecContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
+                      children_[0]->Execute(ctx));
+  std::vector<RecordBatchPtr> out(in.size());
+  std::vector<std::function<Status()>> tasks;
+  for (size_t p = 0; p < in.size(); ++p) {
+    tasks.push_back([this, ctx, &in, &out, p]() -> Status {
+      SS_ASSIGN_OR_RETURN(
+          RecordBatchPtr batch,
+          ExecutePartition(ctx, static_cast<int>(p), *in[p]));
+      out[p] = std::move(batch);
+      return Status::OK();
+    });
+  }
+  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  return out;
+}
+
+Result<RecordBatchPtr> StatefulAggExec::ExecutePartition(
+    ExecContext* ctx, int partition, const RecordBatch& input) {
+  SS_ASSIGN_OR_RETURN(StateStore * store,
+                      ctx->state->GetStore(op_id_, partition));
+  const int64_t n = input.num_rows();
+  const bool windowed = window_expr_ != nullptr;
+  const int64_t watermark = ctx->watermark_micros;
+  const int64_t window_size = windowed ? window_expr_->size_micros() : 0;
+
+  // Evaluate group-key inputs: the window's time column for the window key,
+  // the expression itself for scalar keys.
+  std::vector<ColumnPtr> key_cols(group_exprs_.size());
+  for (size_t g = 0; g < group_exprs_.size(); ++g) {
+    const ExprPtr& e = group_exprs_[g].expr;
+    if (static_cast<int>(g) == window_key_index_) {
+      SS_ASSIGN_OR_RETURN(key_cols[g], window_expr_->time()->EvalBatch(input));
+    } else {
+      SS_ASSIGN_OR_RETURN(key_cols[g], e->EvalBatch(input));
+    }
+  }
+  // Evaluate aggregate arguments.
+  std::vector<ColumnPtr> arg_cols(aggregates_.size());
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    if (aggregates_[a].func == AggFunc::kCountAll) continue;
+    SS_ASSIGN_OR_RETURN(arg_cols[a], aggregates_[a].arg->EvalBatch(input));
+  }
+
+  // Fold rows into per-key running state (cache writes, flush once). The
+  // key is serialized directly from the key columns (byte-identical to
+  // EncodeRow but without boxing) — this loop is the engine's hot path.
+  std::unordered_map<std::string, Row> changed;
+  const bool needs_args = [&] {
+    for (const AggSpec& a : aggregates_) {
+      if (a.func != AggFunc::kCountAll) return true;
+    }
+    return false;
+  }();
+  Row args(aggregates_.size());  // all-null is correct for count(*)
+  std::vector<int64_t> window_starts;
+  std::string enc;
+  for (int64_t i = 0; i < n; ++i) {
+    if (needs_args) {
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        if (aggregates_[a].func != AggFunc::kCountAll) {
+          args[a] = arg_cols[a]->ValueAt(i);
+        }
+      }
+    }
+    window_starts.clear();
+    if (windowed) {
+      const Column& time_col = *key_cols[static_cast<size_t>(
+          window_key_index_)];
+      if (time_col.IsNull(i)) continue;  // no event time -> no window
+      window_expr_->EnumerateWindowStarts(time_col.Int64At(i),
+                                          &window_starts);
+    } else {
+      window_starts.push_back(0);  // one dummy iteration
+    }
+    for (int64_t wstart : window_starts) {
+      if (windowed && watermark != INT64_MIN &&
+          wstart + window_size <= watermark) {
+        continue;  // late data for an already-closed window: dropped
+      }
+      enc.clear();
+      enc.push_back(static_cast<char>(group_exprs_.size()));
+      for (size_t g = 0; g < group_exprs_.size(); ++g) {
+        if (static_cast<int>(g) == window_key_index_) {
+          enc.push_back(static_cast<char>(TypeId::kTimestamp));
+          char buf[8];
+          std::memcpy(buf, &wstart, 8);
+          enc.append(buf, 8);
+        } else {
+          key_cols[g]->EncodeValueTo(i, &enc);
+        }
+      }
+      auto it = changed.find(enc);
+      if (it == changed.end()) {
+        Row state;
+        std::optional<std::string> stored = store->Get(enc);
+        if (stored.has_value()) {
+          SS_ASSIGN_OR_RETURN(state, DecodeRow(*stored));
+        } else {
+          state = InitAggState(aggregates_);
+        }
+        it = changed.emplace(enc, std::move(state)).first;
+      }
+      UpdateAggState(aggregates_, args, &it->second);
+    }
+  }
+  for (const auto& [enc, state] : changed) {
+    std::string buf;
+    EncodeRow(state, &buf);
+    store->Put(enc, std::move(buf));
+  }
+
+  // Build output per sink mode.
+  auto finalize = [&](const std::string& enc_key,
+                      const Row& state) -> Result<Row> {
+    SS_ASSIGN_OR_RETURN(Row key, DecodeRow(enc_key));
+    Row out_row;
+    for (size_t g = 0; g < key.size(); ++g) {
+      if (static_cast<int>(g) == window_key_index_) {
+        out_row.push_back(key[g]);  // window_start
+        out_row.push_back(Value::Timestamp(key[g].int64_value() +
+                                           window_size));  // window_end
+      } else {
+        out_row.push_back(key[g]);
+      }
+    }
+    Row finals = FinalizeAggState(aggregates_, state);
+    out_row.insert(out_row.end(), finals.begin(), finals.end());
+    return out_row;
+  };
+
+  std::vector<Row> out_rows;
+  if (ctx->is_batch) {
+    // One-shot batch run: emit everything, no eviction needed.
+    Status iter_status;
+    store->ForEach([&](const std::string& k, const std::string& v) {
+      auto state = DecodeRow(v);
+      if (!state.ok()) {
+        iter_status = state.status();
+        return;
+      }
+      auto row = finalize(k, *state);
+      if (!row.ok()) {
+        iter_status = row.status();
+        return;
+      }
+      out_rows.push_back(std::move(*row));
+    });
+    SS_RETURN_IF_ERROR(iter_status);
+    return RecordBatch::FromRows(schema_, out_rows);
+  }
+
+  // Eviction of closed windows (and append-mode emission of their finals).
+  std::vector<std::string> evict;
+  if (windowed && watermark != INT64_MIN) {
+    Status iter_status;
+    store->ForEach([&](const std::string& k, const std::string& v) {
+      auto key = DecodeRow(k);
+      if (!key.ok()) {
+        iter_status = key.status();
+        return;
+      }
+      int64_t wstart =
+          (*key)[static_cast<size_t>(window_key_index_)].int64_value();
+      if (wstart + window_size <= watermark) {
+        if (ctx->mode == OutputMode::kAppend) {
+          auto state = DecodeRow(v);
+          if (!state.ok()) {
+            iter_status = state.status();
+            return;
+          }
+          auto row = finalize(k, *state);
+          if (!row.ok()) {
+            iter_status = row.status();
+            return;
+          }
+          out_rows.push_back(std::move(*row));
+        }
+        evict.push_back(k);
+      }
+    });
+    SS_RETURN_IF_ERROR(iter_status);
+    for (const std::string& k : evict) store->Remove(k);
+  }
+
+  if (ctx->mode == OutputMode::kUpdate) {
+    std::unordered_set<std::string> evicted(evict.begin(), evict.end());
+    for (const auto& [enc, state] : changed) {
+      if (evicted.count(enc)) continue;  // closed this epoch; never re-emit
+      SS_ASSIGN_OR_RETURN(Row row, finalize(enc, state));
+      out_rows.push_back(std::move(row));
+    }
+  } else if (ctx->mode == OutputMode::kComplete) {
+    Status iter_status;
+    store->ForEach([&](const std::string& k, const std::string& v) {
+      auto state = DecodeRow(v);
+      if (!state.ok()) {
+        iter_status = state.status();
+        return;
+      }
+      auto row = finalize(k, *state);
+      if (!row.ok()) {
+        iter_status = row.status();
+        return;
+      }
+      out_rows.push_back(std::move(*row));
+    });
+    SS_RETURN_IF_ERROR(iter_status);
+  }
+  return RecordBatch::FromRows(schema_, out_rows);
+}
+
+// ---------------------------------------------------------------------------
+// DedupExec
+// ---------------------------------------------------------------------------
+
+DedupExec::DedupExec(int op_id, PhysOpPtr child)
+    : PhysOp(op_id, child->schema(), {child}) {}
+
+Result<std::vector<RecordBatchPtr>> DedupExec::Execute(ExecContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
+                      children_[0]->Execute(ctx));
+  std::vector<RecordBatchPtr> out(in.size());
+  std::vector<std::function<Status()>> tasks;
+  for (size_t p = 0; p < in.size(); ++p) {
+    tasks.push_back([this, ctx, &in, &out, p]() -> Status {
+      SS_ASSIGN_OR_RETURN(StateStore * store,
+                          ctx->state->GetStore(op_id_, static_cast<int>(p)));
+      const RecordBatchPtr& batch = in[p];
+      std::vector<uint8_t> mask(static_cast<size_t>(batch->num_rows()), 0);
+      for (int64_t i = 0; i < batch->num_rows(); ++i) {
+        std::string enc;
+        EncodeRow(batch->RowAt(i), &enc);
+        if (!store->Contains(enc)) {
+          store->Put(enc, "");
+          mask[static_cast<size_t>(i)] = 1;
+        }
+      }
+      out[p] = batch->Filter(mask);
+      return Status::OK();
+    });
+  }
+  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StreamStaticJoinExec
+// ---------------------------------------------------------------------------
+
+StreamStaticJoinExec::StreamStaticJoinExec(
+    int op_id, PhysOpPtr stream_child, SchemaPtr out_schema,
+    std::vector<ExprPtr> stream_keys, SchemaPtr static_schema,
+    std::vector<Row> static_rows, std::vector<ExprPtr> static_keys,
+    std::vector<int> stream_output_indices,
+    std::vector<int> static_output_indices, bool stream_first,
+    bool preserve_stream, std::vector<std::pair<int, int>> static_from_stream)
+    : PhysOp(op_id, std::move(out_schema), {std::move(stream_child)}),
+      stream_keys_(std::move(stream_keys)),
+      static_schema_(std::move(static_schema)),
+      stream_output_indices_(std::move(stream_output_indices)),
+      static_output_indices_(std::move(static_output_indices)),
+      stream_first_(stream_first),
+      preserve_stream_(preserve_stream),
+      static_from_stream_(std::move(static_from_stream)) {
+  // Materialize the static side into a broadcast hash table once.
+  for (Row& row : static_rows) {
+    Row key;
+    key.reserve(static_keys.size());
+    for (const ExprPtr& e : static_keys) {
+      auto v = e->EvalRow(row);
+      SS_CHECK(v.ok()) << v.status().ToString();
+      key.push_back(std::move(*v));
+    }
+    static_by_key_[std::move(key)].push_back(std::move(row));
+  }
+  // Unboxed probe index for a single int64-backed key.
+  if (stream_keys_.size() == 1) {
+    int64_key_ = true;
+    for (const auto& [key, rows] : static_by_key_) {
+      if (PhysicalKindOf(key[0].type()) != PhysicalKind::kInt64) {
+        int64_key_ = false;
+        break;
+      }
+      auto& bucket = static_by_int64_[key[0].int64_value()];
+      for (const Row& r : rows) bucket.push_back(&r);
+    }
+    if (!int64_key_) static_by_int64_.clear();
+  }
+}
+
+Result<std::vector<RecordBatchPtr>> StreamStaticJoinExec::Execute(
+    ExecContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
+                      children_[0]->Execute(ctx));
+  std::vector<RecordBatchPtr> out(in.size());
+  std::vector<std::function<Status()>> tasks;
+  for (size_t p = 0; p < in.size(); ++p) {
+    tasks.push_back([this, &in, &out, p]() -> Status {
+      SS_ASSIGN_OR_RETURN(RecordBatchPtr batch, ExecutePartition(*in[p]));
+      out[p] = std::move(batch);
+      return Status::OK();
+    });
+  }
+  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  return out;
+}
+
+Result<RecordBatchPtr> StreamStaticJoinExec::ExecutePartition(
+    const RecordBatch& input) {
+  const int64_t n = input.num_rows();
+  // Vectorized key evaluation, then per-row hash probe; output columns are
+  // gathered typed (no per-cell boxing for the stream side).
+  std::vector<ColumnPtr> key_cols(stream_keys_.size());
+  for (size_t k = 0; k < stream_keys_.size(); ++k) {
+    SS_ASSIGN_OR_RETURN(key_cols[k], stream_keys_[k]->EvalBatch(input));
+  }
+  std::vector<int64_t> emit_stream_index;
+  std::vector<const Row*> emit_static_row;  // nullptr = null-padded
+  if (int64_key_ &&
+      PhysicalKindOf(key_cols[0]->type()) == PhysicalKind::kInt64) {
+    // Unboxed probe on the single int64 key.
+    const Column& kc = *key_cols[0];
+    for (int64_t i = 0; i < n; ++i) {
+      if (!kc.IsNull(i)) {
+        auto it = static_by_int64_.find(kc.Int64At(i));
+        if (it != static_by_int64_.end()) {
+          for (const Row* match : it->second) {
+            emit_stream_index.push_back(i);
+            emit_static_row.push_back(match);
+          }
+          continue;
+        }
+      }
+      if (preserve_stream_) {
+        emit_stream_index.push_back(i);
+        emit_static_row.push_back(nullptr);
+      }
+    }
+  } else {
+    Row key(stream_keys_.size());
+    for (int64_t i = 0; i < n; ++i) {
+      for (size_t k = 0; k < key_cols.size(); ++k) {
+        key[k] = key_cols[k]->ValueAt(i);
+      }
+      auto it = static_by_key_.find(key);
+      if (it != static_by_key_.end()) {
+        for (const Row& match : it->second) {
+          emit_stream_index.push_back(i);
+          emit_static_row.push_back(&match);
+        }
+      } else if (preserve_stream_) {
+        emit_stream_index.push_back(i);
+        emit_static_row.push_back(nullptr);
+      }
+    }
+  }
+
+  // Build output columns.
+  auto build_stream_column = [&](int src_idx) {
+    const Column& src = *input.column(src_idx);
+    ColumnPtr dst = Column::Make(src.type());
+    dst->Reserve(static_cast<int64_t>(emit_stream_index.size()));
+    for (int64_t i : emit_stream_index) AppendFromColumn(src, i, dst.get());
+    return dst;
+  };
+  auto build_static_column = [&](int src_idx, TypeId type) {
+    // USING-join key coalescing: take the stream's key value when there is
+    // no static match (see constructor comment).
+    int coalesce_from = -1;
+    for (const auto& [static_idx, stream_idx] : static_from_stream_) {
+      if (static_idx == src_idx) coalesce_from = stream_idx;
+    }
+    ColumnPtr dst = Column::Make(type);
+    dst->Reserve(static_cast<int64_t>(emit_static_row.size()));
+    for (size_t e = 0; e < emit_static_row.size(); ++e) {
+      const Row* row = emit_static_row[e];
+      if (row != nullptr) {
+        dst->AppendValue((*row)[static_cast<size_t>(src_idx)]);
+      } else if (coalesce_from >= 0) {
+        dst->AppendFrom(*input.column(coalesce_from), emit_stream_index[e]);
+      } else {
+        dst->AppendNull();
+      }
+    }
+    return dst;
+  };
+
+  std::vector<ColumnPtr> columns;
+  columns.reserve(static_cast<size_t>(schema_->num_fields()));
+  if (stream_first_) {
+    for (int idx : stream_output_indices_) {
+      columns.push_back(build_stream_column(idx));
+    }
+    for (int idx : static_output_indices_) {
+      columns.push_back(
+          build_static_column(idx, static_schema_->field(idx).type));
+    }
+  } else {
+    for (int idx : static_output_indices_) {
+      columns.push_back(
+          build_static_column(idx, static_schema_->field(idx).type));
+    }
+    for (int idx : stream_output_indices_) {
+      columns.push_back(build_stream_column(idx));
+    }
+  }
+  return RecordBatch::Make(schema_, std::move(columns));
+}
+
+// ---------------------------------------------------------------------------
+// StreamStreamJoinExec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// State value codec for one join side's rows under one key:
+// repeated [matched byte][encoded row].
+std::string EncodeSideRows(const std::vector<std::pair<bool, Row>>& rows) {
+  std::string out;
+  for (const auto& [matched, row] : rows) {
+    out.push_back(matched ? 1 : 0);
+    EncodeRow(row, &out);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<bool, Row>>> DecodeSideRows(
+    const std::string& data) {
+  std::vector<std::pair<bool, Row>> rows;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    bool matched = data[pos++] != 0;
+    SS_ASSIGN_OR_RETURN(Row row, DecodeRow(data, &pos));
+    rows.emplace_back(matched, std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+StreamStreamJoinExec::StreamStreamJoinExec(
+    int op_id, PhysOpPtr left, PhysOpPtr right, SchemaPtr out_schema,
+    std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
+    JoinType join_type, std::vector<int> right_output_indices,
+    int left_time_index, int right_time_index,
+    std::vector<std::pair<int, int>> left_from_right)
+    : PhysOp(op_id, std::move(out_schema), {left, right}),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      join_type_(join_type),
+      right_output_indices_(std::move(right_output_indices)),
+      left_time_index_(left_time_index),
+      right_time_index_(right_time_index),
+      left_from_right_(std::move(left_from_right)) {
+  left_arity_ = children_[0]->schema()->num_fields();
+}
+
+Row StreamStreamJoinExec::JoinedRow(const Row* left, const Row* right) const {
+  Row out;
+  out.reserve(static_cast<size_t>(schema_->num_fields()));
+  if (left != nullptr) {
+    out.insert(out.end(), left->begin(), left->end());
+  } else {
+    out.insert(out.end(), static_cast<size_t>(left_arity_), Value::Null());
+    // USING-join key coalescing for null-padded right-outer results.
+    if (right != nullptr) {
+      for (const auto& [left_idx, right_idx] : left_from_right_) {
+        out[static_cast<size_t>(left_idx)] =
+            (*right)[static_cast<size_t>(right_idx)];
+      }
+    }
+  }
+  for (int idx : right_output_indices_) {
+    out.push_back(right != nullptr ? (*right)[static_cast<size_t>(idx)]
+                                   : Value::Null());
+  }
+  return out;
+}
+
+Result<std::vector<RecordBatchPtr>> StreamStreamJoinExec::Execute(
+    ExecContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> left_in,
+                      children_[0]->Execute(ctx));
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> right_in,
+                      children_[1]->Execute(ctx));
+  if (left_in.size() != right_in.size()) {
+    return Status::Internal("stream-stream join sides not co-partitioned");
+  }
+  std::vector<RecordBatchPtr> out(left_in.size());
+  std::vector<std::function<Status()>> tasks;
+  for (size_t p = 0; p < left_in.size(); ++p) {
+    tasks.push_back([this, ctx, &left_in, &right_in, &out, p]() -> Status {
+      SS_ASSIGN_OR_RETURN(RecordBatchPtr batch,
+                          ExecutePartition(ctx, static_cast<int>(p),
+                                           *left_in[p], *right_in[p]));
+      out[p] = std::move(batch);
+      return Status::OK();
+    });
+  }
+  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  return out;
+}
+
+Result<RecordBatchPtr> StreamStreamJoinExec::ExecutePartition(
+    ExecContext* ctx, int partition, const RecordBatch& left_input,
+    const RecordBatch& right_input) {
+  SS_ASSIGN_OR_RETURN(StateStore * store,
+                      ctx->state->GetStore(op_id_, partition));
+  std::vector<Row> out_rows;
+
+  // Working cache of decoded side-state, flushed at the end.
+  std::unordered_map<std::string, std::vector<std::pair<bool, Row>>> cache;
+  auto load = [&](const std::string& store_key)
+      -> Result<std::vector<std::pair<bool, Row>>*> {
+    auto it = cache.find(store_key);
+    if (it == cache.end()) {
+      std::vector<std::pair<bool, Row>> rows;
+      std::optional<std::string> stored = store->Get(store_key);
+      if (stored.has_value()) {
+        SS_ASSIGN_OR_RETURN(rows, DecodeSideRows(*stored));
+      }
+      it = cache.emplace(store_key, std::move(rows)).first;
+    }
+    return &it->second;
+  };
+
+  auto key_of = [](const std::vector<ExprPtr>& keys, const Row& row,
+                   char side) -> Result<std::string> {
+    Row key;
+    key.reserve(keys.size());
+    for (const ExprPtr& e : keys) {
+      SS_ASSIGN_OR_RETURN(Value v, e->EvalRow(row));
+      key.push_back(std::move(v));
+    }
+    std::string enc(1, side);
+    EncodeRow(key, &enc);
+    return enc;
+  };
+
+  // Pass 1: probe new left rows against the stored right side (prior
+  // epochs), appending them to left state.
+  const int64_t nl = left_input.num_rows();
+  for (int64_t i = 0; i < nl; ++i) {
+    Row lrow = left_input.RowAt(i);
+    SS_ASSIGN_OR_RETURN(std::string lkey, key_of(left_keys_, lrow, 'L'));
+    std::string rkey = "R" + lkey.substr(1);
+    SS_ASSIGN_OR_RETURN(auto* right_rows, load(rkey));
+    bool matched = false;
+    for (auto& [rmatched, rrow] : *right_rows) {
+      out_rows.push_back(JoinedRow(&lrow, &rrow));
+      rmatched = true;
+      matched = true;
+    }
+    SS_ASSIGN_OR_RETURN(auto* left_rows, load(lkey));
+    left_rows->emplace_back(matched, std::move(lrow));
+  }
+  // Pass 2: probe new right rows against left state (which now includes
+  // this epoch's left rows, covering intra-epoch matches exactly once).
+  const int64_t nr = right_input.num_rows();
+  for (int64_t i = 0; i < nr; ++i) {
+    Row rrow = right_input.RowAt(i);
+    SS_ASSIGN_OR_RETURN(std::string rkey, key_of(right_keys_, rrow, 'R'));
+    std::string lkey = "L" + rkey.substr(1);
+    SS_ASSIGN_OR_RETURN(auto* left_rows, load(lkey));
+    bool matched = false;
+    for (auto& [lmatched, lrow] : *left_rows) {
+      out_rows.push_back(JoinedRow(&lrow, &rrow));
+      lmatched = true;
+      matched = true;
+    }
+    SS_ASSIGN_OR_RETURN(auto* right_rows, load(rkey));
+    right_rows->emplace_back(matched, std::move(rrow));
+  }
+
+  // Watermark-driven eviction: rows whose event time has fallen below the
+  // watermark can no longer match. Unmatched rows on a preserved outer side
+  // are emitted null-padded exactly once, here.
+  const int64_t watermark = ctx->watermark_micros;
+  const bool evicting = watermark != INT64_MIN &&
+                        (left_time_index_ >= 0 || right_time_index_ >= 0);
+  if (evicting || ctx->is_batch) {
+    // Ensure every stored key is in the cache so eviction sees all state.
+    std::vector<std::string> all_keys;
+    store->ForEach([&](const std::string& k, const std::string&) {
+      all_keys.push_back(k);
+    });
+    for (const std::string& k : all_keys) {
+      SS_RETURN_IF_ERROR(load(k).status());
+    }
+    for (auto& [store_key, rows] : cache) {
+      const bool is_left = store_key[0] == 'L';
+      const int time_index = is_left ? left_time_index_ : right_time_index_;
+      const bool preserved =
+          (is_left && join_type_ == JoinType::kLeftOuter) ||
+          (!is_left && join_type_ == JoinType::kRightOuter);
+      std::vector<std::pair<bool, Row>> kept;
+      for (auto& [matched, row] : rows) {
+        bool expire;
+        if (ctx->is_batch) {
+          expire = true;  // batch run: finalize everything at the end
+        } else {
+          expire = time_index >= 0 &&
+                   !row[static_cast<size_t>(time_index)].is_null() &&
+                   row[static_cast<size_t>(time_index)].int64_value() <
+                       watermark;
+        }
+        if (expire) {
+          if (preserved && !matched) {
+            out_rows.push_back(is_left ? JoinedRow(&row, nullptr)
+                                       : JoinedRow(nullptr, &row));
+          }
+        } else {
+          kept.emplace_back(matched, std::move(row));
+        }
+      }
+      rows = std::move(kept);
+    }
+  }
+
+  // Flush cache to the store.
+  for (const auto& [store_key, rows] : cache) {
+    if (rows.empty()) {
+      store->Remove(store_key);
+    } else {
+      store->Put(store_key, EncodeSideRows(rows));
+    }
+  }
+  return RecordBatch::FromRows(schema_, out_rows);
+}
+
+// ---------------------------------------------------------------------------
+// FlatMapGroupsWithStateExec
+// ---------------------------------------------------------------------------
+
+FlatMapGroupsWithStateExec::FlatMapGroupsWithStateExec(
+    int op_id, PhysOpPtr child, SchemaPtr out_schema,
+    std::vector<NamedExpr> key_exprs, GroupUpdateFn update_fn,
+    GroupStateTimeout timeout, bool require_single_output)
+    : PhysOp(op_id, std::move(out_schema), {std::move(child)}),
+      key_exprs_(std::move(key_exprs)),
+      update_fn_(std::move(update_fn)),
+      timeout_(timeout),
+      require_single_output_(require_single_output) {}
+
+Result<std::vector<RecordBatchPtr>> FlatMapGroupsWithStateExec::Execute(
+    ExecContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
+                      children_[0]->Execute(ctx));
+  std::vector<RecordBatchPtr> out(in.size());
+  std::vector<std::function<Status()>> tasks;
+  for (size_t p = 0; p < in.size(); ++p) {
+    tasks.push_back([this, ctx, &in, &out, p]() -> Status {
+      SS_ASSIGN_OR_RETURN(
+          RecordBatchPtr batch,
+          ExecutePartition(ctx, static_cast<int>(p), *in[p]));
+      out[p] = std::move(batch);
+      return Status::OK();
+    });
+  }
+  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  return out;
+}
+
+Result<RecordBatchPtr> FlatMapGroupsWithStateExec::ExecutePartition(
+    ExecContext* ctx, int partition, const RecordBatch& input) {
+  SS_ASSIGN_OR_RETURN(StateStore * store,
+                      ctx->state->GetStore(op_id_, partition));
+  const int64_t now = ctx->clock != nullptr ? ctx->clock->NowMicros() : 0;
+  const int64_t watermark = ctx->watermark_micros;
+
+  // Group the input rows by key.
+  std::vector<ColumnPtr> key_cols(key_exprs_.size());
+  for (size_t k = 0; k < key_exprs_.size(); ++k) {
+    SS_ASSIGN_OR_RETURN(key_cols[k], key_exprs_[k].expr->EvalBatch(input));
+  }
+  std::map<std::string, std::pair<Row, std::vector<Row>>> groups;
+  for (int64_t i = 0; i < input.num_rows(); ++i) {
+    Row key(key_exprs_.size());
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      key[k] = key_cols[k]->ValueAt(i);
+    }
+    std::string enc;
+    EncodeRow(key, &enc);
+    auto& slot = groups[enc];
+    slot.first = std::move(key);
+    slot.second.push_back(input.RowAt(i));
+  }
+
+  std::vector<Row> out_rows;
+
+  // State value codec: [fixed64 timeout_at][encoded user row].
+  auto load_state = [&](const std::string& enc)
+      -> Result<std::pair<std::optional<Row>, int64_t>> {
+    std::optional<std::string> stored = store->Get(enc);
+    if (!stored.has_value()) {
+      return std::make_pair(std::optional<Row>(), INT64_MAX);
+    }
+    size_t pos = 0;
+    uint64_t timeout_at;
+    if (!GetFixed64(*stored, &pos, &timeout_at)) {
+      return Status::Internal("corrupt group state");
+    }
+    SS_ASSIGN_OR_RETURN(Row row, DecodeRow(*stored, &pos));
+    return std::make_pair(std::optional<Row>(std::move(row)),
+                          static_cast<int64_t>(timeout_at));
+  };
+
+  auto invoke = [&](const std::string& enc, const Row& key,
+                    const std::vector<Row>& values,
+                    bool timed_out) -> Status {
+    SS_ASSIGN_OR_RETURN(auto loaded, load_state(enc));
+    GroupState state(std::move(loaded.first), watermark, now, timed_out);
+    if (!timed_out) {
+      // A pre-armed timeout stays armed unless the function re-arms it.
+      state.SetTimeoutTimestamp(loaded.second);
+    }
+    SS_ASSIGN_OR_RETURN(std::vector<Row> results,
+                        update_fn_(key, values, &state));
+    if (require_single_output_ && results.size() != 1) {
+      return Status::InvalidArgument(
+          "mapGroupsWithState update function must return exactly one row, "
+          "got " + std::to_string(results.size()));
+    }
+    for (Row& r : results) {
+      if (static_cast<int>(r.size()) != schema_->num_fields()) {
+        return Status::InvalidArgument(
+            "mapGroupsWithState output row arity mismatch");
+      }
+      out_rows.push_back(std::move(r));
+    }
+    if (state.removed() || (timed_out && !state.updated())) {
+      // Timed-out state that the function did not refresh is dropped
+      // (matching Spark: a timeout without update removes nothing
+      // automatically, but keeping it would re-fire forever; Spark requires
+      // the function to update or remove — we default to remove).
+      store->Remove(enc);
+    } else if (state.exists()) {
+      std::string buf;
+      int64_t timeout_at =
+          timeout_ == GroupStateTimeout::kNone ? INT64_MAX
+                                               : state.timeout_at_micros();
+      PutFixed64(&buf, static_cast<uint64_t>(timeout_at));
+      EncodeRow(state.get(), &buf);
+      store->Put(enc, std::move(buf));
+    }
+    return Status::OK();
+  };
+
+  for (const auto& [enc, group] : groups) {
+    SS_RETURN_IF_ERROR(invoke(enc, group.first, group.second, false));
+  }
+
+  // Timeout sweep: keys not updated this trigger whose deadline passed
+  // (processing time vs. watermark, §4.3.2).
+  if (timeout_ != GroupStateTimeout::kNone && !ctx->is_batch) {
+    const int64_t deadline_clock =
+        timeout_ == GroupStateTimeout::kProcessingTime ? now : watermark;
+    std::vector<std::pair<std::string, Row>> timed_out_keys;
+    Status iter_status;
+    store->ForEach([&](const std::string& enc, const std::string& v) {
+      if (groups.count(enc)) return;
+      size_t pos = 0;
+      uint64_t timeout_at;
+      if (!GetFixed64(v, &pos, &timeout_at)) {
+        iter_status = Status::Internal("corrupt group state");
+        return;
+      }
+      if (deadline_clock != INT64_MIN &&
+          static_cast<int64_t>(timeout_at) <= deadline_clock) {
+        auto key = DecodeRow(enc);
+        if (!key.ok()) {
+          iter_status = key.status();
+          return;
+        }
+        timed_out_keys.emplace_back(enc, std::move(*key));
+      }
+    });
+    SS_RETURN_IF_ERROR(iter_status);
+    for (const auto& [enc, key] : timed_out_keys) {
+      SS_RETURN_IF_ERROR(invoke(enc, key, {}, true));
+    }
+  }
+  return RecordBatch::FromRows(schema_, out_rows);
+}
+
+}  // namespace sstreaming

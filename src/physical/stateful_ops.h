@@ -1,0 +1,163 @@
+#ifndef SSTREAMING_PHYSICAL_STATEFUL_OPS_H_
+#define SSTREAMING_PHYSICAL_STATEFUL_OPS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/aggregate.h"
+#include "expr/expression.h"
+#include "logical/plan.h"
+#include "physical/phys_op.h"
+
+namespace sstreaming {
+
+/// State-store-backed incremental aggregation (paper §5.2's
+/// StatefulAggregate). Input must already be hash-partitioned by the group
+/// key (ShuffleExec). Per-key aggregation state lives in the state store and
+/// is updated in time proportional to the epoch's new rows. Emission depends
+/// on the sink output mode:
+///  - update:   finalized rows for keys changed this epoch;
+///  - complete: all keys every epoch;
+///  - append:   only groups whose event-time window has closed under the
+///    watermark (emitted exactly once, then evicted).
+/// With a watermark, rows for already-closed windows are dropped as late
+/// data, and closed windows are evicted from state (paper §4.3.1).
+class StatefulAggExec : public PhysOp {
+ public:
+  StatefulAggExec(int op_id, PhysOpPtr child, SchemaPtr out_schema,
+                  std::vector<NamedExpr> group_exprs,
+                  std::vector<AggSpec> aggregates);
+
+  std::string name() const override { return "StatefulAggregate"; }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+  /// Number of leading key columns in the output (window keys count as 2:
+  /// start and end) — what the sink needs for update-mode upserts.
+  int num_output_key_columns() const;
+
+ private:
+  Result<RecordBatchPtr> ExecutePartition(ExecContext* ctx, int partition,
+                                          const RecordBatch& input);
+
+  std::vector<NamedExpr> group_exprs_;
+  std::vector<AggSpec> aggregates_;
+  // Set when one group key is a window() expression.
+  int window_key_index_ = -1;  // position within group_exprs_
+  const WindowExpr* window_expr_ = nullptr;
+};
+
+/// Streaming SELECT DISTINCT: emits each row the first time it is seen,
+/// remembering seen keys in the state store.
+class DedupExec : public PhysOp {
+ public:
+  DedupExec(int op_id, PhysOpPtr child);
+
+  std::string name() const override { return "Dedup"; }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+};
+
+/// Stream-static equi-join: the static side is fully materialized at query
+/// start into a hash table and broadcast to every partition (paper §2.2's
+/// "join a stream with static data"). Inner or stream-preserving outer.
+class StreamStaticJoinExec : public PhysOp {
+ public:
+  /// `static_from_stream`: (static column index -> stream column index)
+  /// pairs used to coalesce USING-join keys: when a preserved stream row has
+  /// no static match, the dropped duplicate key column takes the stream's
+  /// key value instead of NULL.
+  StreamStaticJoinExec(int op_id, PhysOpPtr stream_child, SchemaPtr out_schema,
+                       std::vector<ExprPtr> stream_keys,
+                       SchemaPtr static_schema, std::vector<Row> static_rows,
+                       std::vector<ExprPtr> static_keys,
+                       std::vector<int> stream_output_indices,
+                       std::vector<int> static_output_indices,
+                       bool stream_first, bool preserve_stream,
+                       std::vector<std::pair<int, int>> static_from_stream =
+                           {});
+
+  std::string name() const override { return "StreamStaticJoin"; }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+ private:
+  Result<RecordBatchPtr> ExecutePartition(const RecordBatch& input);
+
+  std::vector<ExprPtr> stream_keys_;
+  SchemaPtr static_schema_;
+  std::vector<int> stream_output_indices_;
+  std::vector<int> static_output_indices_;
+  bool stream_first_;
+  bool preserve_stream_;
+  std::vector<std::pair<int, int>> static_from_stream_;
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> static_by_key_;
+  // Fast path for the common single int64 join key (e.g. the benchmark's
+  // ad_id): probe without boxing.
+  bool int64_key_ = false;
+  std::unordered_map<int64_t, std::vector<const Row*>> static_by_int64_;
+};
+
+/// Symmetric-hash stream-stream equi-join with state on both sides. Inputs
+/// must be co-partitioned by key (two ShuffleExecs with equal partition
+/// counts). With watermarked event-time columns, state older than the
+/// watermark is evicted, and outer-join null-padded results are emitted once
+/// the unmatched row can no longer find a partner (paper §5.2: outer joins
+/// require a watermarked column).
+class StreamStreamJoinExec : public PhysOp {
+ public:
+  /// `left_from_right`: (left column index -> right column index) pairs for
+  /// coalescing USING-join keys when an unmatched right row is emitted
+  /// null-padded in a right-outer join.
+  StreamStreamJoinExec(int op_id, PhysOpPtr left, PhysOpPtr right,
+                       SchemaPtr out_schema, std::vector<ExprPtr> left_keys,
+                       std::vector<ExprPtr> right_keys, JoinType join_type,
+                       std::vector<int> right_output_indices,
+                       int left_time_index, int right_time_index,
+                       std::vector<std::pair<int, int>> left_from_right = {});
+
+  std::string name() const override { return "StreamStreamJoin"; }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+ private:
+  Result<RecordBatchPtr> ExecutePartition(ExecContext* ctx, int partition,
+                                          const RecordBatch& left_input,
+                                          const RecordBatch& right_input);
+
+  Row JoinedRow(const Row* left, const Row* right) const;
+
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  JoinType join_type_;
+  std::vector<int> right_output_indices_;
+  int left_arity_ = 0;
+  // Event-time column index per side for watermark eviction; -1 = none.
+  int left_time_index_;
+  int right_time_index_;
+  std::vector<std::pair<int, int>> left_from_right_;
+};
+
+/// (flat)mapGroupsWithState (paper §4.3.2): arbitrary per-key user state
+/// with timeouts. Input must be hash-partitioned by key.
+class FlatMapGroupsWithStateExec : public PhysOp {
+ public:
+  FlatMapGroupsWithStateExec(int op_id, PhysOpPtr child, SchemaPtr out_schema,
+                             std::vector<NamedExpr> key_exprs,
+                             GroupUpdateFn update_fn,
+                             GroupStateTimeout timeout,
+                             bool require_single_output);
+
+  std::string name() const override { return "FlatMapGroupsWithState"; }
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+
+ private:
+  Result<RecordBatchPtr> ExecutePartition(ExecContext* ctx, int partition,
+                                          const RecordBatch& input);
+
+  std::vector<NamedExpr> key_exprs_;
+  GroupUpdateFn update_fn_;
+  GroupStateTimeout timeout_;
+  bool require_single_output_;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_PHYSICAL_STATEFUL_OPS_H_

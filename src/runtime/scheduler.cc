@@ -1,0 +1,115 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace sstreaming {
+
+Status InlineScheduler::RunStage(const std::string& /*stage_name*/,
+                                 std::vector<std::function<Status()>> tasks) {
+  for (auto& task : tasks) {
+    SS_RETURN_IF_ERROR(task());
+  }
+  return Status::OK();
+}
+
+PoolScheduler::PoolScheduler(int num_threads) : pool_(num_threads) {}
+
+Status PoolScheduler::RunStage(const std::string& /*stage_name*/,
+                               std::vector<std::function<Status()>> tasks) {
+  std::mutex mu;
+  Status first_error;
+  for (auto& task : tasks) {
+    pool_.Submit([&mu, &first_error, task = std::move(task)] {
+      Status s = task();
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = s;
+      }
+    });
+  }
+  pool_.Wait();
+  return first_error;
+}
+
+SimClusterScheduler::SimClusterScheduler(Options options)
+    : options_(options), rng_(options.seed) {}
+
+Status SimClusterScheduler::RunStage(
+    const std::string& /*stage_name*/,
+    std::vector<std::function<Status()>> tasks) {
+  const int cores = parallelism();
+  // Tasks run for real (serially, on this machine) so their outputs are
+  // exact; only their measured durations are placed on the simulated
+  // timeline, by earliest-available-core list scheduling.
+  std::vector<int64_t> durations;
+  durations.reserve(tasks.size());
+  for (auto& task : tasks) {
+    pending_charge_ = 0;
+    int64_t t0 = MonotonicNanos();
+    Status s = task();
+    SS_RETURN_IF_ERROR(s);
+    int64_t measured = MonotonicNanos() - t0 + pending_charge_;
+    if (measured < 1000) measured = 1000;  // clamp timer noise
+    durations.push_back(measured);
+  }
+  if (options_.denoise_outliers && durations.size() >= 4) {
+    std::vector<int64_t> sorted = durations;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    int64_t median = sorted[sorted.size() / 2];
+    int64_t cap = static_cast<int64_t>(static_cast<double>(median) *
+                                       options_.denoise_factor);
+    for (int64_t& d : durations) {
+      if (d > cap) d = median;
+    }
+  }
+  std::vector<int64_t> core_free_at(static_cast<size_t>(cores), 0);
+  for (int64_t measured : durations) {
+    int64_t attempt = measured;
+    // Fault injection: the first attempt is lost and re-run elsewhere. The
+    // real execution above already produced the (idempotent) output; only
+    // the simulated cost reflects the retry (paper §6.2: "only its tasks
+    // need to be rerun ... in parallel").
+    if (options_.task_failure_probability > 0 &&
+        rng_.OneIn(options_.task_failure_probability)) {
+      ++failures_;
+      // Failure detected partway through, then a full re-run.
+      attempt = attempt / 2 + measured;
+    }
+    // Straggler injection with optional speculative backup.
+    if (options_.straggler_probability > 0 &&
+        rng_.OneIn(options_.straggler_probability)) {
+      ++stragglers_;
+      int64_t straggled = static_cast<int64_t>(
+          static_cast<double>(attempt) * options_.straggler_factor);
+      if (options_.speculation) {
+        // Backup launched once the task runs ~2x its expected duration;
+        // the backup completes in the normal duration. Stage sees the
+        // earlier of (straggler, detection + backup).
+        int64_t with_backup = 2 * measured + measured;
+        if (with_backup < straggled) {
+          ++speculative_wins_;
+          attempt = with_backup;
+        } else {
+          attempt = straggled;
+        }
+      } else {
+        attempt = straggled;
+      }
+    }
+    attempt += options_.task_launch_overhead_nanos;
+
+    auto it = std::min_element(core_free_at.begin(), core_free_at.end());
+    *it += attempt;
+  }
+  int64_t stage_finish =
+      *std::max_element(core_free_at.begin(), core_free_at.end());
+  virtual_nanos_ += stage_finish;
+  return Status::OK();
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,56 @@
+#ifndef SSTREAMING_SQL_PARSER_H_
+#define SSTREAMING_SQL_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "logical/dataframe.h"
+
+namespace sstreaming {
+
+/// The SQL front end (paper §4.1: "Alternatively, users can write SQL
+/// directly. All APIs produce a relational query plan."). A registered
+/// table can be static or streaming; the parsed query is just a DataFrame,
+/// so it runs through the same analyzer / optimizer / incrementalizer as
+/// the programmatic API and can be executed by RunBatch or StreamingQuery.
+///
+/// Supported grammar (one SELECT statement):
+///
+///   SELECT [DISTINCT] item [, item]*
+///   FROM table
+///   [JOIN table ON col = col [AND col = col]* | JOIN table USING (col,...)]
+///   [LEFT JOIN ... | RIGHT JOIN ...]
+///   [WHERE predicate]
+///   [GROUP BY expr [, expr]*]
+///   [HAVING predicate]
+///   [ORDER BY expr [ASC|DESC] [, ...]]
+///   [LIMIT n]
+///
+/// Expressions: column refs, integer/float/string literals, TRUE/FALSE/NULL,
+/// + - * / %, comparisons (= != <> < <= > >=), AND/OR/NOT, IS [NOT] NULL,
+/// CAST(e AS type), aggregate functions COUNT(*)/COUNT/SUM/AVG/MIN/MAX, and
+/// WINDOW(time_col, '10 seconds' [, '5 seconds']) as a GROUP BY key.
+/// Interval literals: '<n> second(s)|minute(s)|hour(s)|day(s)|millisecond(s)'.
+class SqlContext {
+ public:
+  /// Registers a table name (static or streaming DataFrame).
+  void RegisterTable(const std::string& name, DataFrame df);
+  bool HasTable(const std::string& name) const;
+
+  /// Parses one SELECT statement into a DataFrame plan. Returns
+  /// InvalidArgument with a position-annotated message on syntax errors and
+  /// NotFound for unknown tables. (Name/type errors surface later, at
+  /// analysis, exactly as with the DataFrame API.)
+  Result<DataFrame> Sql(const std::string& query) const;
+
+ private:
+  std::map<std::string, DataFrame> tables_;
+};
+
+/// Parses an interval literal like "10 seconds" to microseconds (exposed
+/// for reuse and tests).
+Result<int64_t> ParseIntervalMicros(const std::string& text);
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_SQL_PARSER_H_

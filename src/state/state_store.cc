@@ -1,0 +1,231 @@
+#include "state/state_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "storage/fs.h"
+
+namespace sstreaming {
+
+namespace {
+
+constexpr char kOpPut = 1;
+constexpr char kOpRemove = 2;
+
+void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool GetFixed64(const std::string& data, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+void AppendPut(std::string* out, const std::string& key,
+               const std::string& value) {
+  out->push_back(kOpPut);
+  PutFixed64(out, key.size());
+  out->append(key);
+  PutFixed64(out, value.size());
+  out->append(value);
+}
+
+void AppendRemove(std::string* out, const std::string& key) {
+  out->push_back(kOpRemove);
+  PutFixed64(out, key.size());
+  out->append(key);
+}
+
+Status ApplyLog(const std::string& data,
+                std::unordered_map<std::string, std::string>* map) {
+  size_t pos = 0;
+  while (pos < data.size()) {
+    char op = data[pos++];
+    uint64_t klen;
+    if (!GetFixed64(data, &pos, &klen) || pos + klen > data.size()) {
+      return Status::IOError("corrupt state file (key)");
+    }
+    std::string key = data.substr(pos, klen);
+    pos += klen;
+    if (op == kOpPut) {
+      uint64_t vlen;
+      if (!GetFixed64(data, &pos, &vlen) || pos + vlen > data.size()) {
+        return Status::IOError("corrupt state file (value)");
+      }
+      (*map)[std::move(key)] = data.substr(pos, vlen);
+      pos += vlen;
+    } else if (op == kOpRemove) {
+      map->erase(key);
+    } else {
+      return Status::IOError("corrupt state file (op byte)");
+    }
+  }
+  return Status::OK();
+}
+
+struct VersionFile {
+  int64_t version;
+  bool is_snapshot;
+};
+
+Result<std::vector<VersionFile>> ListVersionFiles(const std::string& dir) {
+  SS_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir));
+  std::vector<VersionFile> files;
+  for (const std::string& name : names) {
+    bool snapshot = name.size() > 9 &&
+                    name.compare(name.size() - 9, 9, ".snapshot") == 0;
+    bool delta =
+        name.size() > 6 && name.compare(name.size() - 6, 6, ".delta") == 0;
+    if (!snapshot && !delta) continue;
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(name.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '.') continue;
+    files.push_back(VersionFile{static_cast<int64_t>(v), snapshot});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const VersionFile& a, const VersionFile& b) {
+              if (a.version != b.version) return a.version < b.version;
+              return a.is_snapshot < b.is_snapshot;
+            });
+  return files;
+}
+
+std::string VersionPath(const std::string& dir, int64_t version,
+                        bool snapshot) {
+  return dir + "/" + std::to_string(version) +
+         (snapshot ? ".snapshot" : ".delta");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StateStore>> StateStore::Open(const std::string& dir,
+                                                     int64_t version,
+                                                     Options options) {
+  SS_RETURN_IF_ERROR(EnsureDir(dir));
+  std::unique_ptr<StateStore> store(new StateStore(dir, options));
+  if (version > 0) {
+    SS_RETURN_IF_ERROR(store->LoadUpTo(version));
+  }
+  store->last_commit_version_ = store->loaded_version_;
+  return store;
+}
+
+Status StateStore::LoadUpTo(int64_t version) {
+  SS_ASSIGN_OR_RETURN(std::vector<VersionFile> files, ListVersionFiles(dir_));
+  // Newest snapshot at or below `version`.
+  int64_t base = 0;
+  for (const VersionFile& f : files) {
+    if (f.is_snapshot && f.version <= version) base = f.version;
+  }
+  if (base > 0) {
+    SS_ASSIGN_OR_RETURN(std::string data,
+                        ReadFile(VersionPath(dir_, base, true)));
+    SS_RETURN_IF_ERROR(ApplyLog(data, &data_));
+    loaded_version_ = base;
+  }
+  // Apply deltas in (base, version] in order.
+  for (const VersionFile& f : files) {
+    if (f.is_snapshot || f.version <= base || f.version > version) continue;
+    SS_ASSIGN_OR_RETURN(std::string data,
+                        ReadFile(VersionPath(dir_, f.version, false)));
+    SS_RETURN_IF_ERROR(ApplyLog(data, &data_));
+    loaded_version_ = f.version;
+  }
+  return Status::OK();
+}
+
+std::optional<std::string> StateStore::Get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+void StateStore::Put(const std::string& key, std::string value) {
+  data_[key] = value;
+  pending_[key] = std::move(value);
+}
+
+void StateStore::Remove(const std::string& key) {
+  data_.erase(key);
+  pending_[key] = std::nullopt;
+}
+
+bool StateStore::Contains(const std::string& key) const {
+  return data_.find(key) != data_.end();
+}
+
+void StateStore::ForEach(
+    const std::function<void(const std::string&, const std::string&)>& fn)
+    const {
+  for (const auto& [key, value] : data_) fn(key, value);
+}
+
+Status StateStore::Commit(int64_t version) {
+  if (version <= last_commit_version_) {
+    return Status::InvalidArgument(
+        "state commit versions must increase: " + std::to_string(version) +
+        " <= " + std::to_string(last_commit_version_));
+  }
+  const bool snapshot = commits_since_snapshot_ + 1 >=
+                            options_.snapshot_interval ||
+                        last_commit_version_ == 0;
+  std::string buf;
+  if (snapshot) {
+    for (const auto& [key, value] : data_) AppendPut(&buf, key, value);
+    ++snapshot_commits_;
+    commits_since_snapshot_ = 0;
+  } else {
+    for (const auto& [key, value] : pending_) {
+      if (value.has_value()) {
+        AppendPut(&buf, key, *value);
+      } else {
+        AppendRemove(&buf, key);
+      }
+    }
+    ++delta_commits_;
+    ++commits_since_snapshot_;
+  }
+  SS_RETURN_IF_ERROR(
+      WriteFileAtomic(VersionPath(dir_, version, snapshot), buf));
+  bytes_written_ += static_cast<int64_t>(buf.size());
+  pending_.clear();
+  last_commit_version_ = version;
+  loaded_version_ = version;
+  return Status::OK();
+}
+
+Status StateStore::TruncateAfter(const std::string& dir, int64_t version) {
+  SS_RETURN_IF_ERROR(EnsureDir(dir));
+  SS_ASSIGN_OR_RETURN(std::vector<VersionFile> files, ListVersionFiles(dir));
+  for (const VersionFile& f : files) {
+    if (f.version > version) {
+      SS_RETURN_IF_ERROR(
+          RemoveFile(VersionPath(dir, f.version, f.is_snapshot)));
+    }
+  }
+  return Status::OK();
+}
+
+Status StateStore::PurgeBefore(const std::string& dir, int64_t keep) {
+  SS_ASSIGN_OR_RETURN(std::vector<VersionFile> files, ListVersionFiles(dir));
+  // Keep the newest snapshot <= keep and everything after it.
+  int64_t base = 0;
+  for (const VersionFile& f : files) {
+    if (f.is_snapshot && f.version <= keep) base = f.version;
+  }
+  for (const VersionFile& f : files) {
+    if (f.version < base || (f.version == base && !f.is_snapshot)) {
+      SS_RETURN_IF_ERROR(
+          RemoveFile(VersionPath(dir, f.version, f.is_snapshot)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,95 @@
+#ifndef SSTREAMING_STATE_STATE_STORE_H_
+#define SSTREAMING_STATE_STATE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace sstreaming {
+
+/// A versioned key-value store holding one stateful operator's state for one
+/// partition (paper §6.1). The working copy is an in-memory hash map;
+/// Commit(version) durably records the changes made since the previous commit
+/// as an incremental delta file, writing a full snapshot every
+/// `snapshot_interval` commits so recovery replays a bounded number of
+/// deltas. Checkpoints are epoch-tagged: Open(dir, v) reconstructs the newest
+/// durable version <= v, and reports which version it actually loaded so the
+/// engine can replay the missing epochs from the write-ahead log (checkpoints
+/// may legally lag the sink, §3 "written asynchronously ... may be behind").
+///
+/// Layout under `dir`:
+///   <version>.snapshot  - full contents at `version`
+///   <version>.delta     - changes from the previous committed version
+class StateStore {
+ public:
+  struct Options {
+    Options() {}
+    /// Write a full snapshot every N commits (1 = always snapshot).
+    int snapshot_interval = 10;
+  };
+
+  /// Opens the store and restores the newest durable version <= `version`.
+  /// `version` 0 (or a directory with no checkpoints) yields an empty store.
+  static Result<std::unique_ptr<StateStore>> Open(const std::string& dir,
+                                                  int64_t version,
+                                                  Options options = Options());
+
+  /// The version actually restored (<= the requested version).
+  int64_t loaded_version() const { return loaded_version_; }
+
+  std::optional<std::string> Get(const std::string& key) const;
+  void Put(const std::string& key, std::string value);
+  void Remove(const std::string& key);
+  bool Contains(const std::string& key) const;
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  /// Visits every live entry. Do not mutate during iteration; collect keys
+  /// first when evicting.
+  void ForEach(const std::function<void(const std::string& key,
+                                        const std::string& value)>& fn) const;
+
+  /// Durably commits all changes since the last commit as `version`.
+  /// Versions must be strictly increasing across commits.
+  Status Commit(int64_t version);
+
+  /// Removes durable versions > `version` (manual rollback support).
+  static Status TruncateAfter(const std::string& dir, int64_t version);
+
+  /// Removes durable files no longer needed to restore versions >= `keep`.
+  static Status PurgeBefore(const std::string& dir, int64_t keep);
+
+  /// Total bytes written to durable storage by this instance (metric).
+  int64_t bytes_written() const { return bytes_written_; }
+  /// Number of delta (vs snapshot) commits (metric).
+  int64_t delta_commits() const { return delta_commits_; }
+  int64_t snapshot_commits() const { return snapshot_commits_; }
+
+ private:
+  StateStore(std::string dir, Options options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  Status LoadUpTo(int64_t version);
+
+  std::string dir_;
+  Options options_;
+  int64_t loaded_version_ = 0;
+  int64_t last_commit_version_ = 0;
+  int commits_since_snapshot_ = 0;
+  int64_t bytes_written_ = 0;
+  int64_t delta_commits_ = 0;
+  int64_t snapshot_commits_ = 0;
+
+  std::unordered_map<std::string, std::string> data_;
+  // Pending changes since the last commit: value present = put, absent =
+  // delete.
+  std::unordered_map<std::string, std::optional<std::string>> pending_;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_STATE_STATE_STORE_H_

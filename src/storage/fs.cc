@@ -1,0 +1,101 @@
+#include "storage/fs.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sstreaming {
+
+namespace fs = std::filesystem;
+
+Status EnsureDir(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("create_directories(" + path + "): " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  static std::atomic<uint64_t> counter{0};
+  std::string tmp = path + ".tmp." + std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open temp file " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) return Status::IOError("short write to " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::IOError("rename to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!in.good() && !in.eof()) return Status::IOError("read error on " + path);
+  return ss.str();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  fs::directory_iterator it(path, ec);
+  if (ec) return Status::IOError("cannot list " + path + ": " + ec.message());
+  for (const auto& entry : fs::directory_iterator(path)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return Status::IOError("cannot remove " + path);
+  }
+  return Status::OK();
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IOError("cannot remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Result<std::string> MakeTempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  std::string base = fs::temp_directory_path().string();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::string path = base + "/" + prefix + "." +
+                       std::to_string(::getpid()) + "." +
+                       std::to_string(counter.fetch_add(1));
+    std::error_code ec;
+    if (fs::create_directories(path, ec) && !ec) return path;
+  }
+  return Status::IOError("cannot create temp dir with prefix " + prefix);
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,41 @@
+#ifndef SSTREAMING_STORAGE_FS_H_
+#define SSTREAMING_STORAGE_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sstreaming {
+
+/// Durable-directory primitives used by the write-ahead log and state store.
+/// Stands in for HDFS/S3 in the paper (§6.1): the engine only requires
+/// durable, atomically-visible file writes, which we provide via
+/// write-to-temp + rename.
+
+/// Creates `path` (and parents) if absent.
+Status EnsureDir(const std::string& path);
+
+/// Atomically creates/replaces `path` with `data` (temp file + rename), so a
+/// crash never exposes a partially written file under its final name.
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+/// Reads the whole file.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Names (not paths) of regular files directly under `path`, sorted.
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+Status RemoveFile(const std::string& path);
+
+/// Recursively removes `path` if it exists.
+Status RemoveDirRecursive(const std::string& path);
+
+/// Creates a fresh unique temp directory for tests/examples.
+Result<std::string> MakeTempDir(const std::string& prefix);
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_STORAGE_FS_H_

@@ -1,0 +1,206 @@
+#include "types/column.h"
+
+#include <cstring>
+
+namespace sstreaming {
+
+Value Column::ValueAt(int64_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kBool:
+      return Value::Bool(BoolAt(i));
+    case TypeId::kInt64:
+      return Value::Int64(Int64At(i));
+    case TypeId::kTimestamp:
+      return Value::Timestamp(Int64At(i));
+    case TypeId::kFloat64:
+      return Value::Float64(Float64At(i));
+    case TypeId::kString:
+      return Value::Str(StringAt(i));
+  }
+  return Value::Null();
+}
+
+void Column::AppendNull() {
+  validity_.push_back(0);
+  ++null_count_;
+  switch (PhysicalKindOf(type_)) {
+    case PhysicalKind::kBool:
+      bools_.push_back(0);
+      break;
+    case PhysicalKind::kInt64:
+      ints_.push_back(0);
+      break;
+    case PhysicalKind::kFloat64:
+      doubles_.push_back(0);
+      break;
+    case PhysicalKind::kString:
+      strings_.emplace_back();
+      break;
+    case PhysicalKind::kNone:
+      break;
+  }
+}
+
+void Column::AppendBool(bool v) {
+  SS_DCHECK(type_ == TypeId::kBool);
+  validity_.push_back(1);
+  bools_.push_back(v ? 1 : 0);
+}
+
+void Column::AppendInt64(int64_t v) {
+  SS_DCHECK(PhysicalKindOf(type_) == PhysicalKind::kInt64);
+  validity_.push_back(1);
+  ints_.push_back(v);
+}
+
+void Column::AppendFloat64(double v) {
+  SS_DCHECK(type_ == TypeId::kFloat64);
+  validity_.push_back(1);
+  doubles_.push_back(v);
+}
+
+void Column::AppendString(std::string v) {
+  SS_DCHECK(type_ == TypeId::kString);
+  validity_.push_back(1);
+  strings_.push_back(std::move(v));
+}
+
+void Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case TypeId::kBool:
+      AppendBool(v.bool_value());
+      break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      AppendInt64(v.int64_value());
+      break;
+    case TypeId::kFloat64:
+      if (v.type() == TypeId::kFloat64) {
+        AppendFloat64(v.float64_value());
+      } else {
+        AppendFloat64(v.AsDouble());
+      }
+      break;
+    case TypeId::kString:
+      AppendString(v.string_value());
+      break;
+    case TypeId::kNull:
+      AppendNull();
+      break;
+  }
+}
+
+void Column::Reserve(int64_t n) {
+  size_t cap = static_cast<size_t>(n);
+  validity_.reserve(cap);
+  switch (PhysicalKindOf(type_)) {
+    case PhysicalKind::kBool:
+      bools_.reserve(cap);
+      break;
+    case PhysicalKind::kInt64:
+      ints_.reserve(cap);
+      break;
+    case PhysicalKind::kFloat64:
+      doubles_.reserve(cap);
+      break;
+    case PhysicalKind::kString:
+      strings_.reserve(cap);
+      break;
+    case PhysicalKind::kNone:
+      break;
+  }
+}
+
+void Column::AppendFrom(const Column& src, int64_t i) {
+  if (src.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  switch (PhysicalKindOf(src.type())) {
+    case PhysicalKind::kBool:
+      AppendBool(src.BoolAt(i));
+      break;
+    case PhysicalKind::kInt64:
+      AppendInt64(src.Int64At(i));
+      break;
+    case PhysicalKind::kFloat64:
+      AppendFloat64(src.Float64At(i));
+      break;
+    case PhysicalKind::kString:
+      AppendString(src.StringAt(i));
+      break;
+    case PhysicalKind::kNone:
+      AppendNull();
+      break;
+  }
+}
+
+void Column::EncodeValueTo(int64_t i, std::string* out) const {
+  if (IsNull(i)) {
+    out->push_back(static_cast<char>(TypeId::kNull));
+    return;
+  }
+  out->push_back(static_cast<char>(type_));
+  char buf[8];
+  switch (PhysicalKindOf(type_)) {
+    case PhysicalKind::kBool:
+      out->push_back(BoolAt(i) ? 1 : 0);
+      break;
+    case PhysicalKind::kInt64: {
+      int64_t v = Int64At(i);
+      std::memcpy(buf, &v, 8);
+      out->append(buf, 8);
+      break;
+    }
+    case PhysicalKind::kFloat64: {
+      double d = Float64At(i);
+      std::memcpy(buf, &d, 8);
+      out->append(buf, 8);
+      break;
+    }
+    case PhysicalKind::kString: {
+      const std::string& s = StringAt(i);
+      uint64_t n = s.size();
+      std::memcpy(buf, &n, 8);
+      out->append(buf, 8);
+      out->append(s);
+      break;
+    }
+    case PhysicalKind::kNone:
+      break;
+  }
+}
+
+void Column::HashInto(std::vector<uint64_t>* hashes) const {
+  SS_DCHECK(static_cast<int64_t>(hashes->size()) == size());
+  const int64_t n = size();
+  uint64_t* h = hashes->data();
+  // Typed fast paths (must agree with Value::Hash; shuffle partitioning on
+  // both sides of an exchange depends on it).
+  if (PhysicalKindOf(type_) == PhysicalKind::kInt64 && !has_nulls()) {
+    const int64_t* v = ints_.data();
+    for (int64_t i = 0; i < n; ++i) {
+      h[i] = HashMix(h[i], HashMix(2, static_cast<uint64_t>(v[i])));
+    }
+    return;
+  }
+  if (type_ == TypeId::kString && !has_nulls()) {
+    for (int64_t i = 0; i < n; ++i) {
+      const std::string& s = strings_[static_cast<size_t>(i)];
+      h[i] = HashMix(h[i], HashBytes(s.data(), s.size(), 4));
+    }
+    return;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    h[i] = HashMix(h[i], ValueAt(i).Hash());
+  }
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,69 @@
+#include "types/data_type.h"
+
+namespace sstreaming {
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kNull:
+      return "null";
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kFloat64:
+      return "float64";
+    case TypeId::kString:
+      return "string";
+    case TypeId::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+bool TypeFromName(const std::string& name, TypeId* out) {
+  if (name == "null") {
+    *out = TypeId::kNull;
+  } else if (name == "bool") {
+    *out = TypeId::kBool;
+  } else if (name == "int64") {
+    *out = TypeId::kInt64;
+  } else if (name == "float64") {
+    *out = TypeId::kFloat64;
+  } else if (name == "string") {
+    *out = TypeId::kString;
+  } else if (name == "timestamp") {
+    *out = TypeId::kTimestamp;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool IsNumeric(TypeId type) {
+  return type == TypeId::kInt64 || type == TypeId::kFloat64 ||
+         type == TypeId::kTimestamp;
+}
+
+TypeId CommonNumericType(TypeId a, TypeId b) {
+  if (a == TypeId::kFloat64 || b == TypeId::kFloat64) return TypeId::kFloat64;
+  return TypeId::kInt64;
+}
+
+PhysicalKind PhysicalKindOf(TypeId type) {
+  switch (type) {
+    case TypeId::kNull:
+      return PhysicalKind::kNone;
+    case TypeId::kBool:
+      return PhysicalKind::kBool;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return PhysicalKind::kInt64;
+    case TypeId::kFloat64:
+      return PhysicalKind::kFloat64;
+    case TypeId::kString:
+      return PhysicalKind::kString;
+  }
+  return PhysicalKind::kNone;
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,39 @@
+#ifndef SSTREAMING_TYPES_DATA_TYPE_H_
+#define SSTREAMING_TYPES_DATA_TYPE_H_
+
+#include <string>
+
+namespace sstreaming {
+
+/// Scalar type system for the relational layer. Timestamps are event/
+/// processing times stored as microseconds since the Unix epoch (int64).
+enum class TypeId {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kFloat64,
+  kString,
+  kTimestamp,
+};
+
+/// "null", "bool", "int64", "float64", "string", "timestamp".
+const char* TypeName(TypeId type);
+
+/// Parses a TypeName back to a TypeId; returns false on unknown names.
+bool TypeFromName(const std::string& name, TypeId* out);
+
+/// Int64, Float64 and Timestamp (which is int64-backed) are numeric.
+bool IsNumeric(TypeId type);
+
+/// The promoted type of a binary arithmetic op: float64 if either side is
+/// float64, otherwise int64.
+TypeId CommonNumericType(TypeId a, TypeId b);
+
+/// The physical storage class of a type (timestamp is int64-backed,
+/// null has no storage).
+enum class PhysicalKind { kNone, kBool, kInt64, kFloat64, kString };
+PhysicalKind PhysicalKindOf(TypeId type);
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_TYPES_DATA_TYPE_H_

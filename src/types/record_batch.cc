@@ -1,0 +1,203 @@
+#include "types/record_batch.h"
+
+#include "common/logging.h"
+
+namespace sstreaming {
+
+RecordBatch::RecordBatch(SchemaPtr schema, std::vector<ColumnPtr> columns)
+    : schema_(std::move(schema)), columns_(std::move(columns)) {
+  SS_CHECK(schema_ != nullptr);
+  SS_CHECK(static_cast<int>(columns_.size()) == schema_->num_fields())
+      << "batch has " << columns_.size() << " columns but schema has "
+      << schema_->num_fields();
+  num_rows_ = columns_.empty() ? 0 : columns_[0]->size();
+  for (const ColumnPtr& c : columns_) {
+    SS_CHECK(c->size() == num_rows_) << "ragged batch";
+  }
+}
+
+std::shared_ptr<RecordBatch> RecordBatch::Empty(SchemaPtr schema) {
+  std::vector<ColumnPtr> columns;
+  columns.reserve(static_cast<size_t>(schema->num_fields()));
+  for (const Field& f : schema->fields()) {
+    columns.push_back(Column::Make(f.type));
+  }
+  return Make(std::move(schema), std::move(columns));
+}
+
+Result<std::shared_ptr<RecordBatch>> RecordBatch::FromRows(
+    SchemaPtr schema, const std::vector<Row>& rows) {
+  std::vector<ColumnPtr> columns;
+  columns.reserve(static_cast<size_t>(schema->num_fields()));
+  for (const Field& f : schema->fields()) {
+    ColumnPtr c = Column::Make(f.type);
+    c->Reserve(static_cast<int64_t>(rows.size()));
+    columns.push_back(std::move(c));
+  }
+  for (const Row& row : rows) {
+    if (static_cast<int>(row.size()) != schema->num_fields()) {
+      return Status::InvalidArgument(
+          "row arity " + std::to_string(row.size()) +
+          " does not match schema arity " +
+          std::to_string(schema->num_fields()));
+    }
+    for (int i = 0; i < schema->num_fields(); ++i) {
+      const Value& v = row[static_cast<size_t>(i)];
+      if (!v.is_null()) {
+        TypeId expect = schema->field(i).type;
+        TypeId got = v.type();
+        bool compatible =
+            got == expect ||
+            (expect == TypeId::kFloat64 && IsNumeric(got)) ||
+            (PhysicalKindOf(expect) == PhysicalKind::kInt64 &&
+             PhysicalKindOf(got) == PhysicalKind::kInt64);
+        if (!compatible) {
+          return Status::InvalidArgument(
+              std::string("value of type ") + TypeName(got) +
+              " does not fit column '" + schema->field(i).name + "' of type " +
+              TypeName(expect));
+        }
+      }
+      columns[static_cast<size_t>(i)]->AppendValue(v);
+    }
+  }
+  return Make(std::move(schema), std::move(columns));
+}
+
+Row RecordBatch::RowAt(int64_t i) const {
+  Row row;
+  row.reserve(columns_.size());
+  for (const ColumnPtr& c : columns_) row.push_back(c->ValueAt(i));
+  return row;
+}
+
+std::vector<Row> RecordBatch::ToRows() const {
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(num_rows_));
+  for (int64_t i = 0; i < num_rows_; ++i) rows.push_back(RowAt(i));
+  return rows;
+}
+
+std::shared_ptr<RecordBatch> RecordBatch::Filter(
+    const std::vector<uint8_t>& mask) const {
+  SS_CHECK(static_cast<int64_t>(mask.size()) == num_rows_);
+  std::vector<ColumnPtr> out_columns;
+  out_columns.reserve(columns_.size());
+  for (size_t ci = 0; ci < columns_.size(); ++ci) {
+    const Column& in = *columns_[ci];
+    ColumnPtr out = Column::Make(in.type());
+    for (int64_t i = 0; i < num_rows_; ++i) {
+      if (!mask[static_cast<size_t>(i)]) continue;
+      if (in.IsNull(i)) {
+        out->AppendNull();
+        continue;
+      }
+      switch (PhysicalKindOf(in.type())) {
+        case PhysicalKind::kBool:
+          out->AppendBool(in.BoolAt(i));
+          break;
+        case PhysicalKind::kInt64:
+          out->AppendInt64(in.Int64At(i));
+          break;
+        case PhysicalKind::kFloat64:
+          out->AppendFloat64(in.Float64At(i));
+          break;
+        case PhysicalKind::kString:
+          out->AppendString(in.StringAt(i));
+          break;
+        case PhysicalKind::kNone:
+          out->AppendNull();
+          break;
+      }
+    }
+    out_columns.push_back(std::move(out));
+  }
+  return Make(schema_, std::move(out_columns));
+}
+
+std::shared_ptr<RecordBatch> RecordBatch::SelectColumns(
+    const std::vector<int>& indices) const {
+  std::vector<Field> fields;
+  std::vector<ColumnPtr> cols;
+  fields.reserve(indices.size());
+  cols.reserve(indices.size());
+  for (int idx : indices) {
+    SS_CHECK(idx >= 0 && idx < num_columns());
+    fields.push_back(schema_->field(idx));
+    cols.push_back(columns_[static_cast<size_t>(idx)]);
+  }
+  return Make(Schema::Make(std::move(fields)), std::move(cols));
+}
+
+std::shared_ptr<RecordBatch> RecordBatch::Slice(int64_t start,
+                                                int64_t length) const {
+  SS_CHECK(start >= 0 && start + length <= num_rows_);
+  std::vector<uint8_t> mask(static_cast<size_t>(num_rows_), 0);
+  for (int64_t i = start; i < start + length; ++i) {
+    mask[static_cast<size_t>(i)] = 1;
+  }
+  return Filter(mask);
+}
+
+std::shared_ptr<RecordBatch> RecordBatch::Gather(
+    const std::vector<int32_t>& indices) const {
+  std::vector<ColumnPtr> out_columns;
+  out_columns.reserve(columns_.size());
+  for (const ColumnPtr& in : columns_) {
+    ColumnPtr out = Column::Make(in->type());
+    out->Reserve(static_cast<int64_t>(indices.size()));
+    for (int32_t i : indices) out->AppendFrom(*in, i);
+    out_columns.push_back(std::move(out));
+  }
+  return Make(schema_, std::move(out_columns));
+}
+
+std::shared_ptr<RecordBatch> RecordBatch::Concat(
+    SchemaPtr schema,
+    const std::vector<std::shared_ptr<RecordBatch>>& batches) {
+  if (batches.size() == 1) return batches[0];
+  std::vector<ColumnPtr> columns;
+  for (int ci = 0; ci < schema->num_fields(); ++ci) {
+    ColumnPtr out = Column::Make(schema->field(ci).type);
+    for (const auto& batch : batches) {
+      const Column& in = *batch->column(ci);
+      for (int64_t i = 0; i < in.size(); ++i) {
+        if (in.IsNull(i)) {
+          out->AppendNull();
+          continue;
+        }
+        switch (PhysicalKindOf(in.type())) {
+          case PhysicalKind::kBool:
+            out->AppendBool(in.BoolAt(i));
+            break;
+          case PhysicalKind::kInt64:
+            out->AppendInt64(in.Int64At(i));
+            break;
+          case PhysicalKind::kFloat64:
+            out->AppendFloat64(in.Float64At(i));
+            break;
+          case PhysicalKind::kString:
+            out->AppendString(in.StringAt(i));
+            break;
+          case PhysicalKind::kNone:
+            out->AppendNull();
+            break;
+        }
+      }
+    }
+    columns.push_back(std::move(out));
+  }
+  return Make(std::move(schema), std::move(columns));
+}
+
+std::string RecordBatch::ToString() const {
+  std::string out = schema_->ToString();
+  out += "\n";
+  for (int64_t i = 0; i < num_rows_; ++i) {
+    out += RowToString(RowAt(i));
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sstreaming

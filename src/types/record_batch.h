@@ -1,0 +1,80 @@
+#ifndef SSTREAMING_TYPES_RECORD_BATCH_H_
+#define SSTREAMING_TYPES_RECORD_BATCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/column.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace sstreaming {
+
+/// A horizontal slice of a table: a schema plus one Column per field, all of
+/// equal length. Batches are immutable after construction and shared by
+/// pointer between operators.
+class RecordBatch {
+ public:
+  RecordBatch(SchemaPtr schema, std::vector<ColumnPtr> columns);
+
+  static std::shared_ptr<RecordBatch> Make(SchemaPtr schema,
+                                           std::vector<ColumnPtr> columns) {
+    return std::make_shared<RecordBatch>(std::move(schema),
+                                         std::move(columns));
+  }
+
+  /// An empty batch with the given schema.
+  static std::shared_ptr<RecordBatch> Empty(SchemaPtr schema);
+
+  /// Builds a batch by boxing rows (test/constructor convenience).
+  static Result<std::shared_ptr<RecordBatch>> FromRows(
+      SchemaPtr schema, const std::vector<Row>& rows);
+
+  const SchemaPtr& schema() const { return schema_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+  const ColumnPtr& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  const std::vector<ColumnPtr>& columns() const { return columns_; }
+
+  /// Boxes row i. Not for inner loops.
+  Row RowAt(int64_t i) const;
+  /// Boxes all rows.
+  std::vector<Row> ToRows() const;
+
+  /// Keeps rows where mask[i] != 0. `mask` must have num_rows entries.
+  std::shared_ptr<RecordBatch> Filter(const std::vector<uint8_t>& mask) const;
+
+  /// Projects the given column indices (with the matching schema).
+  std::shared_ptr<RecordBatch> SelectColumns(
+      const std::vector<int>& indices) const;
+
+  /// Rows [start, start+length).
+  std::shared_ptr<RecordBatch> Slice(int64_t start, int64_t length) const;
+
+  /// Rows at the given indices, in order (typed gather, no boxing).
+  std::shared_ptr<RecordBatch> Gather(
+      const std::vector<int32_t>& indices) const;
+
+  /// Concatenates batches sharing a schema. Empty input yields Empty(schema).
+  static std::shared_ptr<RecordBatch> Concat(
+      SchemaPtr schema,
+      const std::vector<std::shared_ptr<RecordBatch>>& batches);
+
+  /// Debug table rendering (header + all rows).
+  std::string ToString() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<ColumnPtr> columns_;
+  int64_t num_rows_;
+};
+
+using RecordBatchPtr = std::shared_ptr<RecordBatch>;
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_TYPES_RECORD_BATCH_H_

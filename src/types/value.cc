@@ -1,0 +1,242 @@
+#include "types/value.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace sstreaming {
+
+Value Value::Bool(bool v) {
+  Value out;
+  out.type_ = TypeId::kBool;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::Int64(int64_t v) {
+  Value out;
+  out.type_ = TypeId::kInt64;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::Float64(double v) {
+  Value out;
+  out.type_ = TypeId::kFloat64;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::Str(std::string v) {
+  Value out;
+  out.type_ = TypeId::kString;
+  out.data_ = std::move(v);
+  return out;
+}
+
+Value Value::Timestamp(int64_t micros) {
+  Value out;
+  out.type_ = TypeId::kTimestamp;
+  out.data_ = micros;
+  return out;
+}
+
+double Value::AsDouble() const {
+  SS_DCHECK(IsNumeric(type_));
+  if (type_ == TypeId::kFloat64) return float64_value();
+  return static_cast<double>(int64_value());
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  const bool lhs_num = IsNumeric(type_);
+  const bool rhs_num = IsNumeric(other.type_);
+  if (lhs_num && rhs_num) {
+    if (type_ == TypeId::kFloat64 || other.type_ == TypeId::kFloat64) {
+      double a = AsDouble();
+      double b = other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    int64_t a = int64_value();
+    int64_t b = other.int64_value();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type_ != other.type_) {
+    return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+  }
+  switch (type_) {
+    case TypeId::kBool: {
+      int a = bool_value() ? 1 : 0;
+      int b = other.bool_value() ? 1 : 0;
+      return a - b;
+    }
+    case TypeId::kString: {
+      int c = string_value().compare(other.string_value());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;
+  }
+}
+
+uint64_t HashMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashBytes(const void* data, size_t n, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+uint64_t Value::Hash() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return 0x5D1F00D5ULL;
+    case TypeId::kBool:
+      return HashMix(1, bool_value() ? 1 : 0);
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return HashMix(2, static_cast<uint64_t>(int64_value()));
+    case TypeId::kFloat64: {
+      double d = float64_value();
+      // Hash integral doubles like the equal int64 so 3.0 and 3 agree
+      // (Compare treats them as equal, so Hash must too).
+      int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return HashMix(2, static_cast<uint64_t>(as_int));
+      }
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashMix(2, bits);
+    }
+    case TypeId::kString:
+      return HashBytes(string_value().data(), string_value().size(), 4);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return "null";
+    case TypeId::kBool:
+      return bool_value() ? "true" : "false";
+    case TypeId::kInt64:
+      return std::to_string(int64_value());
+    case TypeId::kTimestamp:
+      return std::to_string(int64_value()) + "us";
+    case TypeId::kFloat64: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", float64_value());
+      return buf;
+    }
+    case TypeId::kString:
+      return string_value();
+  }
+  return "?";
+}
+
+namespace {
+
+void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool GetFixed64(const std::string& data, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+}  // namespace
+
+void Value::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(type_));
+  switch (type_) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kBool:
+      out->push_back(bool_value() ? 1 : 0);
+      break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      PutFixed64(out, static_cast<uint64_t>(int64_value()));
+      break;
+    case TypeId::kFloat64: {
+      uint64_t bits;
+      double d = float64_value();
+      std::memcpy(&bits, &d, 8);
+      PutFixed64(out, bits);
+      break;
+    }
+    case TypeId::kString:
+      PutFixed64(out, string_value().size());
+      out->append(string_value());
+      break;
+  }
+}
+
+Result<Value> Value::DecodeFrom(const std::string& data, size_t* pos) {
+  if (*pos >= data.size()) {
+    return Status::InvalidArgument("value decode: truncated type byte");
+  }
+  TypeId type = static_cast<TypeId>(data[(*pos)++]);
+  switch (type) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kBool: {
+      if (*pos >= data.size()) {
+        return Status::InvalidArgument("value decode: truncated bool");
+      }
+      return Value::Bool(data[(*pos)++] != 0);
+    }
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      uint64_t v;
+      if (!GetFixed64(data, pos, &v)) {
+        return Status::InvalidArgument("value decode: truncated int64");
+      }
+      int64_t s = static_cast<int64_t>(v);
+      return type == TypeId::kInt64 ? Value::Int64(s) : Value::Timestamp(s);
+    }
+    case TypeId::kFloat64: {
+      uint64_t bits;
+      if (!GetFixed64(data, pos, &bits)) {
+        return Status::InvalidArgument("value decode: truncated float64");
+      }
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Value::Float64(d);
+    }
+    case TypeId::kString: {
+      uint64_t n;
+      if (!GetFixed64(data, pos, &n)) {
+        return Status::InvalidArgument("value decode: truncated string size");
+      }
+      if (*pos + n > data.size()) {
+        return Status::InvalidArgument("value decode: truncated string body");
+      }
+      Value v = Value::Str(data.substr(*pos, n));
+      *pos += n;
+      return v;
+    }
+    default:
+      return Status::InvalidArgument("value decode: bad type byte");
+  }
+}
+
+}  // namespace sstreaming

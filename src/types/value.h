@@ -1,0 +1,77 @@
+#ifndef SSTREAMING_TYPES_VALUE_H_
+#define SSTREAMING_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "types/data_type.h"
+
+namespace sstreaming {
+
+/// A boxed scalar. Used at row granularity (record-at-a-time baselines,
+/// state serialization, test assertions); the vectorized execution path works
+/// on typed Columns and never boxes per value in inner loops.
+class Value {
+ public:
+  /// The null value (untyped null; compatible with every column type).
+  Value() : type_(TypeId::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v);
+  static Value Int64(int64_t v);
+  static Value Float64(double v);
+  static Value Str(std::string v);
+  static Value Timestamp(int64_t micros);
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return type_ == TypeId::kNull; }
+
+  /// Typed accessors. Preconditions: matching type (timestamp shares the
+  /// int64 accessor), not null.
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int64_value() const { return std::get<int64_t>(data_); }
+  double float64_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric value as double (int64/timestamp are widened). Precondition:
+  /// IsNumeric(type()).
+  double AsDouble() const;
+
+  /// Total-order comparison: null sorts first; numerics compare by value
+  /// across int64/float64/timestamp; strings lexicographically; bools
+  /// false<true. Comparing string against numeric is an ordering by TypeId
+  /// (stable, but queries should not rely on it).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable 64-bit hash (used for shuffle partitioning and hash aggregation).
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+  /// Binary serialization (state store format): 1 type byte + payload.
+  void EncodeTo(std::string* out) const;
+  /// Decodes a value from data[*pos...]; advances *pos.
+  static Result<Value> DecodeFrom(const std::string& data, size_t* pos);
+
+ private:
+  TypeId type_;
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+/// FNV-1a style mix used by Value::Hash and the columnar hash kernels; kept
+/// here so row and column hashing agree (required: both sides of a shuffle
+/// must agree on partitioning).
+uint64_t HashMix(uint64_t h, uint64_t v);
+uint64_t HashBytes(const void* data, size_t n, uint64_t seed);
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_TYPES_VALUE_H_

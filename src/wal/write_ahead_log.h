@@ -1,0 +1,105 @@
+#ifndef SSTREAMING_WAL_WRITE_AHEAD_LOG_H_
+#define SSTREAMING_WAL_WRITE_AHEAD_LOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace sstreaming {
+
+/// The offset range one epoch consumes from one source (per partition,
+/// half-open [start, end)).
+struct SourceOffsets {
+  std::string source_name;
+  std::vector<int64_t> start;
+  std::vector<int64_t> end;
+
+  bool operator==(const SourceOffsets& other) const {
+    return source_name == other.source_name && start == other.start &&
+           end == other.end;
+  }
+};
+
+/// One entry of the offset log: everything the master decided about an epoch
+/// *before* executing it (paper §6.1 step 1). Also carries the event-time
+/// watermark in force during the epoch so it survives restart.
+struct EpochPlan {
+  int64_t epoch = 0;
+  int64_t watermark_micros = INT64_MIN;  // INT64_MIN = no watermark yet
+  std::vector<SourceOffsets> sources;
+
+  Json ToJson() const;
+  static Result<EpochPlan> FromJson(const Json& json);
+
+  bool operator==(const EpochPlan& other) const {
+    return epoch == other.epoch &&
+           watermark_micros == other.watermark_micros &&
+           sources == other.sources;
+  }
+};
+
+/// The write-ahead log: a directory of one human-readable JSON file per
+/// epoch (paper §7.2 stores the log as JSON precisely so administrators can
+/// inspect it and roll the application back by hand). Files are written
+/// atomically; the log is append-ordered by epoch number.
+///
+/// Layout under `dir`:
+///   offsets/<epoch>.json   - EpochPlan, written before the epoch runs
+///   commits/<epoch>.json   - present iff the epoch's output was committed
+class WriteAheadLog {
+ public:
+  /// Opens (creating directories if needed).
+  static Result<WriteAheadLog> Open(const std::string& dir);
+
+  /// Records the plan for `plan.epoch`. Must be called before executing the
+  /// epoch. Overwrites any existing entry (recovery rewrites the last epoch).
+  Status WritePlan(const EpochPlan& plan);
+
+  Result<EpochPlan> ReadPlan(int64_t epoch) const;
+
+  /// Marks `epoch` as committed to the sink, recording the event-time
+  /// watermark as advanced by that epoch's data (so a clean restart does
+  /// not lose watermark progress).
+  Status WriteCommit(int64_t epoch, int64_t watermark_micros = INT64_MIN);
+
+  /// The watermark recorded at commit time (INT64_MIN if none/absent).
+  Result<int64_t> ReadCommitWatermark(int64_t epoch) const;
+
+  bool IsCommitted(int64_t epoch) const;
+
+  /// Highest epoch with a plan entry, or nullopt if the log is empty.
+  Result<std::optional<int64_t>> LatestPlannedEpoch() const;
+
+  /// Highest epoch with a commit entry, or nullopt.
+  Result<std::optional<int64_t>> LatestCommittedEpoch() const;
+
+  /// All planned epochs in ascending order.
+  Result<std::vector<int64_t>> ListPlannedEpochs() const;
+
+  /// Manual rollback (paper §7.2): removes plans and commits for every epoch
+  /// strictly greater than `epoch`, so the application restarts from there
+  /// and recomputes. Pass -1 to clear the whole log.
+  Status TruncateAfter(int64_t epoch);
+
+  /// Retention: removes plans and commits for epochs strictly below `keep`
+  /// (rollbacks remain possible back to `keep`).
+  Status PurgeBefore(int64_t keep);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit WriteAheadLog(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string offsets_dir() const { return dir_ + "/offsets"; }
+  std::string commits_dir() const { return dir_ + "/commits"; }
+
+  std::string dir_;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_WAL_WRITE_AHEAD_LOG_H_

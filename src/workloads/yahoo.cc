@@ -1,0 +1,99 @@
+#include "workloads/yahoo.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace sstreaming {
+
+namespace {
+constexpr int64_t kSec = 1000000;
+const char* kEventTypes[] = {"view", "click", "purchase"};
+const char* kAdTypes[] = {"banner", "modal", "sponsored"};
+}  // namespace
+
+SchemaPtr YahooEventSchema() {
+  return Schema::Make({{"user_id", TypeId::kInt64, false},
+                       {"page_id", TypeId::kInt64, false},
+                       {"ad_id", TypeId::kInt64, false},
+                       {"ad_type", TypeId::kString, false},
+                       {"event_type", TypeId::kString, false},
+                       {"event_time", TypeId::kTimestamp, false}});
+}
+
+SchemaPtr YahooCampaignSchema() {
+  return Schema::Make({{"ad_id", TypeId::kInt64, false},
+                       {"campaign_id", TypeId::kInt64, false}});
+}
+
+Result<std::vector<Row>> GenerateYahooData(MessageBus* bus,
+                                           const std::string& topic,
+                                           const YahooConfig& config) {
+  SS_RETURN_IF_ERROR(bus->CreateTopic(topic, config.num_partitions));
+  Random rng(config.seed);
+  const int64_t num_ads =
+      static_cast<int64_t>(config.num_campaigns) * config.ads_per_campaign;
+
+  // Campaign table: ad i belongs to campaign i / ads_per_campaign.
+  std::vector<Row> campaigns;
+  campaigns.reserve(static_cast<size_t>(num_ads));
+  for (int64_t ad = 0; ad < num_ads; ++ad) {
+    campaigns.push_back(
+        {Value::Int64(ad), Value::Int64(ad / config.ads_per_campaign)});
+  }
+
+  // Events, appended in per-partition batches for producer efficiency.
+  std::vector<std::vector<Row>> per_partition(
+      static_cast<size_t>(config.num_partitions));
+  const int64_t span_micros = config.event_time_span_seconds * kSec;
+  for (int64_t i = 0; i < config.num_events; ++i) {
+    Row event = {
+        Value::Int64(static_cast<int64_t>(rng.Uniform(100000))),
+        Value::Int64(static_cast<int64_t>(rng.Uniform(1000))),
+        Value::Int64(static_cast<int64_t>(rng.Uniform(
+            static_cast<uint64_t>(num_ads)))),
+        Value::Str(kAdTypes[rng.Uniform(3)]),
+        Value::Str(kEventTypes[rng.Uniform(3)]),
+        Value::Timestamp(i * span_micros / config.num_events),
+    };
+    per_partition[static_cast<size_t>(i % config.num_partitions)].push_back(
+        std::move(event));
+  }
+  for (int p = 0; p < config.num_partitions; ++p) {
+    SS_RETURN_IF_ERROR(
+        bus->AppendBatch(topic, p,
+                         std::move(per_partition[static_cast<size_t>(p)]))
+            .status());
+  }
+  return campaigns;
+}
+
+DataFrame YahooQuery(SourcePtr events, const std::vector<Row>& campaigns) {
+  DataFrame campaign_df =
+      DataFrame::FromRows(YahooCampaignSchema(), campaigns).TakeValue();
+  return DataFrame::ReadStream(std::move(events))
+      .Where(Eq(Col("event_type"), Lit("view")))
+      .SelectColumns({"ad_id", "event_time"})
+      .Join(campaign_df, {"ad_id"})
+      .GroupBy({As(TumblingWindow(Col("event_time"), 10 * kSec), "window"),
+                NamedExpr{Col("campaign_id"), "campaign_id"}})
+      .Count();
+}
+
+std::map<std::pair<int64_t, int64_t>, int64_t> YahooReferenceCounts(
+    const std::vector<Row>& events, const std::vector<Row>& campaigns) {
+  std::map<int64_t, int64_t> ad_to_campaign;
+  for (const Row& c : campaigns) {
+    ad_to_campaign[c[0].int64_value()] = c[1].int64_value();
+  }
+  std::map<std::pair<int64_t, int64_t>, int64_t> counts;
+  for (const Row& e : events) {
+    if (e[4].string_value() != "view") continue;
+    auto it = ad_to_campaign.find(e[2].int64_value());
+    if (it == ad_to_campaign.end()) continue;
+    int64_t window_start_sec = e[5].int64_value() / (10 * kSec) * 10;
+    ++counts[{it->second, window_start_sec}];
+  }
+  return counts;
+}
+
+}  // namespace sstreaming

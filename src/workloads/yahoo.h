@@ -1,0 +1,52 @@
+#ifndef SSTREAMING_WORKLOADS_YAHOO_H_
+#define SSTREAMING_WORKLOADS_YAHOO_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bus/message_bus.h"
+#include "logical/dataframe.h"
+
+namespace sstreaming {
+
+/// The Yahoo! Streaming Benchmark (paper §9.1): ad click events are
+/// filtered to views, joined against a static campaign table by ad id, and
+/// counted per campaign on 10-second event-time windows. The paper's setup
+/// replaced the original Redis campaign store with an in-memory table in
+/// each system; we generate the same relational shape.
+struct YahooConfig {
+  YahooConfig() {}
+  int num_partitions = 8;
+  int64_t num_events = 1000000;
+  int num_campaigns = 100;
+  int ads_per_campaign = 10;
+  /// Events are spread uniformly over this many seconds of event time.
+  int64_t event_time_span_seconds = 100;
+  uint64_t seed = 42;
+};
+
+/// Event schema: (user_id, page_id, ad_id, ad_type, event_type, event_time).
+SchemaPtr YahooEventSchema();
+
+/// Campaign table schema: (ad_id, campaign_id).
+SchemaPtr YahooCampaignSchema();
+
+/// Creates `topic` on the bus and fills it with `config.num_events` events
+/// round-robin across partitions. Returns the campaign table rows.
+Result<std::vector<Row>> GenerateYahooData(MessageBus* bus,
+                                           const std::string& topic,
+                                           const YahooConfig& config);
+
+/// The benchmark query as a Structured Streaming DataFrame: filter views,
+/// project, join campaigns, 10s windowed counts by campaign.
+DataFrame YahooQuery(SourcePtr events, const std::vector<Row>& campaigns);
+
+/// Reference result computation (single-threaded, trusted) for validating
+/// all three engines: (campaign_id, window_start_sec) -> count of views.
+std::map<std::pair<int64_t, int64_t>, int64_t> YahooReferenceCounts(
+    const std::vector<Row>& events, const std::vector<Row>& campaigns);
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_WORKLOADS_YAHOO_H_

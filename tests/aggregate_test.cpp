@@ -1,0 +1,125 @@
+#include "expr/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace sstreaming {
+namespace {
+
+std::vector<AggSpec> AllSpecs() {
+  return {CountAll("n"),        CountOf(Col("v"), "cnt"),
+          SumOf(Col("v"), "s"), MinOf(Col("v"), "lo"),
+          MaxOf(Col("v"), "hi"), AvgOf(Col("v"), "mean")};
+}
+
+TEST(AggregateTest, OutputTypes) {
+  EXPECT_EQ(*AggOutputType(AggFunc::kCountAll, TypeId::kNull), TypeId::kInt64);
+  EXPECT_EQ(*AggOutputType(AggFunc::kSum, TypeId::kInt64), TypeId::kInt64);
+  EXPECT_EQ(*AggOutputType(AggFunc::kSum, TypeId::kFloat64),
+            TypeId::kFloat64);
+  EXPECT_EQ(*AggOutputType(AggFunc::kAvg, TypeId::kInt64), TypeId::kFloat64);
+  EXPECT_EQ(*AggOutputType(AggFunc::kMin, TypeId::kString), TypeId::kString);
+  EXPECT_FALSE(AggOutputType(AggFunc::kSum, TypeId::kString).ok());
+}
+
+TEST(AggregateTest, UpdateAndFinalize) {
+  auto specs = AllSpecs();
+  Row state = InitAggState(specs);
+  EXPECT_EQ(state.size(), 7u);  // avg takes two slots
+
+  auto feed = [&](Value v) {
+    Row args(specs.size(), v);
+    UpdateAggState(specs, args, &state);
+  };
+  feed(Value::Int64(10));
+  feed(Value::Int64(4));
+  feed(Value::Null());
+  feed(Value::Int64(7));
+
+  Row out = FinalizeAggState(specs, state);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], Value::Int64(4));   // count(*) counts nulls
+  EXPECT_EQ(out[1], Value::Int64(3));   // count(v) skips nulls
+  EXPECT_EQ(out[2], Value::Int64(21));  // sum
+  EXPECT_EQ(out[3], Value::Int64(4));   // min
+  EXPECT_EQ(out[4], Value::Int64(10));  // max
+  EXPECT_DOUBLE_EQ(out[5].float64_value(), 7.0);  // avg
+}
+
+TEST(AggregateTest, EmptyStateFinalizes) {
+  auto specs = AllSpecs();
+  Row state = InitAggState(specs);
+  Row out = FinalizeAggState(specs, state);
+  EXPECT_EQ(out[0], Value::Int64(0));
+  EXPECT_TRUE(out[2].is_null());  // sum of nothing is null
+  EXPECT_TRUE(out[5].is_null());  // avg of nothing is null
+}
+
+TEST(AggregateTest, MergePartials) {
+  auto specs = AllSpecs();
+  Row a = InitAggState(specs);
+  Row b = InitAggState(specs);
+  Row args1(specs.size(), Value::Int64(2));
+  Row args2(specs.size(), Value::Int64(8));
+  UpdateAggState(specs, args1, &a);
+  UpdateAggState(specs, args2, &b);
+  MergeAggState(specs, b, &a);
+  Row out = FinalizeAggState(specs, a);
+  EXPECT_EQ(out[0], Value::Int64(2));
+  EXPECT_EQ(out[2], Value::Int64(10));
+  EXPECT_EQ(out[3], Value::Int64(2));
+  EXPECT_EQ(out[4], Value::Int64(8));
+  EXPECT_DOUBLE_EQ(out[5].float64_value(), 5.0);
+}
+
+TEST(AggregateTest, MergeWithEmptySide) {
+  auto specs = AllSpecs();
+  Row a = InitAggState(specs);
+  Row b = InitAggState(specs);
+  Row args(specs.size(), Value::Int64(5));
+  UpdateAggState(specs, args, &b);
+  MergeAggState(specs, b, &a);  // empty += nonempty
+  Row out = FinalizeAggState(specs, a);
+  EXPECT_EQ(out[2], Value::Int64(5));
+  Row c = InitAggState(specs);
+  MergeAggState(specs, c, &a);  // nonempty += empty
+  out = FinalizeAggState(specs, a);
+  EXPECT_EQ(out[2], Value::Int64(5));
+}
+
+TEST(AggregateTest, FloatSums) {
+  std::vector<AggSpec> specs = {SumOf(Col("v"), "s"), AvgOf(Col("v"), "m")};
+  Row state = InitAggState(specs);
+  UpdateAggState(specs, {Value::Float64(0.5), Value::Float64(0.5)}, &state);
+  UpdateAggState(specs, {Value::Int64(2), Value::Int64(2)}, &state);
+  Row out = FinalizeAggState(specs, state);
+  EXPECT_DOUBLE_EQ(out[0].float64_value(), 2.5);
+  EXPECT_DOUBLE_EQ(out[1].float64_value(), 1.25);
+}
+
+TEST(AggregateTest, StateRoundTripsThroughRowCodec) {
+  auto specs = AllSpecs();
+  Row state = InitAggState(specs);
+  Row args(specs.size(), Value::Int64(3));
+  UpdateAggState(specs, args, &state);
+  std::string buf;
+  EncodeRow(state, &buf);
+  auto decoded = DecodeRow(buf);
+  ASSERT_TRUE(decoded.ok());
+  Row out1 = FinalizeAggState(specs, state);
+  Row out2 = FinalizeAggState(specs, *decoded);
+  EXPECT_EQ(CompareRows(out1, out2), 0);
+}
+
+TEST(AggregateTest, MinMaxOnStrings) {
+  std::vector<AggSpec> specs = {MinOf(Col("v"), "lo"), MaxOf(Col("v"), "hi")};
+  Row state = InitAggState(specs);
+  for (const char* s : {"pear", "apple", "zebra"}) {
+    UpdateAggState(specs, {Value::Str(s), Value::Str(s)}, &state);
+  }
+  Row out = FinalizeAggState(specs, state);
+  EXPECT_EQ(out[0], Value::Str("apple"));
+  EXPECT_EQ(out[1], Value::Str("zebra"));
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,83 @@
+#include "types/column.h"
+
+#include <gtest/gtest.h>
+
+namespace sstreaming {
+namespace {
+
+TEST(ColumnTest, AppendAndReadInt64) {
+  Column c(TypeId::kInt64);
+  c.AppendInt64(1);
+  c.AppendNull();
+  c.AppendInt64(3);
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.null_count(), 1);
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_EQ(c.Int64At(0), 1);
+  EXPECT_EQ(c.Int64At(2), 3);
+}
+
+TEST(ColumnTest, AppendAndReadString) {
+  Column c(TypeId::kString);
+  c.AppendString("a");
+  c.AppendString("bb");
+  c.AppendNull();
+  EXPECT_EQ(c.StringAt(1), "bb");
+  EXPECT_TRUE(c.IsNull(2));
+}
+
+TEST(ColumnTest, ValueAtBoxesCorrectly) {
+  Column c(TypeId::kTimestamp);
+  c.AppendInt64(500);
+  c.AppendNull();
+  EXPECT_EQ(c.ValueAt(0), Value::Timestamp(500));
+  EXPECT_TRUE(c.ValueAt(1).is_null());
+}
+
+TEST(ColumnTest, AppendValueMatchesType) {
+  Column c(TypeId::kFloat64);
+  c.AppendValue(Value::Float64(1.5));
+  c.AppendValue(Value::Int64(2));  // widened
+  c.AppendValue(Value::Null());
+  EXPECT_DOUBLE_EQ(c.Float64At(0), 1.5);
+  EXPECT_DOUBLE_EQ(c.Float64At(1), 2.0);
+  EXPECT_TRUE(c.IsNull(2));
+}
+
+TEST(ColumnTest, NumericAtWidens) {
+  Column c(TypeId::kInt64);
+  c.AppendInt64(7);
+  EXPECT_DOUBLE_EQ(c.NumericAt(0), 7.0);
+}
+
+TEST(ColumnTest, HashIntoAgreesWithValueHash) {
+  Column c(TypeId::kString);
+  c.AppendString("k1");
+  c.AppendNull();
+  c.AppendString("k2");
+  std::vector<uint64_t> hashes(3, 0x811C9DC5ULL);
+  c.HashInto(&hashes);
+  EXPECT_EQ(hashes[0], HashMix(0x811C9DC5ULL, Value::Str("k1").Hash()));
+  EXPECT_EQ(hashes[1], HashMix(0x811C9DC5ULL, Value::Null().Hash()));
+  EXPECT_EQ(hashes[2], HashMix(0x811C9DC5ULL, Value::Str("k2").Hash()));
+}
+
+TEST(ColumnTest, BoolStorage) {
+  Column c(TypeId::kBool);
+  c.AppendBool(true);
+  c.AppendBool(false);
+  c.AppendNull();
+  EXPECT_TRUE(c.BoolAt(0));
+  EXPECT_FALSE(c.BoolAt(1));
+  EXPECT_TRUE(c.has_nulls());
+}
+
+TEST(ColumnTest, ReserveDoesNotChangeSize) {
+  Column c(TypeId::kInt64);
+  c.Reserve(100);
+  EXPECT_EQ(c.size(), 0);
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,89 @@
+#include "storage/fs.h"
+
+#include <gtest/gtest.h>
+
+namespace sstreaming {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("sstreaming_fs_test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { RemoveDirRecursive(dir_).ok(); }
+
+  std::string dir_;
+};
+
+TEST_F(FsTest, WriteReadRoundTrip) {
+  std::string path = dir_ + "/file.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\0world").ok());
+  auto data = ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "hello");  // literal truncates at NUL; use string ctor
+  ASSERT_TRUE(WriteFileAtomic(path, std::string("a\0b", 3)).ok());
+  data = ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 3u);
+}
+
+TEST_F(FsTest, AtomicWriteReplacesExisting) {
+  std::string path = dir_ + "/file.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "v1").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "v2").ok());
+  EXPECT_EQ(*ReadFile(path), "v2");
+}
+
+TEST_F(FsTest, AtomicWriteLeavesNoTempFiles) {
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/a", "x").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/b", "y").ok());
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);
+}
+
+TEST_F(FsTest, ListDirSorted) {
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/bbb", "").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/aaa", "").ok());
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 2u);
+  EXPECT_EQ((*names)[0], "aaa");
+  EXPECT_EQ((*names)[1], "bbb");
+}
+
+TEST_F(FsTest, ListDirSkipsSubdirectories) {
+  ASSERT_TRUE(EnsureDir(dir_ + "/sub").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/f", "").ok());
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);
+}
+
+TEST_F(FsTest, ReadMissingFileIsError) {
+  EXPECT_FALSE(ReadFile(dir_ + "/missing").ok());
+}
+
+TEST_F(FsTest, ListMissingDirIsError) {
+  EXPECT_FALSE(ListDir(dir_ + "/missing").ok());
+}
+
+TEST_F(FsTest, FileExistsAndRemove) {
+  std::string path = dir_ + "/f";
+  EXPECT_FALSE(FileExists(path));
+  ASSERT_TRUE(WriteFileAtomic(path, "x").ok());
+  EXPECT_TRUE(FileExists(path));
+  ASSERT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(RemoveFile(path).ok());
+}
+
+TEST_F(FsTest, EnsureDirIsIdempotent) {
+  EXPECT_TRUE(EnsureDir(dir_ + "/x/y/z").ok());
+  EXPECT_TRUE(EnsureDir(dir_ + "/x/y/z").ok());
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,103 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace sstreaming {
+namespace {
+
+TEST(JsonTest, ScalarDump) {
+  EXPECT_EQ(Json::Null().Dump(), "null");
+  EXPECT_EQ(Json::Bool(true).Dump(), "true");
+  EXPECT_EQ(Json::Bool(false).Dump(), "false");
+  EXPECT_EQ(Json::Int(-7).Dump(), "-7");
+  EXPECT_EQ(Json::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json j = Json::Str("a\"b\\c\nd\te");
+  EXPECT_EQ(j.Dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+  auto parsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonTest, ObjectAndArrayRoundTrip) {
+  Json obj = Json::Object();
+  obj.Set("epoch", Json::Int(12));
+  obj.Set("source", Json::Str("kafka"));
+  Json offsets = Json::Array();
+  offsets.Append(Json::Int(100));
+  offsets.Append(Json::Int(250));
+  obj.Set("offsets", std::move(offsets));
+  obj.Set("committed", Json::Bool(true));
+
+  std::string text = obj.Dump();
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(*parsed == obj);
+  EXPECT_EQ(parsed->Get("epoch").int_value(), 12);
+  EXPECT_EQ(parsed->Get("offsets").array_items()[1].int_value(), 250);
+}
+
+TEST(JsonTest, PrettyDumpParses) {
+  Json obj = Json::Object();
+  obj.Set("a", Json::Int(1));
+  Json nested = Json::Object();
+  nested.Set("b", Json::Array());
+  obj.Set("n", std::move(nested));
+  std::string pretty = obj.DumpPretty();
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto parsed = Json::Parse(pretty);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == obj);
+}
+
+TEST(JsonTest, ParseNumbers) {
+  auto r = Json::Parse("[1, -2, 3.5, 1e3, 9223372036854775807]");
+  ASSERT_TRUE(r.ok());
+  const auto& items = r->array_items();
+  EXPECT_TRUE(items[0].is_int());
+  EXPECT_EQ(items[0].int_value(), 1);
+  EXPECT_EQ(items[1].int_value(), -2);
+  EXPECT_TRUE(items[2].is_double());
+  EXPECT_DOUBLE_EQ(items[2].double_value(), 3.5);
+  EXPECT_DOUBLE_EQ(items[3].double_value(), 1000.0);
+  EXPECT_EQ(items[4].int_value(), 9223372036854775807LL);
+}
+
+TEST(JsonTest, ParseWhitespaceAndNesting) {
+  auto r = Json::Parse("  { \"a\" : [ { \"b\" : null } , true ] }  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Get("a").array_items()[0].Get("b").is_null());
+  EXPECT_TRUE(r->Get("a").array_items()[1].bool_value());
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  auto r = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->string_value(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());  // trailing garbage
+}
+
+TEST(JsonTest, GetOnMissingKeyReturnsNull) {
+  Json obj = Json::Object();
+  EXPECT_TRUE(obj.Get("nope").is_null());
+  EXPECT_FALSE(obj.Has("nope"));
+}
+
+TEST(JsonTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Json::Int(3) == Json::Double(3.0));
+  EXPECT_FALSE(Json::Int(3) == Json::Double(3.5));
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,130 @@
+#include "bus/message_bus.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace sstreaming {
+namespace {
+
+Row MakeRow(int64_t v) { return {Value::Int64(v)}; }
+
+TEST(MessageBusTest, CreateTopicValidation) {
+  MessageBus bus;
+  EXPECT_TRUE(bus.CreateTopic("t", 4).ok());
+  EXPECT_EQ(bus.CreateTopic("t", 4).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(bus.CreateTopic("bad", 0).ok());
+  EXPECT_TRUE(bus.HasTopic("t"));
+  EXPECT_FALSE(bus.HasTopic("nope"));
+  EXPECT_EQ(*bus.NumPartitions("t"), 4);
+}
+
+TEST(MessageBusTest, AppendAssignsSequentialOffsets) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.CreateTopic("t", 2).ok());
+  EXPECT_EQ(*bus.Append("t", 0, MakeRow(10)), 0);
+  EXPECT_EQ(*bus.Append("t", 0, MakeRow(11)), 1);
+  EXPECT_EQ(*bus.Append("t", 1, MakeRow(20)), 0);
+  EXPECT_EQ(*bus.EndOffset("t", 0), 2);
+  EXPECT_EQ(*bus.EndOffset("t", 1), 1);
+}
+
+TEST(MessageBusTest, ReadRange) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(bus.Append("t", 0, MakeRow(i)).ok());
+  }
+  auto rows = bus.Read("t", 0, 3, 7);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  EXPECT_EQ((*rows)[0][0], Value::Int64(3));
+  EXPECT_EQ((*rows)[3][0], Value::Int64(6));
+}
+
+TEST(MessageBusTest, ReadIsReplayable) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  for (int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(bus.Append("t", 0, MakeRow(i)).ok());
+  }
+  auto first = bus.Read("t", 0, 0, 5);
+  auto second = bus.Read("t", 0, 0, 5);  // same range, same data
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ(CompareRows((*first)[i], (*second)[i]), 0);
+  }
+}
+
+TEST(MessageBusTest, ReadClampsEnd) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Append("t", 0, MakeRow(1)).ok());
+  auto rows = bus.Read("t", 0, 0, 100);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(MessageBusTest, ReadBadStartFails) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  EXPECT_FALSE(bus.Read("t", 0, 5, 10).ok());
+  EXPECT_FALSE(bus.Read("t", 0, -1, 1).ok());
+}
+
+TEST(MessageBusTest, UnknownTopicOrPartition) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  EXPECT_TRUE(bus.Append("nope", 0, MakeRow(1)).status().IsNotFound());
+  EXPECT_FALSE(bus.Append("t", 3, MakeRow(1)).ok());
+  EXPECT_FALSE(bus.Read("t", -1, 0, 1).ok());
+}
+
+TEST(MessageBusTest, AppendBatchReturnsFirstOffset) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Append("t", 0, MakeRow(0)).ok());
+  auto first = bus.AppendBatch("t", 0, {MakeRow(1), MakeRow(2), MakeRow(3)});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1);
+  EXPECT_EQ(*bus.EndOffset("t", 0), 4);
+}
+
+TEST(MessageBusTest, EndOffsetsAndTotal) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.CreateTopic("t", 3).ok());
+  ASSERT_TRUE(bus.Append("t", 0, MakeRow(1)).ok());
+  ASSERT_TRUE(bus.Append("t", 2, MakeRow(2)).ok());
+  ASSERT_TRUE(bus.Append("t", 2, MakeRow(3)).ok());
+  auto ends = bus.EndOffsets("t");
+  ASSERT_TRUE(ends.ok());
+  EXPECT_EQ(*ends, (std::vector<int64_t>{1, 0, 2}));
+  EXPECT_EQ(*bus.TotalRecords("t"), 3);
+}
+
+TEST(MessageBusTest, ConcurrentProducersKeepAllRecords) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.CreateTopic("t", 2).ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bus, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(bus.Append("t", t % 2, MakeRow(t * 10000 + i)).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(*bus.TotalRecords("t"), kThreads * kPerThread);
+  // Per-partition offsets are a total order: all records readable.
+  auto p0 = bus.Read("t", 0, 0, *bus.EndOffset("t", 0));
+  auto p1 = bus.Read("t", 1, 0, *bus.EndOffset("t", 1));
+  EXPECT_EQ(p0->size() + p1->size(),
+            static_cast<size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace sstreaming

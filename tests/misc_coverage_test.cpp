@@ -1,0 +1,233 @@
+// Edge-case coverage across modules: GroupState semantics, stream-static
+// right-outer joins, JSON fuzz round-trips, codec edge values, and engine
+// option validation.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "connectors/file_connectors.h"
+#include "connectors/memory.h"
+#include "storage/fs.h"
+#include "exec/batch_executor.h"
+#include "exec/streaming_query.h"
+#include "logical/plan.h"
+
+namespace sstreaming {
+namespace {
+
+TEST(GroupStateTest, LifecycleAndTimeouts) {
+  GroupState absent(std::nullopt, /*watermark=*/100, /*now=*/1000,
+                    /*timed_out=*/false);
+  EXPECT_FALSE(absent.exists());
+  EXPECT_FALSE(absent.HasTimedOut());
+  EXPECT_EQ(absent.watermark_micros(), 100);
+  EXPECT_EQ(absent.processing_time_micros(), 1000);
+
+  absent.update({Value::Int64(5)});
+  EXPECT_TRUE(absent.exists());
+  EXPECT_TRUE(absent.updated());
+  EXPECT_EQ(absent.get()[0], Value::Int64(5));
+
+  absent.SetTimeoutDuration(500);
+  EXPECT_EQ(absent.timeout_at_micros(), 1500);  // now + duration
+  absent.SetTimeoutTimestamp(4242);
+  EXPECT_EQ(absent.timeout_at_micros(), 4242);
+
+  absent.remove();
+  EXPECT_FALSE(absent.exists());
+  EXPECT_TRUE(absent.removed());
+  EXPECT_EQ(absent.timeout_at_micros(), INT64_MAX) << "remove clears timeout";
+
+  GroupState timed_out(Row{Value::Int64(1)}, INT64_MIN, 0, true);
+  EXPECT_TRUE(timed_out.HasTimedOut());
+  EXPECT_TRUE(timed_out.exists());
+}
+
+TEST(JoinTest, StaticLeftStreamRightOuter) {
+  // RIGHT OUTER with the static side on the left preserves the stream.
+  auto schema = Schema::Make({{"k", TypeId::kInt64, false},
+                              {"v", TypeId::kString, false}});
+  auto stream = std::make_shared<MemoryStream>("s", schema, 2);
+  DataFrame static_df =
+      DataFrame::FromRows(Schema::Make({{"k", TypeId::kInt64, false},
+                                        {"tag", TypeId::kString, false}}),
+                          {{Value::Int64(1), Value::Str("one")}})
+          .TakeValue();
+  DataFrame df = static_df.Join(DataFrame::ReadStream(stream), {"k"},
+                                JoinType::kRightOuter);
+  auto sink = std::make_shared<MemorySink>();
+  QueryOptions opts;
+  opts.mode = OutputMode::kAppend;
+  auto query = StreamingQuery::Start(df, sink, opts);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_TRUE(stream
+                  ->AddData({{Value::Int64(1), Value::Str("a")},
+                             {Value::Int64(2), Value::Str("b")}})
+                  .ok());
+  ASSERT_TRUE((*query)->ProcessAllAvailable().ok());
+  auto rows = sink->SortedSnapshot();
+  // Output: (k, tag, v) — the duplicate right key column is dropped, but
+  // USING-key coalescing keeps the key for unmatched stream rows.
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int64(1));
+  EXPECT_EQ(rows[0][1], Value::Str("one"));
+  EXPECT_EQ(rows[0][2], Value::Str("a"));
+  EXPECT_EQ(rows[1][0], Value::Int64(2)) << "coalesced USING key";
+  EXPECT_TRUE(rows[1][1].is_null()) << "unmatched stream row preserved";
+}
+
+TEST(JoinTest, MultiColumnJoinKeys) {
+  auto left = DataFrame::FromRows(
+                  Schema::Make({{"a", TypeId::kInt64, false},
+                                {"b", TypeId::kString, false},
+                                {"x", TypeId::kInt64, false}}),
+                  {{Value::Int64(1), Value::Str("p"), Value::Int64(10)},
+                   {Value::Int64(1), Value::Str("q"), Value::Int64(20)}})
+                  .TakeValue();
+  auto right = DataFrame::FromRows(
+                   Schema::Make({{"a", TypeId::kInt64, false},
+                                 {"b", TypeId::kString, false},
+                                 {"y", TypeId::kInt64, false}}),
+                   {{Value::Int64(1), Value::Str("q"), Value::Int64(99)}})
+                   .TakeValue();
+  auto rows = RunBatchSorted(left.Join(right, {"a", "b"}));
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], Value::Str("q"));
+  EXPECT_EQ((*rows)[0][3], Value::Int64(99));
+}
+
+TEST(ValueCodecTest, ExtremeValuesRoundTrip) {
+  std::vector<Value> values = {
+      Value::Int64(INT64_MAX), Value::Int64(INT64_MIN),
+      Value::Float64(-0.0),    Value::Float64(1e308),
+      Value::Float64(-1e-308), Value::Timestamp(INT64_MAX),
+      Value::Str(std::string(1000, '\xff')), Value::Str(std::string("\0x", 2)),
+  };
+  std::string buf;
+  for (const Value& v : values) v.EncodeTo(&buf);
+  size_t pos = 0;
+  for (const Value& expected : values) {
+    auto got = Value::DecodeFrom(buf, &pos);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->type(), expected.type());
+    if (expected.type() == TypeId::kString) {
+      EXPECT_EQ(got->string_value(), expected.string_value());
+    } else {
+      EXPECT_EQ(*got, expected);
+    }
+  }
+}
+
+TEST(JsonFuzzTest, RandomDocumentsRoundTrip) {
+  Random rng(2024);
+  std::function<Json(int)> gen = [&](int depth) -> Json {
+    if (depth <= 0 || rng.OneIn(0.4)) {
+      switch (rng.Uniform(5)) {
+        case 0:
+          return Json::Null();
+        case 1:
+          return Json::Bool(rng.OneIn(0.5));
+        case 2:
+          return Json::Int(static_cast<int64_t>(rng.Next()));
+        case 3:
+          return Json::Double(rng.NextDouble() * 1e6 - 5e5);
+        default: {
+          std::string s;
+          for (int i = 0; i < static_cast<int>(rng.Uniform(12)); ++i) {
+            s.push_back(static_cast<char>(32 + rng.Uniform(95)));
+          }
+          if (rng.OneIn(0.2)) s += "\"\\\n\t";
+          return Json::Str(s);
+        }
+      }
+    }
+    if (rng.OneIn(0.5)) {
+      Json arr = Json::Array();
+      for (int i = 0; i < static_cast<int>(rng.Uniform(5)); ++i) {
+        arr.Append(gen(depth - 1));
+      }
+      return arr;
+    }
+    Json obj = Json::Object();
+    for (int i = 0; i < static_cast<int>(rng.Uniform(5)); ++i) {
+      obj.Set("k" + std::to_string(i), gen(depth - 1));
+    }
+    return obj;
+  };
+  for (int i = 0; i < 200; ++i) {
+    Json doc = gen(4);
+    auto parsed = Json::Parse(doc.Dump());
+    ASSERT_TRUE(parsed.ok()) << doc.Dump();
+    EXPECT_TRUE(*parsed == doc) << doc.Dump();
+    auto pretty = Json::Parse(doc.DumpPretty());
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_TRUE(*pretty == doc);
+  }
+}
+
+TEST(EngineValidationTest, SinkModeSupportChecked) {
+  // File sinks cannot update in place; Start must reject, not fail later.
+  auto schema = Schema::Make({{"k", TypeId::kString, false}});
+  auto stream = std::make_shared<MemoryStream>("s", schema, 1);
+  auto dir = MakeTempDir("misc_sink_check").TakeValue();
+  auto file_sink = std::make_shared<JsonFileSink>(dir);
+  DataFrame df = DataFrame::ReadStream(stream).GroupBy({"k"}).Count();
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  auto query = StreamingQuery::Start(df, file_sink, opts);
+  ASSERT_FALSE(query.ok());
+  EXPECT_TRUE(query.status().IsInvalidArgument());
+  RemoveDirRecursive(dir).ok();
+}
+
+TEST(EngineValidationTest, BatchDataFrameRejectedByStreamingStart) {
+  auto df = DataFrame::FromRows(
+                Schema::Make({{"k", TypeId::kInt64, false}}),
+                {{Value::Int64(1)}})
+                .TakeValue();
+  auto sink = std::make_shared<MemorySink>();
+  QueryOptions opts;
+  EXPECT_FALSE(StreamingQuery::Start(df, sink, opts).ok());
+}
+
+TEST(EngineValidationTest, GlobalAggregationStreams) {
+  // Aggregation with no keys over a stream (complete mode).
+  auto schema = Schema::Make({{"v", TypeId::kInt64, false}});
+  auto stream = std::make_shared<MemoryStream>("s", schema, 2);
+  DataFrame df = DataFrame::ReadStream(stream)
+                     .GroupBy(std::vector<NamedExpr>{})
+                     .Agg({SumOf(Col("v"), "total"), CountAll("n")});
+  auto sink = std::make_shared<MemorySink>();
+  QueryOptions opts;
+  opts.mode = OutputMode::kComplete;
+  auto query = StreamingQuery::Start(df, sink, opts);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_TRUE(stream->AddData({{Value::Int64(3)}, {Value::Int64(4)}}).ok());
+  ASSERT_TRUE((*query)->ProcessAllAvailable().ok());
+  ASSERT_TRUE(stream->AddData({{Value::Int64(5)}}).ok());
+  ASSERT_TRUE((*query)->ProcessAllAvailable().ok());
+  auto rows = sink->Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int64(12));
+  EXPECT_EQ(rows[0][1], Value::Int64(3));
+}
+
+TEST(EngineValidationTest, EmptyEpochsDoNotEmitSpuriousRows) {
+  auto schema = Schema::Make({{"k", TypeId::kString, false}});
+  auto stream = std::make_shared<MemoryStream>("s", schema, 2);
+  DataFrame df = DataFrame::ReadStream(stream).GroupBy({"k"}).Count();
+  auto sink = std::make_shared<MemorySink>();
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  auto query = StreamingQuery::Start(df, sink, opts).TakeValue();
+  ASSERT_TRUE(stream->AddData({{Value::Str("a")}}).ok());
+  ASSERT_TRUE(query->ProcessAllAvailable().ok());
+  int64_t commits = sink->num_committed_epochs();
+  // No new data: no epoch, no sink commit.
+  ASSERT_TRUE(query->ProcessAllAvailable().ok());
+  EXPECT_EQ(sink->num_committed_epochs(), commits);
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,160 @@
+#include "exec/query_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "connectors/memory.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+namespace {
+
+SchemaPtr EventSchema() {
+  return Schema::Make({{"k", TypeId::kString, false},
+                       {"v", TypeId::kInt64, false}});
+}
+
+Row Ev(const char* k, int64_t v) { return {Value::Str(k), Value::Int64(v)}; }
+
+TEST(QueryManagerTest, MultipleQueriesOverOneSource) {
+  // The §8.1 platform shape: several queries fed by the same stream.
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 2);
+  auto etl_sink = std::make_shared<MemorySink>();
+  auto alert_sink = std::make_shared<MemorySink>();
+
+  QueryManager manager;
+  QueryOptions etl_opts;
+  etl_opts.mode = OutputMode::kAppend;
+  ASSERT_TRUE(manager
+                  .StartQuerySynchronous(
+                      "etl", DataFrame::ReadStream(stream), etl_sink,
+                      etl_opts)
+                  .ok());
+  QueryOptions alert_opts;
+  alert_opts.mode = OutputMode::kUpdate;
+  ASSERT_TRUE(manager
+                  .StartQuerySynchronous(
+                      "alerts",
+                      DataFrame::ReadStream(stream)
+                          .GroupBy({"k"})
+                          .Agg({SumOf(Col("v"), "total")})
+                          .Where(Gt(Col("total"), Lit(10))),
+                      alert_sink, alert_opts)
+                  .ok());
+
+  auto names = manager.ActiveQueryNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alerts");
+  EXPECT_EQ(names[1], "etl");
+
+  ASSERT_TRUE(stream->AddData({Ev("a", 7), Ev("a", 8), Ev("b", 1)}).ok());
+  ASSERT_TRUE(manager.ProcessAllAvailable().ok());
+
+  EXPECT_EQ(etl_sink->Snapshot().size(), 3u);
+  auto alerts = alert_sink->SortedSnapshot();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0][0], Value::Str("a"));
+  EXPECT_EQ(alerts[0][1], Value::Int64(15));
+  EXPECT_TRUE(manager.AnyError().ok());
+}
+
+TEST(QueryManagerTest, DuplicateNamesRejected) {
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  QueryManager manager;
+  QueryOptions opts;
+  auto sink = std::make_shared<MemorySink>();
+  ASSERT_TRUE(manager
+                  .StartQuerySynchronous("q", DataFrame::ReadStream(stream),
+                                         sink, opts)
+                  .ok());
+  Status s = manager.StartQuerySynchronous(
+      "q", DataFrame::ReadStream(stream), sink, opts);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(QueryManagerTest, StopQueryUnregisters) {
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  QueryManager manager;
+  QueryOptions opts;
+  ASSERT_TRUE(manager
+                  .StartQuerySynchronous("q", DataFrame::ReadStream(stream),
+                                         std::make_shared<MemorySink>(),
+                                         opts)
+                  .ok());
+  ASSERT_TRUE(manager.StopQuery("q").ok());
+  EXPECT_TRUE(manager.ActiveQueryNames().empty());
+  EXPECT_TRUE(manager.StopQuery("q").IsNotFound());
+  EXPECT_EQ(manager.Get("q"), nullptr);
+  // The name is reusable after stopping.
+  EXPECT_TRUE(manager
+                  .StartQuerySynchronous("q", DataFrame::ReadStream(stream),
+                                         std::make_shared<MemorySink>(),
+                                         opts)
+                  .ok());
+}
+
+TEST(QueryManagerTest, LatestProgressAggregates) {
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  QueryManager manager;
+  QueryOptions opts;
+  ASSERT_TRUE(manager
+                  .StartQuerySynchronous("q", DataFrame::ReadStream(stream),
+                                         std::make_shared<MemorySink>(),
+                                         opts)
+                  .ok());
+  ASSERT_TRUE(stream->AddData({Ev("a", 1)}).ok());
+  ASSERT_TRUE(manager.ProcessAllAvailable().ok());
+  auto progress = manager.LatestProgress();
+  ASSERT_EQ(progress.size(), 1u);
+  EXPECT_EQ(progress["q"].rows_read, 1);
+}
+
+TEST(QueryManagerTest, BackgroundQueriesProcessData) {
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  auto sink = std::make_shared<MemorySink>();
+  QueryManager manager;
+  QueryOptions opts;
+  opts.trigger = Trigger::ProcessingTime(1000);  // 1ms
+  ASSERT_TRUE(manager
+                  .StartQuery("bg", DataFrame::ReadStream(stream), sink,
+                              opts)
+                  .ok());
+  ASSERT_TRUE(stream->AddData({Ev("a", 1), Ev("b", 2)}).ok());
+  for (int i = 0; i < 500 && sink->Snapshot().size() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(sink->Snapshot().size(), 2u);
+  ASSERT_TRUE(manager.StopQuery("bg").ok());
+}
+
+TEST(MetricsEventLogTest, AppendsJsonLines) {
+  auto dir = MakeTempDir("metrics_test").TakeValue();
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  auto sink = std::make_shared<MemorySink>();
+  QueryOptions opts;
+  auto query =
+      StreamingQuery::Start(DataFrame::ReadStream(stream), sink, opts)
+          .TakeValue();
+  MetricsEventLog log(dir + "/metrics.jsonl");
+
+  ASSERT_TRUE(stream->AddData({Ev("a", 1)}).ok());
+  ASSERT_TRUE(query->ProcessAllAvailable().ok());
+  ASSERT_TRUE(log.Report("q1", *query).ok());
+  ASSERT_TRUE(stream->AddData({Ev("b", 2), Ev("c", 3)}).ok());
+  ASSERT_TRUE(query->ProcessAllAvailable().ok());
+  ASSERT_TRUE(log.Report("q1", *query).ok());
+  // Re-reporting without new epochs adds nothing.
+  ASSERT_TRUE(log.Report("q1", *query).ok());
+
+  auto events = log.ReadAll();
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].Get("query").string_value(), "q1");
+  EXPECT_EQ((*events)[0].Get("epoch").int_value(), 1);
+  EXPECT_EQ((*events)[0].Get("rowsRead").int_value(), 1);
+  EXPECT_EQ((*events)[1].Get("epoch").int_value(), 2);
+  EXPECT_EQ((*events)[1].Get("rowsRead").int_value(), 2);
+  RemoveDirRecursive(dir).ok();
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,97 @@
+#include "types/record_batch.h"
+
+#include <gtest/gtest.h>
+
+namespace sstreaming {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make({{"id", TypeId::kInt64, false},
+                       {"name", TypeId::kString, true},
+                       {"score", TypeId::kFloat64, true}});
+}
+
+RecordBatchPtr TestBatch() {
+  auto r = RecordBatch::FromRows(
+      TestSchema(),
+      {{Value::Int64(1), Value::Str("a"), Value::Float64(1.0)},
+       {Value::Int64(2), Value::Null(), Value::Float64(2.0)},
+       {Value::Int64(3), Value::Str("c"), Value::Null()}});
+  return r.TakeValue();
+}
+
+TEST(RecordBatchTest, FromRowsAndRowAt) {
+  RecordBatchPtr b = TestBatch();
+  EXPECT_EQ(b->num_rows(), 3);
+  EXPECT_EQ(b->num_columns(), 3);
+  Row r1 = b->RowAt(1);
+  EXPECT_EQ(r1[0], Value::Int64(2));
+  EXPECT_TRUE(r1[1].is_null());
+}
+
+TEST(RecordBatchTest, FromRowsRejectsBadArity) {
+  auto r = RecordBatch::FromRows(TestSchema(), {{Value::Int64(1)}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RecordBatchTest, FromRowsRejectsBadType) {
+  auto r = RecordBatch::FromRows(
+      TestSchema(), {{Value::Str("oops"), Value::Str("a"), Value::Null()}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RecordBatchTest, EmptyBatch) {
+  RecordBatchPtr b = RecordBatch::Empty(TestSchema());
+  EXPECT_EQ(b->num_rows(), 0);
+  EXPECT_EQ(b->num_columns(), 3);
+}
+
+TEST(RecordBatchTest, FilterKeepsMaskedRows) {
+  RecordBatchPtr b = TestBatch();
+  RecordBatchPtr f = b->Filter({1, 0, 1});
+  EXPECT_EQ(f->num_rows(), 2);
+  EXPECT_EQ(f->RowAt(0)[0], Value::Int64(1));
+  EXPECT_EQ(f->RowAt(1)[0], Value::Int64(3));
+  EXPECT_TRUE(f->RowAt(1)[2].is_null());
+}
+
+TEST(RecordBatchTest, SelectColumnsReordersSchema) {
+  RecordBatchPtr b = TestBatch();
+  RecordBatchPtr p = b->SelectColumns({2, 0});
+  EXPECT_EQ(p->schema()->field(0).name, "score");
+  EXPECT_EQ(p->schema()->field(1).name, "id");
+  EXPECT_EQ(p->RowAt(0)[1], Value::Int64(1));
+}
+
+TEST(RecordBatchTest, Slice) {
+  RecordBatchPtr b = TestBatch();
+  RecordBatchPtr s = b->Slice(1, 2);
+  EXPECT_EQ(s->num_rows(), 2);
+  EXPECT_EQ(s->RowAt(0)[0], Value::Int64(2));
+}
+
+TEST(RecordBatchTest, ConcatMergesBatches) {
+  RecordBatchPtr b = TestBatch();
+  RecordBatchPtr merged = RecordBatch::Concat(TestSchema(), {b, b});
+  EXPECT_EQ(merged->num_rows(), 6);
+  EXPECT_EQ(merged->RowAt(3)[0], Value::Int64(1));
+}
+
+TEST(RecordBatchTest, ConcatEmptyInput) {
+  RecordBatchPtr merged = RecordBatch::Concat(TestSchema(), {});
+  EXPECT_EQ(merged->num_rows(), 0);
+}
+
+TEST(RecordBatchTest, ToRowsRoundTrip) {
+  RecordBatchPtr b = TestBatch();
+  auto rows = b->ToRows();
+  auto rebuilt = RecordBatch::FromRows(TestSchema(), rows);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ((*rebuilt)->num_rows(), b->num_rows());
+  for (int64_t i = 0; i < b->num_rows(); ++i) {
+    EXPECT_EQ(CompareRows((*rebuilt)->RowAt(i), b->RowAt(i)), 0);
+  }
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,190 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+namespace sstreaming {
+namespace {
+
+std::vector<std::function<Status()>> MakeTasks(int n,
+                                               std::atomic<int>* counter) {
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back([counter]() -> Status {
+      counter->fetch_add(1);
+      return Status::OK();
+    });
+  }
+  return tasks;
+}
+
+TEST(InlineSchedulerTest, RunsAllTasksInOrder) {
+  InlineScheduler sched;
+  std::vector<int> order;
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back([&order, i]() -> Status {
+      order.push_back(i);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(sched.RunStage("s", std::move(tasks)).ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(InlineSchedulerTest, StopsOnError) {
+  InlineScheduler sched;
+  std::atomic<int> ran{0};
+  std::vector<std::function<Status()>> tasks;
+  tasks.push_back([&]() -> Status {
+    ran.fetch_add(1);
+    return Status::Internal("boom");
+  });
+  tasks.push_back([&]() -> Status {
+    ran.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_FALSE(sched.RunStage("s", std::move(tasks)).ok());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(PoolSchedulerTest, RunsAllTasks) {
+  PoolScheduler sched(4);
+  std::atomic<int> counter{0};
+  ASSERT_TRUE(sched.RunStage("s", MakeTasks(50, &counter)).ok());
+  EXPECT_EQ(counter.load(), 50);
+  // Stages are reusable.
+  ASSERT_TRUE(sched.RunStage("s2", MakeTasks(10, &counter)).ok());
+  EXPECT_EQ(counter.load(), 60);
+}
+
+TEST(PoolSchedulerTest, ReportsTaskError) {
+  PoolScheduler sched(2);
+  std::vector<std::function<Status()>> tasks;
+  tasks.push_back([]() -> Status { return Status::OK(); });
+  tasks.push_back([]() -> Status { return Status::IOError("disk"); });
+  Status s = sched.RunStage("s", std::move(tasks));
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+}
+
+TEST(SimClusterTest, VirtualTimeScalesWithCores) {
+  // 32 equal tasks on 1 core vs 8 cores: virtual time ~8x smaller.
+  // Best-of-3 per configuration: the host machine is shared, and a
+  // descheduled task inflates measured durations.
+  auto run_once = [&](int nodes, int cores) {
+    SimClusterScheduler::Options opts;
+    opts.num_nodes = nodes;
+    opts.cores_per_node = cores;
+    opts.task_launch_overhead_nanos = 0;
+    SimClusterScheduler sched(opts);
+    std::atomic<int> counter{0};
+    std::vector<std::function<Status()>> tasks;
+    for (int i = 0; i < 32; ++i) {
+      tasks.push_back([&counter]() -> Status {
+        // Busy work so measured durations dominate timer noise.
+        volatile uint64_t x = 1;
+        for (int k = 0; k < 60000; ++k) x = x * 1664525 + 1013904223;
+        counter.fetch_add(1);
+        return Status::OK();
+      });
+    }
+    EXPECT_TRUE(sched.RunStage("s", std::move(tasks)).ok());
+    EXPECT_EQ(counter.load(), 32);
+    return sched.virtual_nanos();
+  };
+  auto run = [&](int nodes, int cores) {
+    int64_t best = INT64_MAX;
+    for (int i = 0; i < 3; ++i) {
+      best = std::min(best, run_once(nodes, cores));
+    }
+    return best;
+  };
+  int64_t serial = run(1, 1);
+  int64_t parallel = run(1, 8);
+  EXPECT_GT(serial, 0);
+  double speedup = static_cast<double>(serial) /
+                   static_cast<double>(parallel);
+  EXPECT_GT(speedup, 3.0) << "8 simulated cores should be ~8x faster";
+  EXPECT_LT(speedup, 24.0);
+}
+
+TEST(SimClusterTest, TaskLaunchOverheadCharged) {
+  SimClusterScheduler::Options opts;
+  opts.num_nodes = 1;
+  opts.cores_per_node = 1;
+  opts.task_launch_overhead_nanos = 1000000;  // 1ms
+  SimClusterScheduler sched(opts);
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([]() -> Status { return Status::OK(); });
+  }
+  ASSERT_TRUE(sched.RunStage("s", std::move(tasks)).ok());
+  EXPECT_GE(sched.virtual_nanos(), 10 * 1000000);
+}
+
+TEST(SimClusterTest, StragglersSlowTheStage) {
+  auto run = [&](double prob, bool speculation) {
+    SimClusterScheduler::Options opts;
+    opts.num_nodes = 2;
+    opts.cores_per_node = 4;
+    opts.task_launch_overhead_nanos = 0;
+    opts.straggler_probability = prob;
+    opts.straggler_factor = 10.0;
+    opts.speculation = speculation;
+    opts.seed = 7;
+    SimClusterScheduler sched(opts);
+    std::vector<std::function<Status()>> tasks;
+    for (int i = 0; i < 64; ++i) {
+      tasks.push_back([]() -> Status {
+        volatile uint64_t x = 1;
+        for (int k = 0; k < 30000; ++k) x = x * 1664525 + 1013904223;
+        return Status::OK();
+      });
+    }
+    EXPECT_TRUE(sched.RunStage("s", std::move(tasks)).ok());
+    return sched;
+  };
+  // Best-of-3 per scenario to shrug off host-scheduling noise.
+  auto best = [&](double prob, bool speculation) {
+    auto result = run(prob, speculation);
+    for (int i = 0; i < 2; ++i) {
+      auto again = run(prob, speculation);
+      if (again.virtual_nanos() < result.virtual_nanos()) result = again;
+    }
+    return result;
+  };
+  auto clean = best(0.0, false);
+  auto straggling = best(0.15, false);
+  auto speculated = best(0.15, true);
+  EXPECT_GT(straggling.stragglers_injected(), 0);
+  EXPECT_GT(straggling.virtual_nanos(), clean.virtual_nanos());
+  // Speculation recovers most of the loss (paper §6.2).
+  EXPECT_LT(speculated.virtual_nanos(), straggling.virtual_nanos());
+  EXPECT_GT(speculated.speculative_wins(), 0);
+}
+
+TEST(SimClusterTest, TaskFailuresAddRetryCost) {
+  SimClusterScheduler::Options opts;
+  opts.num_nodes = 1;
+  opts.cores_per_node = 4;
+  opts.task_failure_probability = 0.5;
+  opts.seed = 3;
+  SimClusterScheduler sched(opts);
+  std::vector<std::function<Status()>> tasks;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 40; ++i) {
+    tasks.push_back([&counter]() -> Status {
+      counter.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(sched.RunStage("s", std::move(tasks)).ok());
+  EXPECT_GT(sched.failures_injected(), 0);
+  EXPECT_EQ(counter.load(), 40) << "results remain exact despite injection";
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,76 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace sstreaming {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", TypeId::kInt64, false},
+                 {"name", TypeId::kString, true},
+                 {"ts", TypeId::kTimestamp, false}});
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_fields(), 3);
+  EXPECT_EQ(s.IndexOf("id"), 0);
+  EXPECT_EQ(s.IndexOf("ts"), 2);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+}
+
+TEST(SchemaTest, ResolveErrorsListCandidates) {
+  Schema s = TestSchema();
+  auto r = s.Resolve("nme");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsAnalysisError());
+  EXPECT_NE(r.status().message().find("name"), std::string::npos);
+}
+
+TEST(SchemaTest, Equals) {
+  EXPECT_TRUE(TestSchema().Equals(TestSchema()));
+  Schema other({{"id", TypeId::kInt64, false}});
+  EXPECT_FALSE(TestSchema().Equals(other));
+}
+
+TEST(SchemaTest, ToStringShowsNullability) {
+  std::string s = TestSchema().ToString();
+  EXPECT_EQ(s, "(id: int64, name: string?, ts: timestamp)");
+}
+
+TEST(SchemaTest, JsonRoundTrip) {
+  Schema s = TestSchema();
+  auto parsed = Schema::FromJson(s.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Equals(s));
+}
+
+TEST(SchemaTest, FromJsonRejectsBadInput) {
+  EXPECT_FALSE(Schema::FromJson(Json::Int(3)).ok());
+  Json arr = Json::Array();
+  Json f = Json::Object();
+  f.Set("name", Json::Str("x"));
+  f.Set("type", Json::Str("not_a_type"));
+  arr.Append(std::move(f));
+  EXPECT_FALSE(Schema::FromJson(arr).ok());
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(TypeName(TypeId::kInt64), "int64");
+  TypeId t;
+  EXPECT_TRUE(TypeFromName("timestamp", &t));
+  EXPECT_EQ(t, TypeId::kTimestamp);
+  EXPECT_FALSE(TypeFromName("decimal", &t));
+}
+
+TEST(DataTypeTest, NumericPromotion) {
+  EXPECT_TRUE(IsNumeric(TypeId::kInt64));
+  EXPECT_TRUE(IsNumeric(TypeId::kTimestamp));
+  EXPECT_FALSE(IsNumeric(TypeId::kString));
+  EXPECT_EQ(CommonNumericType(TypeId::kInt64, TypeId::kFloat64),
+            TypeId::kFloat64);
+  EXPECT_EQ(CommonNumericType(TypeId::kInt64, TypeId::kInt64), TypeId::kInt64);
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,228 @@
+#include "state/state_store.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+namespace {
+
+class StateStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("sstreaming_state_test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { RemoveDirRecursive(dir_).ok(); }
+
+  std::string dir_;
+};
+
+TEST_F(StateStoreTest, EmptyOpen) {
+  auto store = StateStore::Open(dir_, 0);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->size(), 0);
+  EXPECT_EQ((*store)->loaded_version(), 0);
+  EXPECT_FALSE((*store)->Get("k").has_value());
+}
+
+TEST_F(StateStoreTest, PutGetRemove) {
+  auto store = StateStore::Open(dir_, 0).TakeValue();
+  store->Put("a", "1");
+  store->Put("b", "2");
+  EXPECT_EQ(*store->Get("a"), "1");
+  EXPECT_TRUE(store->Contains("b"));
+  store->Remove("a");
+  EXPECT_FALSE(store->Get("a").has_value());
+  EXPECT_EQ(store->size(), 1);
+}
+
+TEST_F(StateStoreTest, CommitAndRecoverExactVersion) {
+  {
+    auto store = StateStore::Open(dir_, 0).TakeValue();
+    store->Put("k1", "v1");
+    ASSERT_TRUE(store->Commit(1).ok());
+    store->Put("k2", "v2");
+    store->Remove("k1");
+    ASSERT_TRUE(store->Commit(2).ok());
+  }
+  auto v1 = StateStore::Open(dir_, 1).TakeValue();
+  EXPECT_EQ(v1->loaded_version(), 1);
+  EXPECT_EQ(*v1->Get("k1"), "v1");
+  EXPECT_FALSE(v1->Get("k2").has_value());
+
+  auto v2 = StateStore::Open(dir_, 2).TakeValue();
+  EXPECT_EQ(v2->loaded_version(), 2);
+  EXPECT_FALSE(v2->Get("k1").has_value());
+  EXPECT_EQ(*v2->Get("k2"), "v2");
+}
+
+TEST_F(StateStoreTest, RecoveryLoadsNewestVersionAtOrBelowRequest) {
+  // Checkpoints may lag the requested epoch (paper: async checkpoints).
+  {
+    auto store = StateStore::Open(dir_, 0).TakeValue();
+    store->Put("k", "v3");
+    ASSERT_TRUE(store->Commit(3).ok());
+  }
+  auto store = StateStore::Open(dir_, 10).TakeValue();
+  EXPECT_EQ(store->loaded_version(), 3) << "engine must replay epochs 4..10";
+  EXPECT_EQ(*store->Get("k"), "v3");
+}
+
+TEST_F(StateStoreTest, DeltaChainAcrossManyCommits) {
+  StateStore::Options opts;
+  opts.snapshot_interval = 5;
+  {
+    auto store = StateStore::Open(dir_, 0, opts).TakeValue();
+    for (int64_t v = 1; v <= 17; ++v) {
+      store->Put("key" + std::to_string(v), "val" + std::to_string(v));
+      if (v % 3 == 0) store->Remove("key" + std::to_string(v - 1));
+      ASSERT_TRUE(store->Commit(v).ok());
+    }
+    EXPECT_GT(store->delta_commits(), 0);
+    EXPECT_GT(store->snapshot_commits(), 0);
+  }
+  // Recover at an intermediate version and at the tip; compare to a model.
+  for (int64_t target : {7, 12, 17}) {
+    auto store = StateStore::Open(dir_, target, opts).TakeValue();
+    EXPECT_EQ(store->loaded_version(), target);
+    std::map<std::string, std::string> model;
+    for (int64_t v = 1; v <= target; ++v) {
+      model["key" + std::to_string(v)] = "val" + std::to_string(v);
+      if (v % 3 == 0) model.erase("key" + std::to_string(v - 1));
+    }
+    EXPECT_EQ(store->size(), static_cast<int64_t>(model.size()))
+        << "at version " << target;
+    for (const auto& [k, v] : model) {
+      ASSERT_TRUE(store->Get(k).has_value()) << k;
+      EXPECT_EQ(*store->Get(k), v);
+    }
+  }
+}
+
+TEST_F(StateStoreTest, CommitVersionsMustIncrease) {
+  auto store = StateStore::Open(dir_, 0).TakeValue();
+  ASSERT_TRUE(store->Commit(5).ok());
+  EXPECT_FALSE(store->Commit(5).ok());
+  EXPECT_FALSE(store->Commit(4).ok());
+  EXPECT_TRUE(store->Commit(6).ok());
+}
+
+TEST_F(StateStoreTest, ReopenedStoreContinuesCommitting) {
+  {
+    auto store = StateStore::Open(dir_, 0).TakeValue();
+    store->Put("a", "1");
+    ASSERT_TRUE(store->Commit(1).ok());
+  }
+  auto store = StateStore::Open(dir_, 1).TakeValue();
+  store->Put("b", "2");
+  ASSERT_TRUE(store->Commit(2).ok());
+  auto reread = StateStore::Open(dir_, 2).TakeValue();
+  EXPECT_EQ(*reread->Get("a"), "1");
+  EXPECT_EQ(*reread->Get("b"), "2");
+}
+
+TEST_F(StateStoreTest, TruncateAfterSupportsRollback) {
+  {
+    auto store = StateStore::Open(dir_, 0).TakeValue();
+    for (int64_t v = 1; v <= 5; ++v) {
+      store->Put("k", "v" + std::to_string(v));
+      ASSERT_TRUE(store->Commit(v).ok());
+    }
+  }
+  ASSERT_TRUE(StateStore::TruncateAfter(dir_, 2).ok());
+  auto store = StateStore::Open(dir_, 5).TakeValue();
+  EXPECT_EQ(store->loaded_version(), 2);
+  EXPECT_EQ(*store->Get("k"), "v2");
+}
+
+TEST_F(StateStoreTest, PurgeBeforeKeepsRecoverability) {
+  StateStore::Options opts;
+  opts.snapshot_interval = 4;
+  {
+    auto store = StateStore::Open(dir_, 0, opts).TakeValue();
+    for (int64_t v = 1; v <= 12; ++v) {
+      store->Put("k" + std::to_string(v), "v");
+      ASSERT_TRUE(store->Commit(v).ok());
+    }
+  }
+  ASSERT_TRUE(StateStore::PurgeBefore(dir_, 10).ok());
+  auto store = StateStore::Open(dir_, 12, opts).TakeValue();
+  EXPECT_EQ(store->loaded_version(), 12);
+  EXPECT_EQ(store->size(), 12);
+}
+
+TEST_F(StateStoreTest, BinaryValuesSurvive) {
+  std::string key("\x00\x01key", 5);
+  std::string value("\x00\xffval", 5);
+  {
+    auto store = StateStore::Open(dir_, 0).TakeValue();
+    store->Put(key, value);
+    ASSERT_TRUE(store->Commit(1).ok());
+  }
+  auto store = StateStore::Open(dir_, 1).TakeValue();
+  ASSERT_TRUE(store->Get(key).has_value());
+  EXPECT_EQ(*store->Get(key), value);
+}
+
+TEST_F(StateStoreTest, ForEachVisitsAll) {
+  auto store = StateStore::Open(dir_, 0).TakeValue();
+  store->Put("a", "1");
+  store->Put("b", "2");
+  int count = 0;
+  store->ForEach([&](const std::string&, const std::string&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+// Property test: random op sequences with commits at random epochs recover
+// identically to an in-memory model, at every committed version.
+class StateStoreFuzzTest : public StateStoreTest,
+                           public ::testing::WithParamInterface<int> {};
+
+TEST_P(StateStoreFuzzTest, RandomOpsMatchModel) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  StateStore::Options opts;
+  opts.snapshot_interval = 1 + static_cast<int>(rng.Uniform(6));
+  std::map<int64_t, std::map<std::string, std::string>> committed_models;
+  {
+    auto store = StateStore::Open(dir_, 0, opts).TakeValue();
+    std::map<std::string, std::string> model;
+    int64_t version = 0;
+    for (int i = 0; i < 400; ++i) {
+      std::string key = "k" + std::to_string(rng.Uniform(30));
+      if (rng.OneIn(0.7)) {
+        std::string value = "v" + std::to_string(rng.Next() % 1000);
+        store->Put(key, value);
+        model[key] = value;
+      } else {
+        store->Remove(key);
+        model.erase(key);
+      }
+      if (rng.OneIn(0.15)) {
+        version += 1 + static_cast<int64_t>(rng.Uniform(3));
+        ASSERT_TRUE(store->Commit(version).ok());
+        committed_models[version] = model;
+      }
+    }
+  }
+  for (const auto& [version, model] : committed_models) {
+    auto store = StateStore::Open(dir_, version, opts).TakeValue();
+    ASSERT_EQ(store->loaded_version(), version);
+    ASSERT_EQ(store->size(), static_cast<int64_t>(model.size()))
+        << "version " << version;
+    for (const auto& [k, v] : model) {
+      ASSERT_TRUE(store->Get(k).has_value());
+      EXPECT_EQ(*store->Get(k), v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateStoreFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,60 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+namespace sstreaming {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolPreservesCompletion) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 50; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 50 * 51 / 2);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,138 @@
+#include "workloads/yahoo.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/flinksim.h"
+#include "baselines/kstreamssim.h"
+#include "connectors/bus_connectors.h"
+#include "connectors/memory.h"
+#include "exec/streaming_query.h"
+
+namespace sstreaming {
+namespace {
+
+using Counts = std::map<std::pair<int64_t, int64_t>, int64_t>;
+
+YahooConfig SmallConfig() {
+  YahooConfig config;
+  config.num_partitions = 4;
+  config.num_events = 20000;
+  config.num_campaigns = 10;
+  config.ads_per_campaign = 5;
+  config.event_time_span_seconds = 50;
+  return config;
+}
+
+struct Generated {
+  MessageBus bus;
+  std::vector<Row> campaigns;
+  std::vector<Row> all_events;
+  Counts reference;
+};
+
+void Generate(const YahooConfig& config, Generated* g) {
+  auto campaigns = GenerateYahooData(&g->bus, "events", config);
+  ASSERT_TRUE(campaigns.ok()) << campaigns.status().ToString();
+  g->campaigns = *campaigns;
+  for (int p = 0; p < config.num_partitions; ++p) {
+    auto end = g->bus.EndOffset("events", p);
+    ASSERT_TRUE(end.ok());
+    auto rows = g->bus.Read("events", p, 0, *end);
+    ASSERT_TRUE(rows.ok());
+    g->all_events.insert(g->all_events.end(), rows->begin(), rows->end());
+  }
+  ASSERT_EQ(static_cast<int64_t>(g->all_events.size()), config.num_events);
+  g->reference = YahooReferenceCounts(g->all_events, g->campaigns);
+  ASSERT_FALSE(g->reference.empty());
+}
+
+TEST(YahooWorkloadTest, GeneratorIsDeterministic) {
+  Generated g1, g2;
+  Generate(SmallConfig(), &g1);
+  Generate(SmallConfig(), &g2);
+  ASSERT_EQ(g1.all_events.size(), g2.all_events.size());
+  for (size_t i = 0; i < g1.all_events.size(); ++i) {
+    EXPECT_EQ(CompareRows(g1.all_events[i], g2.all_events[i]), 0);
+  }
+  EXPECT_EQ(g1.reference, g2.reference);
+}
+
+TEST(YahooWorkloadTest, StructuredStreamingMatchesReference) {
+  Generated g;
+  Generate(SmallConfig(), &g);
+  auto source =
+      std::make_shared<BusSource>(&g.bus, "events", YahooEventSchema());
+  auto sink = std::make_shared<MemorySink>();
+  DataFrame df = YahooQuery(source, g.campaigns);
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  opts.num_partitions = 4;
+  auto query = StreamingQuery::Start(df, sink, opts);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_TRUE((*query)->ProcessAllAvailable().ok());
+
+  Counts got;
+  for (const Row& row : sink->Snapshot()) {
+    // (window_start, window_end, campaign_id, count)
+    got[{row[2].int64_value(), row[0].int64_value() / 1000000}] =
+        row[3].int64_value();
+  }
+  EXPECT_EQ(got, g.reference);
+}
+
+TEST(YahooWorkloadTest, FlinkSimMatchesReference) {
+  Generated g;
+  Generate(SmallConfig(), &g);
+  Counts got;
+  for (int p = 0; p < 4; ++p) {
+    auto pipeline = flinksim::BuildYahooPipeline(g.campaigns);
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    auto end = g.bus.EndOffset("events", p);
+    auto rows = g.bus.Read("events", p, 0, *end);
+    ASSERT_TRUE(rows.ok());
+    (*pipeline)->ProcessAll(*rows);
+    (*pipeline)->Finish();
+    auto* counter =
+        static_cast<flinksim::WindowCountOperator*>((*pipeline)->last());
+    flinksim::MergeYahooCounts(*counter, &got);
+  }
+  EXPECT_EQ(got, g.reference);
+}
+
+TEST(YahooWorkloadTest, KStreamsSimMatchesReference) {
+  Generated g;
+  Generate(SmallConfig(), &g);
+  InlineScheduler scheduler;
+  auto result = kstreamssim::RunYahoo(&g.bus, "events", "repartition",
+                                      g.campaigns, &scheduler);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->counts, g.reference);
+  EXPECT_GT(result->intermediate_records, 0);
+}
+
+TEST(YahooWorkloadTest, AllThreeEnginesAgree) {
+  // The comparability requirement behind Figure 6a: identical answers.
+  Generated g;
+  Generate(SmallConfig(), &g);
+
+  // flinksim
+  Counts flink;
+  for (int p = 0; p < 4; ++p) {
+    auto pipeline = flinksim::BuildYahooPipeline(g.campaigns).TakeValue();
+    auto rows = g.bus.Read("events", p, 0, *g.bus.EndOffset("events", p));
+    pipeline->ProcessAll(*rows);
+    auto* counter =
+        static_cast<flinksim::WindowCountOperator*>(pipeline->last());
+    flinksim::MergeYahooCounts(*counter, &flink);
+  }
+  // kstreams
+  InlineScheduler scheduler;
+  auto ks = kstreamssim::RunYahoo(&g.bus, "events", "repartition2",
+                                  g.campaigns, &scheduler)
+                .TakeValue();
+  EXPECT_EQ(flink, ks.counts);
+  EXPECT_EQ(flink, g.reference);
+}
+
+}  // namespace
+}  // namespace sstreaming

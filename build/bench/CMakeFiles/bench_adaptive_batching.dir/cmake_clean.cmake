@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_batching.dir/bench_adaptive_batching.cpp.o"
+  "CMakeFiles/bench_adaptive_batching.dir/bench_adaptive_batching.cpp.o.d"
+  "bench_adaptive_batching"
+  "bench_adaptive_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

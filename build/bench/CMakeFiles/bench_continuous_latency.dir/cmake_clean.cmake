@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_continuous_latency.dir/bench_continuous_latency.cpp.o"
+  "CMakeFiles/bench_continuous_latency.dir/bench_continuous_latency.cpp.o.d"
+  "bench_continuous_latency"
+  "bench_continuous_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_continuous_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

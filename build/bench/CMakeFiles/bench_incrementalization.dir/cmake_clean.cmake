@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incrementalization.dir/bench_incrementalization.cpp.o"
+  "CMakeFiles/bench_incrementalization.dir/bench_incrementalization.cpp.o.d"
+  "bench_incrementalization"
+  "bench_incrementalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incrementalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_run_once.dir/bench_run_once.cpp.o"
+  "CMakeFiles/bench_run_once.dir/bench_run_once.cpp.o.d"
+  "bench_run_once"
+  "bench_run_once.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_run_once.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_run_once.
+# This may be replaced when dependencies are built.

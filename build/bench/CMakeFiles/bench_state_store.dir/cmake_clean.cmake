@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_store.dir/bench_state_store.cpp.o"
+  "CMakeFiles/bench_state_store.dir/bench_state_store.cpp.o.d"
+  "bench_state_store"
+  "bench_state_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vectorized_exec.dir/bench_vectorized_exec.cpp.o"
+  "CMakeFiles/bench_vectorized_exec.dir/bench_vectorized_exec.cpp.o.d"
+  "bench_vectorized_exec"
+  "bench_vectorized_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vectorized_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yahoo_scaling.dir/bench_yahoo_scaling.cpp.o"
+  "CMakeFiles/bench_yahoo_scaling.dir/bench_yahoo_scaling.cpp.o.d"
+  "bench_yahoo_scaling"
+  "bench_yahoo_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yahoo_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yahoo_systems.dir/bench_yahoo_systems.cpp.o"
+  "CMakeFiles/bench_yahoo_systems.dir/bench_yahoo_systems.cpp.o.d"
+  "bench_yahoo_systems"
+  "bench_yahoo_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yahoo_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_alerts.dir/security_alerts.cpp.o"
+  "CMakeFiles/security_alerts.dir/security_alerts.cpp.o.d"
+  "security_alerts"
+  "security_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessionization.dir/sessionization.cpp.o"
+  "CMakeFiles/sessionization.dir/sessionization.cpp.o.d"
+  "sessionization"
+  "sessionization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessionization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_dashboard.dir/sql_dashboard.cpp.o"
+  "CMakeFiles/sql_dashboard.dir/sql_dashboard.cpp.o.d"
+  "sql_dashboard"
+  "sql_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

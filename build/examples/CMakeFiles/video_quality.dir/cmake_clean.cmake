@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_quality.dir/video_quality.cpp.o"
+  "CMakeFiles/video_quality.dir/video_quality.cpp.o.d"
+  "video_quality"
+  "video_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cc" "src/CMakeFiles/sstreaming.dir/analysis/analyzer.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/analysis/analyzer.cc.o.d"
+  "/root/repo/src/baselines/flinksim.cc" "src/CMakeFiles/sstreaming.dir/baselines/flinksim.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/baselines/flinksim.cc.o.d"
+  "/root/repo/src/baselines/kstreamssim.cc" "src/CMakeFiles/sstreaming.dir/baselines/kstreamssim.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/baselines/kstreamssim.cc.o.d"
+  "/root/repo/src/bus/message_bus.cc" "src/CMakeFiles/sstreaming.dir/bus/message_bus.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/bus/message_bus.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/sstreaming.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/sstreaming.dir/common/json.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/common/json.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/sstreaming.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sstreaming.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/sstreaming.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/connectors/bus_connectors.cc" "src/CMakeFiles/sstreaming.dir/connectors/bus_connectors.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/connectors/bus_connectors.cc.o.d"
+  "/root/repo/src/connectors/file_connectors.cc" "src/CMakeFiles/sstreaming.dir/connectors/file_connectors.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/connectors/file_connectors.cc.o.d"
+  "/root/repo/src/connectors/memory.cc" "src/CMakeFiles/sstreaming.dir/connectors/memory.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/connectors/memory.cc.o.d"
+  "/root/repo/src/connectors/rate_source.cc" "src/CMakeFiles/sstreaming.dir/connectors/rate_source.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/connectors/rate_source.cc.o.d"
+  "/root/repo/src/exec/batch_executor.cc" "src/CMakeFiles/sstreaming.dir/exec/batch_executor.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/exec/batch_executor.cc.o.d"
+  "/root/repo/src/exec/continuous.cc" "src/CMakeFiles/sstreaming.dir/exec/continuous.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/exec/continuous.cc.o.d"
+  "/root/repo/src/exec/query_manager.cc" "src/CMakeFiles/sstreaming.dir/exec/query_manager.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/exec/query_manager.cc.o.d"
+  "/root/repo/src/exec/streaming_query.cc" "src/CMakeFiles/sstreaming.dir/exec/streaming_query.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/exec/streaming_query.cc.o.d"
+  "/root/repo/src/expr/aggregate.cc" "src/CMakeFiles/sstreaming.dir/expr/aggregate.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/expr/aggregate.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "src/CMakeFiles/sstreaming.dir/expr/expression.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/expr/expression.cc.o.d"
+  "/root/repo/src/incremental/incrementalizer.cc" "src/CMakeFiles/sstreaming.dir/incremental/incrementalizer.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/incremental/incrementalizer.cc.o.d"
+  "/root/repo/src/logical/dataframe.cc" "src/CMakeFiles/sstreaming.dir/logical/dataframe.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/logical/dataframe.cc.o.d"
+  "/root/repo/src/logical/plan.cc" "src/CMakeFiles/sstreaming.dir/logical/plan.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/logical/plan.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/sstreaming.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/physical/operators.cc" "src/CMakeFiles/sstreaming.dir/physical/operators.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/physical/operators.cc.o.d"
+  "/root/repo/src/physical/phys_op.cc" "src/CMakeFiles/sstreaming.dir/physical/phys_op.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/physical/phys_op.cc.o.d"
+  "/root/repo/src/physical/stateful_ops.cc" "src/CMakeFiles/sstreaming.dir/physical/stateful_ops.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/physical/stateful_ops.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/CMakeFiles/sstreaming.dir/runtime/scheduler.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/runtime/scheduler.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/sstreaming.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/sql/parser.cc.o.d"
+  "/root/repo/src/state/state_store.cc" "src/CMakeFiles/sstreaming.dir/state/state_store.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/state/state_store.cc.o.d"
+  "/root/repo/src/storage/fs.cc" "src/CMakeFiles/sstreaming.dir/storage/fs.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/storage/fs.cc.o.d"
+  "/root/repo/src/types/column.cc" "src/CMakeFiles/sstreaming.dir/types/column.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/types/column.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "src/CMakeFiles/sstreaming.dir/types/data_type.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/types/data_type.cc.o.d"
+  "/root/repo/src/types/record_batch.cc" "src/CMakeFiles/sstreaming.dir/types/record_batch.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/types/record_batch.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/sstreaming.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/sstreaming.dir/types/value.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/types/value.cc.o.d"
+  "/root/repo/src/wal/write_ahead_log.cc" "src/CMakeFiles/sstreaming.dir/wal/write_ahead_log.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/wal/write_ahead_log.cc.o.d"
+  "/root/repo/src/workloads/yahoo.cc" "src/CMakeFiles/sstreaming.dir/workloads/yahoo.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/workloads/yahoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_policy_test.dir/checkpoint_policy_test.cpp.o"
+  "CMakeFiles/checkpoint_policy_test.dir/checkpoint_policy_test.cpp.o.d"
+  "checkpoint_policy_test"
+  "checkpoint_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectors_test.dir/connectors_test.cpp.o"
+  "CMakeFiles/connectors_test.dir/connectors_test.cpp.o.d"
+  "connectors_test"
+  "connectors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

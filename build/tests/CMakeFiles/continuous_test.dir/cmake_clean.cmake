@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_test.dir/continuous_test.cpp.o"
+  "CMakeFiles/continuous_test.dir/continuous_test.cpp.o.d"
+  "continuous_test"
+  "continuous_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expression_test.dir/expression_test.cpp.o"
+  "CMakeFiles/expression_test.dir/expression_test.cpp.o.d"
+  "expression_test"
+  "expression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

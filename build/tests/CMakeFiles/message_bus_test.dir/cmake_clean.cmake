@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_bus_test.dir/message_bus_test.cpp.o"
+  "CMakeFiles/message_bus_test.dir/message_bus_test.cpp.o.d"
+  "message_bus_test"
+  "message_bus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

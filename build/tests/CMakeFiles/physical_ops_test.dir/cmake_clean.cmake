@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physical_ops_test.dir/physical_ops_test.cpp.o"
+  "CMakeFiles/physical_ops_test.dir/physical_ops_test.cpp.o.d"
+  "physical_ops_test"
+  "physical_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physical_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_manager_test.dir/query_manager_test.cpp.o"
+  "CMakeFiles/query_manager_test.dir/query_manager_test.cpp.o.d"
+  "query_manager_test"
+  "query_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

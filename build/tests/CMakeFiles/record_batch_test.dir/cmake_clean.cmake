@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_batch_test.dir/record_batch_test.cpp.o"
+  "CMakeFiles/record_batch_test.dir/record_batch_test.cpp.o.d"
+  "record_batch_test"
+  "record_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

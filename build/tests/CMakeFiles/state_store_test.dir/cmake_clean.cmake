@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_store_test.dir/state_store_test.cpp.o"
+  "CMakeFiles/state_store_test.dir/state_store_test.cpp.o.d"
+  "state_store_test"
+  "state_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

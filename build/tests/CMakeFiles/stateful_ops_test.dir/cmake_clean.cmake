@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stateful_ops_test.dir/stateful_ops_test.cpp.o"
+  "CMakeFiles/stateful_ops_test.dir/stateful_ops_test.cpp.o.d"
+  "stateful_ops_test"
+  "stateful_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stateful_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_query_test.dir/streaming_query_test.cpp.o"
+  "CMakeFiles/streaming_query_test.dir/streaming_query_test.cpp.o.d"
+  "streaming_query_test"
+  "streaming_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watermark_property_test.dir/watermark_property_test.cpp.o"
+  "CMakeFiles/watermark_property_test.dir/watermark_property_test.cpp.o.d"
+  "watermark_property_test"
+  "watermark_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watermark_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yahoo_test.dir/yahoo_test.cpp.o"
+  "CMakeFiles/yahoo_test.dir/yahoo_test.cpp.o.d"
+  "yahoo_test"
+  "yahoo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yahoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -242,4 +242,6 @@ bench/CMakeFiles/bench_incrementalization.dir/bench_incrementalization.cpp.o: \
  /root/repo/src/common/random.h /root/repo/src/common/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/state/state_store.h /root/repo/src/wal/write_ahead_log.h
+ /root/repo/src/state/state_store.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/histogram.h /root/repo/src/obs/progress.h \
+ /root/repo/src/obs/tracer.h /root/repo/src/wal/write_ahead_log.h

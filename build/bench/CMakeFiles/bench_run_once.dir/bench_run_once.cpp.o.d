@@ -218,28 +218,29 @@ bench/CMakeFiles/bench_run_once.dir/bench_run_once.cpp.o: \
  /root/repo/src/types/row.h /root/repo/src/types/schema.h \
  /root/repo/src/common/json.h /root/repo/src/connectors/source.h \
  /root/repo/src/exec/streaming_query.h /usr/include/c++/12/atomic \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/common/clock.h \
- /root/repo/src/incremental/incrementalizer.h \
- /root/repo/src/logical/plan.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/expr/aggregate.h /root/repo/src/expr/expression.h \
- /root/repo/src/physical/phys_op.h /root/repo/src/runtime/scheduler.h \
- /root/repo/src/common/random.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/clock.h \
+ /root/repo/src/incremental/incrementalizer.h \
+ /root/repo/src/logical/plan.h /root/repo/src/expr/aggregate.h \
+ /root/repo/src/expr/expression.h /root/repo/src/physical/phys_op.h \
+ /root/repo/src/runtime/scheduler.h /root/repo/src/common/random.h \
+ /root/repo/src/common/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/state/state_store.h /root/repo/src/logical/dataframe.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/histogram.h \
+ /root/repo/src/obs/progress.h /root/repo/src/obs/tracer.h \
  /root/repo/src/wal/write_ahead_log.h /root/repo/src/storage/fs.h

@@ -244,5 +244,7 @@ bench/CMakeFiles/bench_yahoo_scaling.dir/bench_yahoo_scaling.cpp.o: \
  /root/repo/src/incremental/incrementalizer.h \
  /root/repo/src/logical/plan.h /root/repo/src/expr/aggregate.h \
  /root/repo/src/physical/phys_op.h /root/repo/src/state/state_store.h \
- /root/repo/src/logical/dataframe.h /root/repo/src/wal/write_ahead_log.h \
+ /root/repo/src/logical/dataframe.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/histogram.h /root/repo/src/obs/progress.h \
+ /root/repo/src/obs/tracer.h /root/repo/src/wal/write_ahead_log.h \
  /root/repo/src/workloads/yahoo.h

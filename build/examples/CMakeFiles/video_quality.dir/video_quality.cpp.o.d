@@ -244,4 +244,6 @@ examples/CMakeFiles/video_quality.dir/video_quality.cpp.o: \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/state/state_store.h /root/repo/src/logical/dataframe.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/histogram.h \
+ /root/repo/src/obs/progress.h /root/repo/src/obs/tracer.h \
  /root/repo/src/wal/write_ahead_log.h

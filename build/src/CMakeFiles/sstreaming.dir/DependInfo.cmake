@@ -30,6 +30,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/incremental/incrementalizer.cc" "src/CMakeFiles/sstreaming.dir/incremental/incrementalizer.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/incremental/incrementalizer.cc.o.d"
   "/root/repo/src/logical/dataframe.cc" "src/CMakeFiles/sstreaming.dir/logical/dataframe.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/logical/dataframe.cc.o.d"
   "/root/repo/src/logical/plan.cc" "src/CMakeFiles/sstreaming.dir/logical/plan.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/logical/plan.cc.o.d"
+  "/root/repo/src/obs/histogram.cc" "src/CMakeFiles/sstreaming.dir/obs/histogram.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/obs/histogram.cc.o.d"
+  "/root/repo/src/obs/listener.cc" "src/CMakeFiles/sstreaming.dir/obs/listener.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/obs/listener.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/sstreaming.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/progress.cc" "src/CMakeFiles/sstreaming.dir/obs/progress.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/obs/progress.cc.o.d"
+  "/root/repo/src/obs/tracer.cc" "src/CMakeFiles/sstreaming.dir/obs/tracer.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/obs/tracer.cc.o.d"
   "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/sstreaming.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/optimizer/optimizer.cc.o.d"
   "/root/repo/src/physical/operators.cc" "src/CMakeFiles/sstreaming.dir/physical/operators.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/physical/operators.cc.o.d"
   "/root/repo/src/physical/phys_op.cc" "src/CMakeFiles/sstreaming.dir/physical/phys_op.cc.o" "gcc" "src/CMakeFiles/sstreaming.dir/physical/phys_op.cc.o.d"

@@ -246,4 +246,5 @@ src/CMakeFiles/sstreaming.dir/physical/phys_op.cc.o: \
  /usr/include/c++/12/bits/locale_conv.h /usr/include/c++/12/iomanip \
  /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/storage/fs.h
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/histogram.h \
+ /root/repo/src/obs/tracer.h /root/repo/src/storage/fs.h

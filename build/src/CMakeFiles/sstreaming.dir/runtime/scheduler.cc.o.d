@@ -226,4 +226,8 @@ src/CMakeFiles/sstreaming.dir/runtime/scheduler.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/clock.h
+ /root/repo/src/common/clock.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/json.h \
+ /root/repo/src/obs/histogram.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_listener_test.dir/obs_listener_test.cpp.o"
+  "CMakeFiles/obs_listener_test.dir/obs_listener_test.cpp.o.d"
+  "obs_listener_test"
+  "obs_listener_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_listener_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_metrics_test.dir/obs_metrics_test.cpp.o"
+  "CMakeFiles/obs_metrics_test.dir/obs_metrics_test.cpp.o.d"
+  "obs_metrics_test"
+  "obs_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -323,4 +323,6 @@ tests/CMakeFiles/yahoo_test.dir/yahoo_test.cpp.o: \
  /root/repo/src/common/clock.h \
  /root/repo/src/incremental/incrementalizer.h \
  /root/repo/src/physical/phys_op.h /root/repo/src/state/state_store.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/histogram.h \
+ /root/repo/src/obs/progress.h /root/repo/src/obs/tracer.h \
  /root/repo/src/wal/write_ahead_log.h

@@ -1,6 +1,7 @@
 #ifndef SSTREAMING_COMMON_LOGGING_H_
 #define SSTREAMING_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -15,6 +16,36 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// benchmarks stay quiet; examples raise it to kInfo.
 LogLevel& GlobalLogLevel();
 
+/// Scoped log context: while an instance is alive, every SS_LOG message
+/// emitted on this thread carries a "[query=<name> epoch=<N>]" prefix, so
+/// interleaved logs from concurrent queries stay attributable. Nestable
+/// (the innermost context wins); restores the previous context on exit.
+class LogContext {
+ public:
+  LogContext(const std::string& query_id, int64_t epoch)
+      : saved_(MutablePrefix()) {
+    std::string prefix = "[";
+    if (!query_id.empty()) prefix += "query=" + query_id + " ";
+    prefix += "epoch=" + std::to_string(epoch) + "] ";
+    MutablePrefix() = std::move(prefix);
+  }
+  ~LogContext() { MutablePrefix() = saved_; }
+
+  LogContext(const LogContext&) = delete;
+  LogContext& operator=(const LogContext&) = delete;
+
+  /// The prefix in force on this thread ("" when no context is active).
+  static const std::string& Current() { return MutablePrefix(); }
+
+ private:
+  static std::string& MutablePrefix() {
+    static thread_local std::string prefix;
+    return prefix;
+  }
+
+  std::string saved_;
+};
+
 namespace internal_logging {
 
 class LogMessage {
@@ -22,7 +53,7 @@ class LogMessage {
   LogMessage(LogLevel level, const char* file, int line, bool fatal = false)
       : level_(level), fatal_(fatal) {
     stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
+            << "] " << LogContext::Current();
   }
 
   ~LogMessage() {
@@ -94,7 +125,14 @@ struct Voidify {
     SS_CHECK(_st.ok()) << _st.ToString();                                  \
   } while (0)
 
+// Debug-only invariant check: compiled out (condition not evaluated) in
+// NDEBUG builds.
+#ifdef NDEBUG
+#define SS_DCHECK(cond) \
+  while (false) SS_CHECK(cond)
+#else
 #define SS_DCHECK(cond) SS_CHECK(cond)
+#endif
 
 }  // namespace sstreaming
 

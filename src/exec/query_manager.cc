@@ -27,13 +27,39 @@ Status QueryManager::StartQuerySynchronous(const std::string& name,
       return Status::AlreadyExists("query '" + name + "' is already active");
     }
   }
+  if (options.query_name.empty()) options.query_name = name;
+  const Clock* clock =
+      options.clock != nullptr ? options.clock : SystemClock::Default();
   SS_ASSIGN_OR_RETURN(std::unique_ptr<StreamingQuery> query,
                       StreamingQuery::Start(df, std::move(sink), options));
-  std::lock_guard<std::mutex> lock(mu_);
-  if (queries_.count(name)) {
-    return Status::AlreadyExists("query '" + name + "' raced registration");
+  // Wire the query's per-epoch and termination callbacks into the listener
+  // bus. Callbacks fire on the trigger-driving thread; the bus (a member)
+  // outlives every managed query, including during StopAll().
+  query->SetProgressCallback([this, name](const QueryProgress& progress) {
+    QueryProgressEvent event;
+    event.name = name;
+    event.progress = progress;
+    bus_.NotifyProgress(event);
+  });
+  query->SetTerminationCallback(
+      [this, name](const Status& error, int64_t last_epoch) {
+        QueryTerminatedEvent event;
+        event.name = name;
+        event.error = error;
+        event.last_epoch = last_epoch;
+        bus_.NotifyTerminated(event);
+      });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queries_.count(name)) {
+      return Status::AlreadyExists("query '" + name + "' raced registration");
+    }
+    queries_[name] = std::move(query);
   }
-  queries_[name] = std::move(query);
+  QueryStartedEvent started;
+  started.name = name;
+  started.timestamp_micros = clock->NowMicros();
+  bus_.NotifyStarted(started);
   return Status::OK();
 }
 
@@ -106,33 +132,64 @@ Status QueryManager::AnyError() const {
   return Status::OK();
 }
 
+Status MetricsEventLog::AppendLineLocked(std::ofstream& out,
+                                         const std::string& query_name,
+                                         const QueryProgress& progress) {
+  Json obj = progress.ToJson();
+  obj.Set("query", Json::Str(query_name));
+  std::string line = obj.Dump();
+  line += "\n";
+  out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  // Flush and re-check after *every* line: a full disk or revoked
+  // permission must fail the epoch that hit it, not be noticed (or lost)
+  // lines later.
+  out.flush();
+  if (!out.good()) {
+    status_ = Status::IOError("failed writing metrics log " + path_ +
+                              " at epoch " + std::to_string(progress.epoch) +
+                              " of query '" + query_name + "'");
+    return status_;
+  }
+  last_reported_[query_name] = progress.epoch;
+  return Status::OK();
+}
+
 Status MetricsEventLog::Report(const std::string& query_name,
                                const StreamingQuery& query) {
   std::lock_guard<std::mutex> lock(mu_);
-  int64_t& last = last_reported_[query_name];
-  std::string lines;
+  int64_t last = last_reported_[query_name];
+  std::vector<const QueryProgress*> fresh;
   for (const QueryProgress& p : query.recent_progress()) {
-    if (p.epoch <= last) continue;
-    Json obj = Json::Object();
-    obj.Set("query", Json::Str(query_name));
-    obj.Set("epoch", Json::Int(p.epoch));
-    obj.Set("rowsRead", Json::Int(p.rows_read));
-    obj.Set("rowsWritten", Json::Int(p.rows_written));
-    if (p.watermark_micros != INT64_MIN) {
-      obj.Set("watermarkMicros", Json::Int(p.watermark_micros));
-    }
-    obj.Set("stateEntries", Json::Int(p.state_entries));
-    obj.Set("durationNanos", Json::Int(p.duration_nanos));
-    lines += obj.Dump();
-    lines += "\n";
-    last = p.epoch;
+    if (p.epoch > last) fresh.push_back(&p);
   }
-  if (lines.empty()) return Status::OK();
+  if (fresh.empty()) return Status::OK();
   std::ofstream out(path_, std::ios::app | std::ios::binary);
-  if (!out) return Status::IOError("cannot open metrics log " + path_);
-  out.write(lines.data(), static_cast<std::streamsize>(lines.size()));
-  if (!out) return Status::IOError("short write to metrics log");
+  if (!out) {
+    status_ = Status::IOError("cannot open metrics log " + path_);
+    return status_;
+  }
+  for (const QueryProgress* p : fresh) {
+    SS_RETURN_IF_ERROR(AppendLineLocked(out, query_name, *p));
+  }
   return Status::OK();
+}
+
+void MetricsEventLog::OnQueryProgress(const QueryProgressEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (event.progress.epoch <= last_reported_[event.name]) return;
+  std::ofstream out(path_, std::ios::app | std::ios::binary);
+  if (!out) {
+    status_ = Status::IOError("cannot open metrics log " + path_);
+    return;
+  }
+  // The listener interface cannot return a Status; failures stick in
+  // status() for the operator to poll.
+  AppendLineLocked(out, event.name, event.progress).ok();
+}
+
+Status MetricsEventLog::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
 }
 
 Result<std::vector<Json>> MetricsEventLog::ReadAll() const {

@@ -1,6 +1,7 @@
 #ifndef SSTREAMING_EXEC_QUERY_MANAGER_H_
 #define SSTREAMING_EXEC_QUERY_MANAGER_H_
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "exec/streaming_query.h"
+#include "obs/listener.h"
 
 namespace sstreaming {
 
@@ -53,29 +55,58 @@ class QueryManager {
   /// First error across queries (OK if none failed).
   Status AnyError() const;
 
+  /// Registers a listener observing every managed query's lifecycle
+  /// (started → progress × N → terminated; see StreamingQueryListener).
+  /// Listeners added after a query started only see its later events.
+  void AddListener(std::shared_ptr<StreamingQueryListener> listener) {
+    bus_.Add(std::move(listener));
+  }
+  void RemoveListener(const StreamingQueryListener* listener) {
+    bus_.Remove(listener);
+  }
+  size_t num_listeners() const { return bus_.size(); }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<StreamingQuery>> queries_;
+  ListenerBus bus_;
 };
 
 /// Appends each epoch's QueryProgress as one JSON line to a file — the
 /// "structured event log" operators feed into their monitoring stacks
-/// (paper §7.4). Call Report() after triggers, or wire it into a driver
-/// loop.
-class MetricsEventLog {
+/// (paper §7.4). It is a StreamingQueryListener: register it on a
+/// QueryManager to stream every epoch's progress to disk as it happens, or
+/// call Report() manually after triggers. Every line is flushed and the
+/// stream state checked before the epoch counts as reported, so a full disk
+/// or revoked permission surfaces as a Status (and via status()) instead of
+/// silently dropping telemetry.
+class MetricsEventLog : public StreamingQueryListener {
  public:
   explicit MetricsEventLog(std::string path) : path_(std::move(path)) {}
 
   /// Appends progress entries newer than the last reported epoch.
   Status Report(const std::string& query_name, const StreamingQuery& query);
 
+  /// Listener hookup: appends the event's progress line immediately.
+  /// Failures are recorded in status() (the listener API has no return).
+  void OnQueryProgress(const QueryProgressEvent& event) override;
+
+  /// Sticky first write error (OK while the log is healthy).
+  Status status() const;
+
   /// Parses the log back (for tests/tools).
   Result<std::vector<Json>> ReadAll() const;
 
  private:
+  /// Appends one line; requires mu_ held. Updates last_reported_ only after
+  /// the line is flushed and verified.
+  Status AppendLineLocked(std::ofstream& out, const std::string& query_name,
+                          const QueryProgress& progress);
+
   std::string path_;
   std::map<std::string, int64_t> last_reported_;
-  std::mutex mu_;
+  Status status_;
+  mutable std::mutex mu_;
 };
 
 }  // namespace sstreaming

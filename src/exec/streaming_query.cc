@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <functional>
+#include <set>
 
 #include "analysis/analyzer.h"
 #include "common/logging.h"
@@ -42,8 +44,24 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Start(
     query->owned_scheduler_ = std::make_unique<InlineScheduler>();
     query->scheduler_ = query->owned_scheduler_.get();
   }
+  // Observability wiring (§7.4): adopt shared instruments or create private
+  // ones, before recovery so replayed epochs are already instrumented.
+  query->metrics_ = options.metrics != nullptr
+                        ? options.metrics
+                        : std::make_shared<MetricsRegistry>();
+  if (options.tracer != nullptr) {
+    query->tracer_ = options.tracer;
+  } else if (options.enable_tracing) {
+    query->tracer_ = std::make_shared<EpochTracer>();
+  }
+  if (query->owned_scheduler_ != nullptr) {
+    // An externally supplied scheduler may be shared across queries (and
+    // outlive this one); its owner decides whether/where it reports.
+    query->owned_scheduler_->set_metrics(query->metrics_.get());
+  }
   SS_ASSIGN_OR_RETURN(query->plan_,
                       Incrementalize(analyzed, options.num_partitions));
+  query->BuildOpIndex();
 
   // Initialize per-source consumed offsets to zero.
   for (const SourcePtr& source : query->plan_.sources) {
@@ -55,12 +73,33 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Start(
     SS_ASSIGN_OR_RETURN(WriteAheadLog wal,
                         WriteAheadLog::Open(options.checkpoint_dir + "/wal"));
     query->wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
+    query->wal_->set_metrics(query->metrics_.get());
     SS_RETURN_IF_ERROR(query->Recover());
   } else {
     query->state_ = std::make_unique<StateManager>("", 0,
                                                    options.state_options);
+    query->state_->set_metrics(query->metrics_.get());
   }
   return query;
+}
+
+void StreamingQuery::BuildOpIndex() {
+  // Pre-order walk; a visited set keeps shared subtrees from being listed
+  // twice (their stats are already per-op_id).
+  std::set<int> seen;
+  std::function<void(const PhysOp&)> walk = [&](const PhysOp& op) {
+    if (!seen.insert(op.op_id()).second) return;
+    OpIndexEntry entry;
+    entry.op_id = op.op_id();
+    entry.name = op.name();
+    entry.is_source = op.is_source_scan();
+    for (const PhysOpPtr& child : op.children()) {
+      entry.child_ids.push_back(child->op_id());
+    }
+    op_index_.push_back(std::move(entry));
+    for (const PhysOpPtr& child : op.children()) walk(*child);
+  };
+  if (plan_.root != nullptr) walk(*plan_.root);
 }
 
 StreamingQuery::~StreamingQuery() { Stop(); }
@@ -78,6 +117,7 @@ Status StreamingQuery::Recover() {
 
   state_ = std::make_unique<StateManager>(options_.checkpoint_dir + "/state",
                                           committed, options_.state_options);
+  state_->set_metrics(metrics_.get());
   if (!latest_planned.has_value()) return Status::OK();
 
   // Open every store that exists on disk so MinLoadedVersion reflects how
@@ -128,6 +168,7 @@ Result<EpochPlan> StreamingQuery::PlanNextEpoch() {
   plan.watermark_micros = watermark_micros_;
   int64_t budget = options_.max_records_per_epoch;
   bool any_new = false;
+  pending_backlog_rows_.clear();
   for (const SourcePtr& source : plan_.sources) {
     SS_ASSIGN_OR_RETURN(std::vector<int64_t> latest,
                         source->LatestOffsets());
@@ -146,13 +187,16 @@ Result<EpochPlan> StreamingQuery::PlanNextEpoch() {
         end[p] = std::min(end[p], start[p] + per_part);
       }
     }
+    int64_t backlog = 0;
     for (size_t p = 0; p < end.size(); ++p) {
       if (end[p] < start[p]) {
         return Status::Internal("source offsets moved backwards: " +
                                 source->name());
       }
       if (end[p] > start[p]) any_new = true;
+      backlog += latest[p] - end[p];  // deferred by max_records_per_epoch
     }
+    pending_backlog_rows_[source->name()] = backlog;
     plan.sources.push_back(SourceOffsets{source->name(), start, end});
   }
   if (!any_new) plan.epoch = -1;  // sentinel: nothing to do
@@ -160,7 +204,20 @@ Result<EpochPlan> StreamingQuery::PlanNextEpoch() {
 }
 
 Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
-  int64_t t0 = MonotonicNanos();
+  // Stage timing: ProcessOneTrigger seeds the epoch start (taken before
+  // planning) plus the planning duration; recovery replay enters directly,
+  // so its epochs have no plan or trigger-wait stage.
+  int64_t t0 = pending_epoch_start_nanos_ != 0 ? pending_epoch_start_nanos_
+                                               : MonotonicNanos();
+  int64_t plan_nanos = pending_plan_nanos_;
+  int64_t trigger_wait = pending_trigger_wait_nanos_;
+  std::map<std::string, int64_t> backlog = std::move(pending_backlog_rows_);
+  pending_epoch_start_nanos_ = 0;
+  pending_plan_nanos_ = 0;
+  pending_trigger_wait_nanos_ = 0;
+  pending_backlog_rows_.clear();
+  LogContext log_ctx(options_.query_name, plan.epoch);
+
   ExecContext ctx;
   ctx.epoch = plan.epoch;
   ctx.watermark_micros = plan.watermark_micros;
@@ -168,16 +225,20 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   ctx.scheduler = scheduler_;
   ctx.state = state_.get();
   ctx.clock = clock_;
+  ctx.tracer = tracer_.get();
   for (const SourceOffsets& so : plan.sources) {
     ctx.offsets[so.source_name] = {so.start, so.end};
   }
 
+  int64_t exec_t0 = MonotonicNanos();
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> output,
                       plan_.root->Execute(&ctx));
+  int64_t exec_total = MonotonicNanos() - exec_t0;
 
   // §6.1 commit protocol: checkpoint state, then commit the sink, then log
   // the commit. A crash between any two steps is repaired by replaying this
   // epoch (idempotent sink, state restored to the pre-epoch version).
+  int64_t ckpt_t0 = MonotonicNanos();
   if (plan_.has_stateful) {
     const int interval = options_.state_checkpoint_interval;
     if (interval <= 1 || plan.epoch % interval == 0) {
@@ -185,6 +246,7 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
       last_state_commit_ = plan.epoch;
     }
   }
+  int64_t ckpt_end = MonotonicNanos();
   int num_keys = options_.mode == OutputMode::kUpdate
                      ? plan_.num_key_columns
                      : 0;
@@ -238,6 +300,7 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
       }
     }
   }
+  int64_t commit_end = MonotonicNanos();
 
   QueryProgress progress;
   progress.epoch = plan.epoch;
@@ -245,11 +308,133 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   for (const RecordBatchPtr& b : output) progress.rows_written += b->num_rows();
   progress.watermark_micros = watermark_micros_;
   progress.state_entries = state_->TotalEntries();
-  progress.duration_nanos = MonotonicNanos() - t0;
+  progress.trigger_wait_nanos = trigger_wait;
+  progress.plan_nanos = plan_nanos;
+  // Source-scan leaves run their partition reads inside their own Execute,
+  // so their inclusive wall times are disjoint from each other; attribute
+  // them as the epoch's "source read" stage and the rest of the DAG as
+  // "exec".
+  int64_t source_read = 0;
+  {
+    std::lock_guard<std::mutex> lock(ctx.metrics_mu);
+    for (const OpIndexEntry& entry : op_index_) {
+      if (!entry.is_source) continue;
+      auto it = ctx.op_stats.find(entry.op_id);
+      if (it != ctx.op_stats.end()) source_read += it->second.wall_nanos;
+    }
+  }
+  source_read = std::min(source_read, exec_total);
+  progress.source_read_nanos = source_read;
+  progress.exec_nanos = exec_total - source_read;
+  progress.checkpoint_nanos = ckpt_end - ckpt_t0;
+  progress.commit_nanos = commit_end - ckpt_end;
+  // `other` absorbs the unattributed remainder (context setup, watermark
+  // bookkeeping) so the stages always sum to the epoch duration.
+  int64_t accounted = plan_nanos + exec_total + progress.checkpoint_nanos +
+                      progress.commit_nanos;
+  progress.other_nanos = std::max<int64_t>(0, (commit_end - t0) - accounted);
+  progress.duration_nanos = progress.StageSumNanos();
+  SS_DCHECK(progress.duration_nanos == progress.StageSumNanos());
+
+  // Per-source input summaries (rates over the processing duration; backlog
+  // from plan time when max_records_per_epoch capped the batch).
+  double secs = static_cast<double>(progress.duration_nanos) / 1e9;
+  {
+    std::lock_guard<std::mutex> lock(ctx.metrics_mu);
+    for (const SourceOffsets& so : plan.sources) {
+      SourceProgress sp;
+      sp.name = so.source_name;
+      auto it = ctx.source_rows.find(so.source_name);
+      if (it != ctx.source_rows.end()) sp.rows = it->second;
+      sp.rows_per_sec =
+          secs > 0 ? static_cast<double>(sp.rows) / secs : 0;
+      auto bit = backlog.find(so.source_name);
+      if (bit != backlog.end()) sp.backlog_rows = bit->second;
+      progress.sources.push_back(std::move(sp));
+    }
+    // Per-operator summaries, in plan pre-order. rows_in is the children's
+    // combined output; cpu is the operator's inclusive wall time minus its
+    // children's (self time).
+    for (const OpIndexEntry& entry : op_index_) {
+      OperatorProgress op;
+      op.op_id = entry.op_id;
+      op.name = entry.name;
+      int64_t wall = 0;
+      auto it = ctx.op_stats.find(entry.op_id);
+      if (it != ctx.op_stats.end()) {
+        op.rows_out = it->second.rows_out;
+        op.batches = it->second.batches;
+        wall = it->second.wall_nanos;
+      }
+      int64_t children_wall = 0;
+      for (int child_id : entry.child_ids) {
+        auto cit = ctx.op_stats.find(child_id);
+        if (cit != ctx.op_stats.end()) {
+          op.rows_in += cit->second.rows_out;
+          children_wall += cit->second.wall_nanos;
+        }
+      }
+      op.cpu_nanos = std::max<int64_t>(0, wall - children_wall);
+      progress.operators.push_back(std::move(op));
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("sstreaming_epochs_total")->Increment();
+    metrics_->GetCounter("sstreaming_rows_read_total")
+        ->Increment(progress.rows_read);
+    metrics_->GetCounter("sstreaming_rows_written_total")
+        ->Increment(progress.rows_written);
+    metrics_->GetHistogram("sstreaming_epoch_duration_nanos")
+        ->Record(progress.duration_nanos);
+    if (progress.watermark_micros != INT64_MIN) {
+      metrics_->GetGauge("sstreaming_watermark_micros")
+          ->Set(progress.watermark_micros);
+    }
+    for (const SourceProgress& sp : progress.sources) {
+      metrics_->GetCounter("sstreaming_source_rows_total",
+                           {{"source", sp.name}})
+          ->Increment(sp.rows);
+    }
+    for (const OperatorProgress& op : progress.operators) {
+      MetricLabels labels{{"op", op.name},
+                          {"op_id", std::to_string(op.op_id)}};
+      metrics_->GetCounter("sstreaming_operator_rows_in_total", labels)
+          ->Increment(op.rows_in);
+      metrics_->GetCounter("sstreaming_operator_rows_out_total", labels)
+          ->Increment(op.rows_out);
+      metrics_->GetCounter("sstreaming_operator_batches_total", labels)
+          ->Increment(op.batches);
+      metrics_->GetCounter("sstreaming_operator_cpu_nanos_total", labels)
+          ->Increment(op.cpu_nanos);
+    }
+  }
+
+  if (tracer_ != nullptr) {
+    // The per-stage spans tile the epoch span: plan | execute | checkpoint |
+    // commit | finalize, in timeline order (per-operator spans nest inside
+    // "execute", recorded by PhysOp::Execute).
+    if (plan_nanos > 0) {
+      tracer_->AddSpan("plan", "stage", t0, plan_nanos, plan.epoch);
+    }
+    tracer_->AddSpan("execute", "stage", exec_t0, exec_total, plan.epoch);
+    tracer_->AddSpan("checkpoint", "stage", ckpt_t0,
+                     progress.checkpoint_nanos, plan.epoch);
+    tracer_->AddSpan("commit", "stage", ckpt_end, progress.commit_nanos,
+                     plan.epoch);
+    if (progress.other_nanos > 0) {
+      tracer_->AddSpan("finalize", "stage", commit_end, progress.other_nanos,
+                       plan.epoch);
+    }
+    tracer_->AddSpan("epoch-" + std::to_string(plan.epoch), "epoch", t0,
+                     progress.duration_nanos, plan.epoch);
+  }
+
   progress_.push_back(progress);
   if (progress_.size() > 256) {
     progress_.erase(progress_.begin(), progress_.begin() + 128);
   }
+  if (progress_callback_) progress_callback_(progress_.back());
   return Status::OK();
 }
 
@@ -259,15 +444,28 @@ Result<bool> StreamingQuery::ProcessOneTrigger() {
         "query previously failed (" + error_.ToString() +
         "); fix the code and restart from the checkpoint (§7.1)");
   }
+  int64_t now = MonotonicNanos();
+  pending_trigger_wait_nanos_ =
+      last_trigger_end_nanos_ != 0 ? now - last_trigger_end_nanos_ : 0;
+  pending_epoch_start_nanos_ = now;
   SS_ASSIGN_OR_RETURN(EpochPlan plan, PlanNextEpoch());
-  if (plan.epoch < 0) return false;  // no new data
+  if (plan.epoch < 0) {
+    // No new data: idle trigger, nothing to time.
+    pending_epoch_start_nanos_ = 0;
+    pending_trigger_wait_nanos_ = 0;
+    last_trigger_end_nanos_ = MonotonicNanos();
+    return false;
+  }
   // Write the plan to the log *before* executing (§6.1 step 1).
   if (wal_ != nullptr) {
     SS_RETURN_IF_ERROR(wal_->WritePlan(plan));
   }
+  pending_plan_nanos_ = MonotonicNanos() - now;
   Status s = RunPlannedEpoch(plan);
+  last_trigger_end_nanos_ = MonotonicNanos();
   if (!s.ok()) {
     error_ = s;
+    NotifyTerminated();
     return s;
   }
   return true;
@@ -310,6 +508,13 @@ void StreamingQuery::Stop() {
   stop_requested_.store(true);
   if (background_.joinable()) background_.join();
   background_active_.store(false);
+  NotifyTerminated();
+}
+
+void StreamingQuery::NotifyTerminated() {
+  // Exactly once across Stop(), destruction and epoch failure.
+  if (termination_notified_.exchange(true)) return;
+  if (termination_callback_) termination_callback_(error_, last_epoch_);
 }
 
 Status StreamingQuery::Rollback(const std::string& checkpoint_dir,

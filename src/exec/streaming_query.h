@@ -2,6 +2,7 @@
 #define SSTREAMING_EXEC_STREAMING_QUERY_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -11,6 +12,9 @@
 #include "connectors/sink.h"
 #include "incremental/incrementalizer.h"
 #include "logical/dataframe.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/tracer.h"
 #include "runtime/scheduler.h"
 #include "wal/write_ahead_log.h"
 
@@ -62,16 +66,16 @@ struct QueryOptions {
   const Clock* clock = nullptr;           // default: SystemClock
   TaskScheduler* scheduler = nullptr;     // default: InlineScheduler
   bool run_optimizer = true;
-};
 
-/// Per-epoch progress information (paper §7.4 monitoring).
-struct QueryProgress {
-  int64_t epoch = 0;
-  int64_t rows_read = 0;
-  int64_t rows_written = 0;
-  int64_t watermark_micros = INT64_MIN;
-  int64_t state_entries = 0;
-  int64_t duration_nanos = 0;
+  /// Name used in progress events, metric log lines and log prefixes.
+  std::string query_name;
+  /// Metrics registry to record into; the query creates a private one when
+  /// unset. Pass a shared registry to aggregate several queries.
+  std::shared_ptr<MetricsRegistry> metrics;
+  /// Epoch tracer to record spans into; the query creates a private one
+  /// when unset (unless tracing is disabled).
+  std::shared_ptr<EpochTracer> tracer;
+  bool enable_tracing = true;
 };
 
 /// A running (or runnable) incremental query: the microbatch execution mode
@@ -113,6 +117,24 @@ class StreamingQuery {
   int64_t last_epoch() const { return last_epoch_; }
   int64_t watermark_micros() const { return watermark_micros_; }
   const PhysicalPlan& physical_plan() const { return plan_; }
+
+  /// The registry this query records into (never null after Start).
+  const std::shared_ptr<MetricsRegistry>& metrics() const { return metrics_; }
+  /// The epoch tracer (null when tracing is disabled).
+  const std::shared_ptr<EpochTracer>& tracer() const { return tracer_; }
+
+  /// Invoked synchronously after every completed epoch, including recovery
+  /// replay. Set before driving the query (QueryManager wires this to its
+  /// listener bus).
+  void SetProgressCallback(std::function<void(const QueryProgress&)> cb) {
+    progress_callback_ = std::move(cb);
+  }
+  /// Invoked exactly once when the query terminates: on Stop(), destruction,
+  /// or the first failed epoch (with the failure status).
+  void SetTerminationCallback(
+      std::function<void(const Status&, int64_t last_epoch)> cb) {
+    termination_callback_ = std::move(cb);
+  }
   /// Non-OK once an epoch has failed; the query must be restarted (§7.1:
   /// fix the UDF, restart from the log).
   const Status& error() const { return error_; }
@@ -131,6 +153,17 @@ class StreamingQuery {
   /// recovery replay.
   Status RunPlannedEpoch(const EpochPlan& plan);
   Result<EpochPlan> PlanNextEpoch();
+  void BuildOpIndex();
+  void NotifyTerminated();
+
+  /// One physical-plan node, in pre-order (root first) — the skeleton
+  /// per-operator progress is derived against each epoch.
+  struct OpIndexEntry {
+    int op_id = 0;
+    std::string name;
+    bool is_source = false;
+    std::vector<int> child_ids;
+  };
 
   QueryOptions options_;
   SinkPtr sink_;
@@ -150,6 +183,21 @@ class StreamingQuery {
   std::map<std::string, std::vector<int64_t>> committed_offsets_;
   std::vector<QueryProgress> progress_;
   Status error_;
+
+  // Observability (§7.4).
+  std::shared_ptr<MetricsRegistry> metrics_;
+  std::shared_ptr<EpochTracer> tracer_;
+  std::vector<OpIndexEntry> op_index_;
+  std::function<void(const QueryProgress&)> progress_callback_;
+  std::function<void(const Status&, int64_t)> termination_callback_;
+  std::atomic<bool> termination_notified_{false};
+  // Stage-timing state handed from ProcessOneTrigger to RunPlannedEpoch
+  // (zero during recovery replay, which skips the planning stage).
+  int64_t pending_epoch_start_nanos_ = 0;
+  int64_t pending_plan_nanos_ = 0;
+  int64_t pending_trigger_wait_nanos_ = 0;
+  int64_t last_trigger_end_nanos_ = 0;
+  std::map<std::string, int64_t> pending_backlog_rows_;
 
   std::thread background_;
   std::atomic<bool> background_active_{false};

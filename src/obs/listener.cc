@@ -1,0 +1,87 @@
+#include "obs/listener.h"
+
+#include <algorithm>
+
+namespace sstreaming {
+
+void ListenerBus::Add(std::shared_ptr<StreamingQueryListener> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+void ListenerBus::Remove(const StreamingQueryListener* listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(
+      std::remove_if(listeners_.begin(), listeners_.end(),
+                     [listener](const auto& l) { return l.get() == listener; }),
+      listeners_.end());
+}
+
+size_t ListenerBus::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return listeners_.size();
+}
+
+std::vector<std::shared_ptr<StreamingQueryListener>>
+ListenerBus::SnapshotListeners() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return listeners_;
+}
+
+void ListenerBus::NotifyStarted(const QueryStartedEvent& event) const {
+  for (const auto& l : SnapshotListeners()) l->OnQueryStarted(event);
+}
+
+void ListenerBus::NotifyProgress(const QueryProgressEvent& event) const {
+  for (const auto& l : SnapshotListeners()) l->OnQueryProgress(event);
+}
+
+void ListenerBus::NotifyTerminated(const QueryTerminatedEvent& event) const {
+  for (const auto& l : SnapshotListeners()) l->OnQueryTerminated(event);
+}
+
+void CollectingListener::OnQueryStarted(const QueryStartedEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  started_.push_back(event);
+  timeline_.emplace_back(event.name, "started");
+}
+
+void CollectingListener::OnQueryProgress(const QueryProgressEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  progress_.push_back(event);
+  timeline_.emplace_back(event.name, "progress");
+}
+
+void CollectingListener::OnQueryTerminated(const QueryTerminatedEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  terminated_.push_back(event);
+  timeline_.emplace_back(event.name, "terminated");
+}
+
+std::vector<QueryStartedEvent> CollectingListener::started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_;
+}
+
+std::vector<QueryProgressEvent> CollectingListener::progress() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return progress_;
+}
+
+std::vector<QueryTerminatedEvent> CollectingListener::terminated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return terminated_;
+}
+
+std::string CollectingListener::Timeline(const std::string& query_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, kind] : timeline_) {
+    if (name != query_name) continue;
+    if (!out.empty()) out += ",";
+    out += kind;
+  }
+  return out;
+}
+
+}  // namespace sstreaming

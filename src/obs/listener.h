@@ -1,0 +1,98 @@
+#ifndef SSTREAMING_OBS_LISTENER_H_
+#define SSTREAMING_OBS_LISTENER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/progress.h"
+
+namespace sstreaming {
+
+struct QueryStartedEvent {
+  std::string name;
+  int64_t timestamp_micros = 0;
+};
+
+struct QueryProgressEvent {
+  std::string name;
+  QueryProgress progress;
+};
+
+struct QueryTerminatedEvent {
+  std::string name;
+  /// OK for a clean Stop(); the failing epoch's error otherwise.
+  Status error;
+  int64_t last_epoch = 0;
+};
+
+/// The public monitoring interface (paper §7.4, mirroring Spark's
+/// StreamingQueryListener): register one on QueryManager to observe every
+/// query's lifecycle. Per query the callback order is
+///   OnQueryStarted → OnQueryProgress × N → OnQueryTerminated
+/// with OnQueryTerminated fired exactly once — on Stop(), on unregistration,
+/// or as soon as an epoch fails. Callbacks run on the thread that drove the
+/// trigger (the query's background thread or the caller of
+/// ProcessAllAvailable); implementations must be thread-safe across queries
+/// and must not block for long — they are on the trigger path.
+class StreamingQueryListener {
+ public:
+  virtual ~StreamingQueryListener() = default;
+
+  virtual void OnQueryStarted(const QueryStartedEvent& event) { (void)event; }
+  virtual void OnQueryProgress(const QueryProgressEvent& event) {
+    (void)event;
+  }
+  virtual void OnQueryTerminated(const QueryTerminatedEvent& event) {
+    (void)event;
+  }
+};
+
+/// Thread-safe fan-out of listener callbacks (used by QueryManager; usable
+/// standalone when driving StreamingQuery directly).
+class ListenerBus {
+ public:
+  void Add(std::shared_ptr<StreamingQueryListener> listener);
+  /// Removes a previously added listener (no-op if absent).
+  void Remove(const StreamingQueryListener* listener);
+  size_t size() const;
+
+  void NotifyStarted(const QueryStartedEvent& event) const;
+  void NotifyProgress(const QueryProgressEvent& event) const;
+  void NotifyTerminated(const QueryTerminatedEvent& event) const;
+
+ private:
+  std::vector<std::shared_ptr<StreamingQueryListener>> SnapshotListeners()
+      const;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<StreamingQueryListener>> listeners_;
+};
+
+/// A listener that collects events in memory — handy for tests and for
+/// polling dashboards.
+class CollectingListener : public StreamingQueryListener {
+ public:
+  void OnQueryStarted(const QueryStartedEvent& event) override;
+  void OnQueryProgress(const QueryProgressEvent& event) override;
+  void OnQueryTerminated(const QueryTerminatedEvent& event) override;
+
+  std::vector<QueryStartedEvent> started() const;
+  std::vector<QueryProgressEvent> progress() const;
+  std::vector<QueryTerminatedEvent> terminated() const;
+  /// Event-kind sequence for one query, e.g. "started,progress,terminated".
+  std::string Timeline(const std::string& query_name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QueryStartedEvent> started_;
+  std::vector<QueryProgressEvent> progress_;
+  std::vector<QueryTerminatedEvent> terminated_;
+  std::vector<std::pair<std::string, std::string>> timeline_;  // (query, kind)
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_OBS_LISTENER_H_

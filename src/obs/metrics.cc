@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include "common/logging.h"
+
+namespace sstreaming {
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string RenderLabels(const MetricLabels& labels,
+                         const std::string& extra_key = "",
+                         const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::InstrumentKey(const std::string& name,
+                                           const MetricLabels& labels) {
+  return name + RenderLabels(labels);
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::FindOrCreate(
+    const std::string& name, MetricLabels labels, Kind kind) {
+  std::string key = InstrumentKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instruments_.find(key);
+  if (it != instruments_.end()) {
+    SS_CHECK(it->second->kind == kind)
+        << "metric '" << key << "' re-registered with a different kind";
+    return it->second.get();
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->name = name;
+  inst->labels = std::move(labels);
+  inst->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      inst->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      inst->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      inst->histogram = std::make_unique<LogHistogram>();
+      break;
+  }
+  Instrument* raw = inst.get();
+  instruments_[key] = std::move(inst);
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     MetricLabels labels) {
+  return FindOrCreate(name, std::move(labels), Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 MetricLabels labels) {
+  return FindOrCreate(name, std::move(labels), Kind::kGauge)->gauge.get();
+}
+
+LogHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                            MetricLabels labels) {
+  return FindOrCreate(name, std::move(labels), Kind::kHistogram)
+      ->histogram.get();
+}
+
+size_t MetricsRegistry::num_instruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, inst] : instruments_) {
+    (void)key;
+    if (inst->name != last_family) {
+      last_family = inst->name;
+      const char* type = inst->kind == Kind::kCounter   ? "counter"
+                         : inst->kind == Kind::kGauge   ? "gauge"
+                                                        : "summary";
+      out += "# TYPE " + inst->name + " " + type + "\n";
+    }
+    switch (inst->kind) {
+      case Kind::kCounter:
+        out += inst->name + RenderLabels(inst->labels) + " " +
+               std::to_string(inst->counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += inst->name + RenderLabels(inst->labels) + " " +
+               std::to_string(inst->gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        LogHistogram::Snapshot snap = inst->histogram->GetSnapshot();
+        out += inst->name + RenderLabels(inst->labels, "quantile", "0.5") +
+               " " + std::to_string(snap.p50) + "\n";
+        out += inst->name + RenderLabels(inst->labels, "quantile", "0.95") +
+               " " + std::to_string(snap.p95) + "\n";
+        out += inst->name + RenderLabels(inst->labels, "quantile", "0.99") +
+               " " + std::to_string(snap.p99) + "\n";
+        out += inst->name + "_sum" + RenderLabels(inst->labels) + " " +
+               std::to_string(snap.sum) + "\n";
+        out += inst->name + "_count" + RenderLabels(inst->labels) + " " +
+               std::to_string(snap.count) + "\n";
+        out += inst->name + "_max" + RenderLabels(inst->labels) + " " +
+               std::to_string(snap.max) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Json MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::Object();
+  Json gauges = Json::Object();
+  Json histograms = Json::Object();
+  for (const auto& [key, inst] : instruments_) {
+    switch (inst->kind) {
+      case Kind::kCounter:
+        counters.Set(key, Json::Int(inst->counter->value()));
+        break;
+      case Kind::kGauge:
+        gauges.Set(key, Json::Int(inst->gauge->value()));
+        break;
+      case Kind::kHistogram: {
+        LogHistogram::Snapshot snap = inst->histogram->GetSnapshot();
+        Json h = Json::Object();
+        h.Set("count", Json::Int(snap.count));
+        h.Set("sum", Json::Int(snap.sum));
+        h.Set("max", Json::Int(snap.max));
+        h.Set("p50", Json::Int(snap.p50));
+        h.Set("p95", Json::Int(snap.p95));
+        h.Set("p99", Json::Int(snap.p99));
+        histograms.Set(key, std::move(h));
+        break;
+      }
+    }
+  }
+  Json out = Json::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace sstreaming

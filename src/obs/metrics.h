@@ -1,0 +1,107 @@
+#ifndef SSTREAMING_OBS_METRICS_H_
+#define SSTREAMING_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/histogram.h"
+
+namespace sstreaming {
+
+/// Ordered (key, value) label pairs attached to an instrument, e.g.
+/// {{"op", "Filter"}, {"op_id", "3"}}. Labels are part of the instrument's
+/// identity: the same name with different labels is a different time series.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// A monotonically increasing counter. Updates are lock-free.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depth, state entries, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A thread-safe registry of named instruments (paper §7.4: the runtime
+/// metrics operators feed into their monitoring stacks). Instruments are
+/// created on first use and live as long as the registry; the returned
+/// pointers are stable, so hot paths look an instrument up once and then
+/// update it lock-free. Dumps render as Prometheus text exposition format
+/// (histograms as summaries with p50/p95/p99 quantiles) or as JSON.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the instrument. Never fails; never returns null.
+  /// Registering the same (name, labels) with a different instrument kind
+  /// is a programmer error and aborts.
+  Counter* GetCounter(const std::string& name, MetricLabels labels = {});
+  Gauge* GetGauge(const std::string& name, MetricLabels labels = {});
+  LogHistogram* GetHistogram(const std::string& name,
+                             MetricLabels labels = {});
+
+  /// Prometheus text exposition format (counters, gauges, and histograms as
+  /// summary families with quantile labels plus _sum/_count/_max samples).
+  std::string ToPrometheusText() const;
+
+  /// JSON form: {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// keyed by "name{label=\"value\",...}".
+  Json ToJson() const;
+
+  /// Number of registered time series (for tests).
+  size_t num_instruments() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    std::string name;
+    MetricLabels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LogHistogram> histogram;
+  };
+
+  Instrument* FindOrCreate(const std::string& name, MetricLabels labels,
+                           Kind kind);
+
+  /// "name{k=\"v\",...}" — sorts families together in the output map.
+  static std::string InstrumentKey(const std::string& name,
+                                   const MetricLabels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Instrument>> instruments_;
+};
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string EscapeLabelValue(const std::string& value);
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_OBS_METRICS_H_

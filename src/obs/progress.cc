@@ -1,0 +1,53 @@
+#include "obs/progress.h"
+
+namespace sstreaming {
+
+Json OperatorProgress::ToJson() const {
+  Json obj = Json::Object();
+  obj.Set("opId", Json::Int(op_id));
+  obj.Set("name", Json::Str(name));
+  obj.Set("rowsIn", Json::Int(rows_in));
+  obj.Set("rowsOut", Json::Int(rows_out));
+  obj.Set("batches", Json::Int(batches));
+  obj.Set("cpuNanos", Json::Int(cpu_nanos));
+  return obj;
+}
+
+Json SourceProgress::ToJson() const {
+  Json obj = Json::Object();
+  obj.Set("name", Json::Str(name));
+  obj.Set("rows", Json::Int(rows));
+  obj.Set("rowsPerSec", Json::Double(rows_per_sec));
+  obj.Set("backlogRows", Json::Int(backlog_rows));
+  return obj;
+}
+
+Json QueryProgress::ToJson() const {
+  Json obj = Json::Object();
+  obj.Set("epoch", Json::Int(epoch));
+  obj.Set("rowsRead", Json::Int(rows_read));
+  obj.Set("rowsWritten", Json::Int(rows_written));
+  if (watermark_micros != INT64_MIN) {
+    obj.Set("watermarkMicros", Json::Int(watermark_micros));
+  }
+  obj.Set("stateEntries", Json::Int(state_entries));
+  obj.Set("durationNanos", Json::Int(duration_nanos));
+  obj.Set("triggerWaitNanos", Json::Int(trigger_wait_nanos));
+  Json durations = Json::Object();
+  durations.Set("planNanos", Json::Int(plan_nanos));
+  durations.Set("sourceReadNanos", Json::Int(source_read_nanos));
+  durations.Set("execNanos", Json::Int(exec_nanos));
+  durations.Set("checkpointNanos", Json::Int(checkpoint_nanos));
+  durations.Set("commitNanos", Json::Int(commit_nanos));
+  durations.Set("otherNanos", Json::Int(other_nanos));
+  obj.Set("durations", std::move(durations));
+  Json srcs = Json::Array();
+  for (const SourceProgress& s : sources) srcs.Append(s.ToJson());
+  obj.Set("sources", std::move(srcs));
+  Json ops = Json::Array();
+  for (const OperatorProgress& o : operators) ops.Append(o.ToJson());
+  obj.Set("operators", std::move(ops));
+  return obj;
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,81 @@
+#ifndef SSTREAMING_OBS_PROGRESS_H_
+#define SSTREAMING_OBS_PROGRESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace sstreaming {
+
+/// Per-operator summary for one epoch (rows through the operator, batches
+/// produced, and self CPU-ish wall time — the operator's inclusive time
+/// minus its children's).
+struct OperatorProgress {
+  int op_id = 0;
+  std::string name;
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  int64_t batches = 0;
+  int64_t cpu_nanos = 0;
+
+  Json ToJson() const;
+};
+
+/// Per-source input summary for one epoch.
+struct SourceProgress {
+  std::string name;
+  int64_t rows = 0;
+  /// Input rate over the epoch's processing duration.
+  double rows_per_sec = 0;
+  /// Records available at plan time but deferred to later epochs (>0 only
+  /// when max_records_per_epoch caps the batch).
+  int64_t backlog_rows = 0;
+
+  Json ToJson() const;
+};
+
+/// Per-epoch progress information (paper §7.4 monitoring).
+///
+/// `duration_nanos` is defined as the sum of the per-stage durations
+/// (plan + source read + exec + state checkpoint + sink commit + other), so
+/// stage breakdowns always account for the whole epoch; debug builds assert
+/// this invariant. `trigger_wait_nanos` is idle time before the trigger
+/// fired and is deliberately *not* part of the processing duration.
+struct QueryProgress {
+  int64_t epoch = 0;
+  int64_t rows_read = 0;
+  int64_t rows_written = 0;
+  int64_t watermark_micros = INT64_MIN;
+  int64_t state_entries = 0;
+  int64_t duration_nanos = 0;
+
+  // Stage breakdown (sums to duration_nanos).
+  int64_t plan_nanos = 0;         // offset planning + WAL plan write
+  int64_t source_read_nanos = 0;  // time inside source scan operators
+  int64_t exec_nanos = 0;         // operator DAG execution minus source read
+  int64_t checkpoint_nanos = 0;   // state store CommitAll
+  int64_t commit_nanos = 0;       // sink commit + WAL commit + retention
+  int64_t other_nanos = 0;        // watermark/progress bookkeeping remainder
+
+  /// Idle time between the previous trigger finishing and this one firing
+  /// (0 for the first trigger and for recovery replay).
+  int64_t trigger_wait_nanos = 0;
+
+  std::vector<SourceProgress> sources;
+  std::vector<OperatorProgress> operators;
+
+  /// The invariant total of the per-stage durations.
+  int64_t StageSumNanos() const {
+    return plan_nanos + source_read_nanos + exec_nanos + checkpoint_nanos +
+           commit_nanos + other_nanos;
+  }
+
+  /// One JSON object per epoch — the schema of the JSONL metrics event log.
+  Json ToJson() const;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_OBS_PROGRESS_H_

@@ -1,0 +1,104 @@
+#include "obs/tracer.h"
+
+#include <functional>
+#include <thread>
+
+#include "common/clock.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+
+namespace {
+
+uint64_t CurrentTid() {
+  // Chrome renders tid as an integer lane; a hashed thread id keeps lanes
+  // stable per thread without exposing raw handles.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % 1000000;
+}
+
+}  // namespace
+
+void EpochTracer::AddSpan(std::string name, std::string cat,
+                          int64_t start_nanos, int64_t dur_nanos,
+                          int64_t epoch) {
+  TraceSpan span;
+  span.name = std::move(name);
+  span.cat = std::move(cat);
+  span.start_nanos = start_nanos;
+  span.dur_nanos = dur_nanos;
+  span.epoch = epoch;
+  span.tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> EpochTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t EpochTracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+int64_t EpochTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void EpochTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+Json EpochTracer::ToChromeTrace() const {
+  std::vector<TraceSpan> spans = Snapshot();
+  Json events = Json::Array();
+  for (const TraceSpan& span : spans) {
+    Json e = Json::Object();
+    e.Set("name", Json::Str(span.name));
+    e.Set("cat", Json::Str(span.cat));
+    e.Set("ph", Json::Str("X"));  // complete event: ts + dur
+    e.Set("ts", Json::Double(static_cast<double>(span.start_nanos) / 1000.0));
+    e.Set("dur", Json::Double(static_cast<double>(span.dur_nanos) / 1000.0));
+    e.Set("pid", Json::Int(1));
+    e.Set("tid", Json::Int(static_cast<int64_t>(span.tid)));
+    Json args = Json::Object();
+    args.Set("epoch", Json::Int(span.epoch));
+    e.Set("args", std::move(args));
+    events.Append(std::move(e));
+  }
+  Json out = Json::Object();
+  out.Set("traceEvents", std::move(events));
+  return out;
+}
+
+std::string EpochTracer::ToChromeTraceJson() const {
+  return ToChromeTrace().Dump();
+}
+
+Status EpochTracer::WriteChromeTrace(const std::string& path) const {
+  return WriteFileAtomic(path, ToChromeTraceJson());
+}
+
+ScopedSpan::ScopedSpan(EpochTracer* tracer, std::string name, std::string cat,
+                       int64_t epoch)
+    : tracer_(tracer),
+      name_(std::move(name)),
+      cat_(std::move(cat)),
+      epoch_(epoch),
+      start_nanos_(MonotonicNanos()) {}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  tracer_->AddSpan(std::move(name_), std::move(cat_), start_nanos_,
+                   MonotonicNanos() - start_nanos_, epoch_);
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,82 @@
+#ifndef SSTREAMING_OBS_TRACER_H_
+#define SSTREAMING_OBS_TRACER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace sstreaming {
+
+/// One completed timed span on the engine's timeline.
+struct TraceSpan {
+  std::string name;        // "execute", "Filter ...", "epoch-12", ...
+  std::string cat;         // "epoch" | "stage" | "operator" | "task"
+  int64_t start_nanos = 0; // MonotonicNanos() at span start
+  int64_t dur_nanos = 0;
+  int64_t epoch = 0;
+  uint64_t tid = 0;        // hashed thread id
+};
+
+/// Records plan→execute→checkpoint→commit spans per epoch (plus nested
+/// per-operator spans) and exports them as Chrome trace_event JSON for
+/// offline timeline inspection in chrome://tracing / Perfetto. Thread-safe;
+/// recording is one mutex-guarded vector push. Capacity-bounded: spans past
+/// `max_spans` are counted as dropped rather than growing without bound.
+class EpochTracer {
+ public:
+  explicit EpochTracer(size_t max_spans = size_t{1} << 18)
+      : max_spans_(max_spans) {}
+  EpochTracer(const EpochTracer&) = delete;
+  EpochTracer& operator=(const EpochTracer&) = delete;
+
+  void AddSpan(std::string name, std::string cat, int64_t start_nanos,
+               int64_t dur_nanos, int64_t epoch);
+
+  std::vector<TraceSpan> Snapshot() const;
+  size_t span_count() const;
+  int64_t dropped() const;
+  void Clear();
+
+  /// {"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid", "tid",
+  /// "args": {"epoch"}}]} — timestamps/durations in microseconds as Chrome
+  /// expects.
+  Json ToChromeTrace() const;
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() atomically to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  size_t max_spans_;
+  int64_t dropped_ = 0;
+};
+
+/// RAII helper: times a scope and records it on destruction. A null tracer
+/// disables recording (zero-cost apart from one clock read).
+class ScopedSpan {
+ public:
+  ScopedSpan(EpochTracer* tracer, std::string name, std::string cat,
+             int64_t epoch);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  int64_t start_nanos() const { return start_nanos_; }
+
+ private:
+  EpochTracer* tracer_;
+  std::string name_;
+  std::string cat_;
+  int64_t epoch_;
+  int64_t start_nanos_;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_OBS_TRACER_H_

@@ -15,7 +15,7 @@ SourceExec::SourceExec(int op_id, SourcePtr source, std::vector<int> columns,
       source_(std::move(source)),
       columns_(std::move(columns)) {}
 
-Result<std::vector<RecordBatchPtr>> SourceExec::Execute(ExecContext* ctx) {
+Result<std::vector<RecordBatchPtr>> SourceExec::ExecuteImpl(ExecContext* ctx) {
   auto it = ctx->offsets.find(source_->name());
   if (it == ctx->offsets.end()) {
     return Status::Internal("no offsets planned for source " +
@@ -42,7 +42,7 @@ Result<std::vector<RecordBatchPtr>> SourceExec::Execute(ExecContext* ctx) {
                                        ends[static_cast<size_t>(p)],
                                        columns_));
       }
-      ctx->CountRowsRead(batch->num_rows());
+      ctx->CountSourceRows(source_->name(), batch->num_rows());
       out[static_cast<size_t>(p)] = std::move(batch);
       return Status::OK();
     });
@@ -58,7 +58,7 @@ StaticSourceExec::StaticSourceExec(int op_id, SchemaPtr schema,
       batches_(std::move(batches)),
       num_partitions_(num_partitions) {}
 
-Result<std::vector<RecordBatchPtr>> StaticSourceExec::Execute(
+Result<std::vector<RecordBatchPtr>> StaticSourceExec::ExecuteImpl(
     ExecContext* ctx) {
   std::vector<RecordBatchPtr> out;
   if (!ctx->is_batch) {
@@ -91,7 +91,7 @@ FilterExec::FilterExec(int op_id, PhysOpPtr child, ExprPtr predicate)
     : PhysOp(op_id, child->schema(), {child}),
       predicate_(std::move(predicate)) {}
 
-Result<std::vector<RecordBatchPtr>> FilterExec::Execute(ExecContext* ctx) {
+Result<std::vector<RecordBatchPtr>> FilterExec::ExecuteImpl(ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
   std::vector<RecordBatchPtr> out(in.size());
@@ -119,7 +119,7 @@ ProjectExec::ProjectExec(int op_id, PhysOpPtr child, SchemaPtr schema,
     : PhysOp(op_id, std::move(schema), {std::move(child)}),
       exprs_(std::move(exprs)) {}
 
-Result<std::vector<RecordBatchPtr>> ProjectExec::Execute(ExecContext* ctx) {
+Result<std::vector<RecordBatchPtr>> ProjectExec::ExecuteImpl(ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
   std::vector<RecordBatchPtr> out(in.size());
@@ -147,7 +147,7 @@ WatermarkExec::WatermarkExec(int op_id, PhysOpPtr child, int column_index,
       column_index_(column_index),
       delay_micros_(delay_micros) {}
 
-Result<std::vector<RecordBatchPtr>> WatermarkExec::Execute(ExecContext* ctx) {
+Result<std::vector<RecordBatchPtr>> WatermarkExec::ExecuteImpl(ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
   for (const RecordBatchPtr& batch : in) {
@@ -169,7 +169,7 @@ ShuffleExec::ShuffleExec(int op_id, PhysOpPtr child, std::vector<ExprPtr> keys,
       keys_(std::move(keys)),
       num_partitions_(num_partitions) {}
 
-Result<std::vector<RecordBatchPtr>> ShuffleExec::Execute(ExecContext* ctx) {
+Result<std::vector<RecordBatchPtr>> ShuffleExec::ExecuteImpl(ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
   const size_t in_parts = in.size();
@@ -226,7 +226,7 @@ SortExec::SortExec(int op_id, PhysOpPtr child, std::vector<Key> keys)
     : PhysOp(op_id, child->schema(), {child}),
       keys_(std::move(keys)) {}
 
-Result<std::vector<RecordBatchPtr>> SortExec::Execute(ExecContext* ctx) {
+Result<std::vector<RecordBatchPtr>> SortExec::ExecuteImpl(ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
   RecordBatchPtr all = RecordBatch::Concat(schema_, in);
@@ -258,7 +258,7 @@ Result<std::vector<RecordBatchPtr>> SortExec::Execute(ExecContext* ctx) {
 LimitExec::LimitExec(int op_id, PhysOpPtr child, int64_t n)
     : PhysOp(op_id, child->schema(), {child}), n_(n) {}
 
-Result<std::vector<RecordBatchPtr>> LimitExec::Execute(ExecContext* ctx) {
+Result<std::vector<RecordBatchPtr>> LimitExec::ExecuteImpl(ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
   RecordBatchPtr all = RecordBatch::Concat(schema_, in);

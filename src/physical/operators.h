@@ -22,7 +22,8 @@ class SourceExec : public PhysOp {
              SchemaPtr schema);
 
   std::string name() const override { return "Source[" + source_->name() + "]"; }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  bool is_source_scan() const override { return true; }
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
   const SourcePtr& source() const { return source_; }
   bool projected() const { return !columns_.empty(); }
@@ -41,7 +42,8 @@ class StaticSourceExec : public PhysOp {
                    std::vector<RecordBatchPtr> batches, int num_partitions);
 
   std::string name() const override { return "StaticSource"; }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  bool is_source_scan() const override { return true; }
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   std::vector<RecordBatchPtr> batches_;
@@ -56,7 +58,7 @@ class FilterExec : public PhysOp {
   std::string name() const override {
     return "Filter " + predicate_->ToString();
   }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   ExprPtr predicate_;
@@ -69,7 +71,7 @@ class ProjectExec : public PhysOp {
               std::vector<NamedExpr> exprs);
 
   std::string name() const override { return "Project"; }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   std::vector<NamedExpr> exprs_;
@@ -83,7 +85,7 @@ class WatermarkExec : public PhysOp {
                 int64_t delay_micros);
 
   std::string name() const override { return "Watermark"; }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
   int64_t delay_micros() const { return delay_micros_; }
 
@@ -102,7 +104,7 @@ class ShuffleExec : public PhysOp {
   std::string name() const override {
     return "Shuffle p=" + std::to_string(num_partitions_);
   }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
   int num_partitions() const { return num_partitions_; }
 
@@ -122,7 +124,7 @@ class SortExec : public PhysOp {
   SortExec(int op_id, PhysOpPtr child, std::vector<Key> keys);
 
   std::string name() const override { return "Sort"; }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   std::vector<Key> keys_;
@@ -134,7 +136,7 @@ class LimitExec : public PhysOp {
   LimitExec(int op_id, PhysOpPtr child, int64_t n);
 
   std::string name() const override { return "Limit " + std::to_string(n_); }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   int64_t n_;

@@ -2,7 +2,10 @@
 
 #include <filesystem>
 
+#include "common/clock.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "storage/fs.h"
 
 namespace sstreaming {
@@ -67,9 +70,29 @@ Status StateManager::PreopenExisting() {
 Status StateManager::CommitAll(int64_t epoch) {
   if (!durable_) return Status::OK();
   std::lock_guard<std::mutex> lock(mu_);
+  int64_t bytes_before = 0, entries = 0;
+  for (auto& [key, store] : stores_) {
+    (void)key;
+    bytes_before += store->bytes_written();
+  }
+  int64_t t0 = MonotonicNanos();
   for (auto& [key, store] : stores_) {
     (void)key;
     SS_RETURN_IF_ERROR(store->Commit(epoch));
+  }
+  if (metrics_ != nullptr) {
+    int64_t bytes_after = 0;
+    for (auto& [key, store] : stores_) {
+      (void)key;
+      bytes_after += store->bytes_written();
+      entries += store->size();
+    }
+    metrics_->GetHistogram("sstreaming_state_commit_nanos")
+        ->Record(MonotonicNanos() - t0);
+    metrics_->GetCounter("sstreaming_state_checkpoint_bytes_total")
+        ->Increment(bytes_after - bytes_before);
+    metrics_->GetCounter("sstreaming_state_commits_total")->Increment();
+    metrics_->GetGauge("sstreaming_state_entries")->Set(entries);
   }
   return Status::OK();
 }
@@ -131,6 +154,28 @@ std::string PhysOp::TreeString() const {
   std::string out;
   TreeStringRec(*this, 0, &out);
   return out;
+}
+
+Result<std::vector<RecordBatchPtr>> PhysOp::Execute(ExecContext* ctx) {
+  int64_t t0 = MonotonicNanos();
+  Result<std::vector<RecordBatchPtr>> result = ExecuteImpl(ctx);
+  int64_t dt = MonotonicNanos() - t0;
+  {
+    std::lock_guard<std::mutex> lock(ctx->metrics_mu);
+    OpStats& stats = ctx->op_stats[op_id_];
+    stats.wall_nanos += dt;
+    ++stats.invocations;
+    if (result.ok()) {
+      stats.batches += static_cast<int64_t>(result->size());
+      for (const RecordBatchPtr& batch : *result) {
+        stats.rows_out += batch->num_rows();
+      }
+    }
+  }
+  if (ctx->tracer != nullptr) {
+    ctx->tracer->AddSpan(name(), "operator", t0, dt, ctx->epoch);
+  }
+  return result;
 }
 
 }  // namespace sstreaming

@@ -16,6 +16,9 @@
 
 namespace sstreaming {
 
+class EpochTracer;
+class MetricsRegistry;
+
 /// Creates and caches one StateStore per (stateful operator, partition),
 /// and commits them together at epoch boundaries (paper §6.1 step 2).
 /// When `durable` is false (batch runs, tests without recovery), stores live
@@ -36,6 +39,10 @@ class StateManager {
 
   /// Commits every opened store at `epoch`. No-op when ephemeral.
   Status CommitAll(int64_t epoch);
+
+  /// Optional instrumentation: when set, CommitAll records checkpoint bytes
+  /// and per-commit latency, and entry counts, under `sstreaming_state_*`.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Removes durable state files older than needed to restore `keep`.
   Status PurgeBefore(int64_t keep);
@@ -60,8 +67,18 @@ class StateManager {
   StateStore::Options options_;
   bool durable_;
   std::string ephemeral_dir_;
+  MetricsRegistry* metrics_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::pair<int, int>, std::unique_ptr<StateStore>> stores_;
+};
+
+/// Per-operator counters accumulated over one epoch (§7.4 monitoring).
+struct OpStats {
+  int64_t rows_out = 0;
+  int64_t batches = 0;
+  /// Inclusive wall time of the operator's Execute (children included).
+  int64_t wall_nanos = 0;
+  int64_t invocations = 0;
 };
 
 /// Per-epoch execution context threaded through the physical operators.
@@ -79,6 +96,9 @@ struct ExecContext {
   TaskScheduler* scheduler = nullptr;
   StateManager* state = nullptr;
   const Clock* clock = nullptr;
+  /// Optional epoch tracer; when set, PhysOp::Execute records one span per
+  /// operator invocation.
+  EpochTracer* tracer = nullptr;
 
   /// Offset ranges for this epoch, per source name: (start, end) per
   /// partition. Filled by the engine from the WAL plan.
@@ -100,12 +120,17 @@ struct ExecContext {
     }
   }
 
-  /// Rows read from sources this epoch (metrics, §7.4).
+  /// Rows read from sources this epoch (metrics, §7.4), total and per
+  /// source. `op_stats` is filled by PhysOp::Execute (one entry per
+  /// operator). All three are guarded by `metrics_mu`.
   std::mutex metrics_mu;
   int64_t rows_read = 0;
-  void CountRowsRead(int64_t n) {
+  std::map<std::string, int64_t> source_rows;
+  std::map<int, OpStats> op_stats;
+  void CountSourceRows(const std::string& source, int64_t n) {
     std::lock_guard<std::mutex> lock(metrics_mu);
     rows_read += n;
+    source_rows[source] += n;
   }
 };
 
@@ -130,12 +155,25 @@ class PhysOp {
 
   virtual std::string name() const = 0;
 
-  virtual Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) = 0;
+  /// Instrumented entry point: runs ExecuteImpl, accumulating this
+  /// operator's wall time, output rows, and batch count into
+  /// `ctx->op_stats[op_id()]` and recording a tracer span when
+  /// `ctx->tracer` is set. Operators recurse through this (via their
+  /// children), so every node of the DAG is accounted per epoch.
+  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx);
+
+  /// True for leaf scans (their Execute time is the epoch's "source read"
+  /// stage rather than compute).
+  virtual bool is_source_scan() const { return false; }
 
   /// Multi-line tree rendering for explain().
   std::string TreeString() const;
 
  protected:
+  /// The operator's actual logic; called only through Execute().
+  virtual Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx)
+      = 0;
+
   int op_id_;
   SchemaPtr schema_;
   std::vector<std::shared_ptr<PhysOp>> children_;

@@ -77,7 +77,7 @@ int StatefulAggExec::num_output_key_columns() const {
   return n;
 }
 
-Result<std::vector<RecordBatchPtr>> StatefulAggExec::Execute(
+Result<std::vector<RecordBatchPtr>> StatefulAggExec::ExecuteImpl(
     ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
@@ -298,7 +298,7 @@ Result<RecordBatchPtr> StatefulAggExec::ExecutePartition(
 DedupExec::DedupExec(int op_id, PhysOpPtr child)
     : PhysOp(op_id, child->schema(), {child}) {}
 
-Result<std::vector<RecordBatchPtr>> DedupExec::Execute(ExecContext* ctx) {
+Result<std::vector<RecordBatchPtr>> DedupExec::ExecuteImpl(ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
   std::vector<RecordBatchPtr> out(in.size());
@@ -370,7 +370,7 @@ StreamStaticJoinExec::StreamStaticJoinExec(
   }
 }
 
-Result<std::vector<RecordBatchPtr>> StreamStaticJoinExec::Execute(
+Result<std::vector<RecordBatchPtr>> StreamStaticJoinExec::ExecuteImpl(
     ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
@@ -559,7 +559,7 @@ Row StreamStreamJoinExec::JoinedRow(const Row* left, const Row* right) const {
   return out;
 }
 
-Result<std::vector<RecordBatchPtr>> StreamStreamJoinExec::Execute(
+Result<std::vector<RecordBatchPtr>> StreamStreamJoinExec::ExecuteImpl(
     ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> left_in,
                       children_[0]->Execute(ctx));
@@ -724,7 +724,7 @@ FlatMapGroupsWithStateExec::FlatMapGroupsWithStateExec(
       timeout_(timeout),
       require_single_output_(require_single_output) {}
 
-Result<std::vector<RecordBatchPtr>> FlatMapGroupsWithStateExec::Execute(
+Result<std::vector<RecordBatchPtr>> FlatMapGroupsWithStateExec::ExecuteImpl(
     ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));

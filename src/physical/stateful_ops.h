@@ -30,7 +30,7 @@ class StatefulAggExec : public PhysOp {
                   std::vector<AggSpec> aggregates);
 
   std::string name() const override { return "StatefulAggregate"; }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
   /// Number of leading key columns in the output (window keys count as 2:
   /// start and end) — what the sink needs for update-mode upserts.
@@ -54,7 +54,7 @@ class DedupExec : public PhysOp {
   DedupExec(int op_id, PhysOpPtr child);
 
   std::string name() const override { return "Dedup"; }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 };
 
 /// Stream-static equi-join: the static side is fully materialized at query
@@ -77,7 +77,7 @@ class StreamStaticJoinExec : public PhysOp {
                            {});
 
   std::string name() const override { return "StreamStaticJoin"; }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   Result<RecordBatchPtr> ExecutePartition(const RecordBatch& input);
@@ -115,7 +115,7 @@ class StreamStreamJoinExec : public PhysOp {
                        std::vector<std::pair<int, int>> left_from_right = {});
 
   std::string name() const override { return "StreamStreamJoin"; }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   Result<RecordBatchPtr> ExecutePartition(ExecContext* ctx, int partition,
@@ -146,7 +146,7 @@ class FlatMapGroupsWithStateExec : public PhysOp {
                              bool require_single_output);
 
   std::string name() const override { return "FlatMapGroupsWithState"; }
-  Result<std::vector<RecordBatchPtr>> Execute(ExecContext* ctx) override;
+  Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   Result<RecordBatchPtr> ExecutePartition(ExecContext* ctx, int partition,

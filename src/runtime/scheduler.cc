@@ -5,13 +5,52 @@
 #include <mutex>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace sstreaming {
 
+namespace {
+
+/// Shared instrumentation for the real schedulers: task latency histogram,
+/// stage latency histogram, counts, and a live queue-depth gauge.
+struct StageMetrics {
+  LogHistogram* task_nanos = nullptr;
+  LogHistogram* stage_nanos = nullptr;
+  Counter* tasks_total = nullptr;
+  Gauge* queue_depth = nullptr;
+
+  explicit StageMetrics(MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    task_nanos = registry->GetHistogram("sstreaming_scheduler_task_nanos");
+    stage_nanos = registry->GetHistogram("sstreaming_scheduler_stage_nanos");
+    tasks_total = registry->GetCounter("sstreaming_scheduler_tasks_total");
+    queue_depth = registry->GetGauge("sstreaming_scheduler_queue_depth");
+  }
+  bool enabled() const { return task_nanos != nullptr; }
+};
+
+}  // namespace
+
 Status InlineScheduler::RunStage(const std::string& /*stage_name*/,
                                  std::vector<std::function<Status()>> tasks) {
+  StageMetrics m(metrics_);
+  int64_t stage_t0 = m.enabled() ? MonotonicNanos() : 0;
+  if (m.enabled()) {
+    m.queue_depth->Set(static_cast<int64_t>(tasks.size()));
+  }
   for (auto& task : tasks) {
-    SS_RETURN_IF_ERROR(task());
+    int64_t t0 = m.enabled() ? MonotonicNanos() : 0;
+    Status s = task();
+    if (m.enabled()) {
+      m.task_nanos->Record(MonotonicNanos() - t0);
+      m.tasks_total->Increment();
+      m.queue_depth->Add(-1);
+    }
+    SS_RETURN_IF_ERROR(s);
+  }
+  if (m.enabled()) {
+    m.queue_depth->Set(0);
+    m.stage_nanos->Record(MonotonicNanos() - stage_t0);
   }
   return Status::OK();
 }
@@ -22,9 +61,20 @@ Status PoolScheduler::RunStage(const std::string& /*stage_name*/,
                                std::vector<std::function<Status()>> tasks) {
   std::mutex mu;
   Status first_error;
+  StageMetrics m(metrics_);
+  int64_t stage_t0 = m.enabled() ? MonotonicNanos() : 0;
+  if (m.enabled()) {
+    m.queue_depth->Set(static_cast<int64_t>(tasks.size()));
+  }
   for (auto& task : tasks) {
-    pool_.Submit([&mu, &first_error, task = std::move(task)] {
+    pool_.Submit([&mu, &first_error, m, task = std::move(task)] {
+      int64_t t0 = m.enabled() ? MonotonicNanos() : 0;
       Status s = task();
+      if (m.enabled()) {
+        m.task_nanos->Record(MonotonicNanos() - t0);
+        m.tasks_total->Increment();
+        m.queue_depth->Add(-1);
+      }
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(mu);
         if (first_error.ok()) first_error = s;
@@ -32,6 +82,10 @@ Status PoolScheduler::RunStage(const std::string& /*stage_name*/,
     });
   }
   pool_.Wait();
+  if (m.enabled()) {
+    m.queue_depth->Set(0);
+    m.stage_nanos->Record(MonotonicNanos() - stage_t0);
+  }
   return first_error;
 }
 
@@ -42,6 +96,7 @@ Status SimClusterScheduler::RunStage(
     const std::string& /*stage_name*/,
     std::vector<std::function<Status()>> tasks) {
   const int cores = parallelism();
+  StageMetrics m(metrics_);
   // Tasks run for real (serially, on this machine) so their outputs are
   // exact; only their measured durations are placed on the simulated
   // timeline, by earliest-available-core list scheduling.
@@ -52,7 +107,9 @@ Status SimClusterScheduler::RunStage(
     int64_t t0 = MonotonicNanos();
     Status s = task();
     SS_RETURN_IF_ERROR(s);
-    int64_t measured = MonotonicNanos() - t0 + pending_charge_;
+    int64_t measured = options_.fixed_task_duration_nanos > 0
+                           ? options_.fixed_task_duration_nanos
+                           : MonotonicNanos() - t0 + pending_charge_;
     if (measured < 1000) measured = 1000;  // clamp timer noise
     durations.push_back(measured);
   }
@@ -102,6 +159,11 @@ Status SimClusterScheduler::RunStage(
       }
     }
     attempt += options_.task_launch_overhead_nanos;
+    if (m.enabled()) {
+      // Record the *simulated* task latency — what the cluster would see.
+      m.task_nanos->Record(attempt);
+      m.tasks_total->Increment();
+    }
 
     auto it = std::min_element(core_free_at.begin(), core_free_at.end());
     *it += attempt;
@@ -109,6 +171,7 @@ Status SimClusterScheduler::RunStage(
   int64_t stage_finish =
       *std::max_element(core_free_at.begin(), core_free_at.end());
   virtual_nanos_ += stage_finish;
+  if (m.enabled()) m.stage_nanos->Record(stage_finish);
   return Status::OK();
 }
 

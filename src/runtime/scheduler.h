@@ -12,6 +12,8 @@
 
 namespace sstreaming {
 
+class MetricsRegistry;
+
 /// Executes one stage of a microbatch job: a set of independent tasks, one
 /// per partition (paper §6.2 — "each epoch executes as a traditional Spark
 /// job composed of a DAG of independent tasks"). The engine is agnostic to
@@ -41,6 +43,16 @@ class TaskScheduler {
   /// message-bus append standing in for a real Kafka broker round trip).
   /// No-op on real schedulers, where wall-clock time is the truth.
   virtual void ChargeVirtualNanos(int64_t) {}
+
+  /// Optional instrumentation: when set, RunStage implementations record
+  /// per-task latency (`sstreaming_scheduler_task_nanos`), per-stage wall
+  /// time (`sstreaming_scheduler_stage_nanos`), task/stage counts, and the
+  /// live queue depth (`sstreaming_scheduler_queue_depth`). A scheduler
+  /// shared between queries should be given a shared registry.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ protected:
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Serial in-process execution.
@@ -93,6 +105,11 @@ class SimClusterScheduler : public TaskScheduler {
     /// after it.
     bool denoise_outliers = false;
     double denoise_factor = 2.0;
+    /// When > 0, charge every task this fixed simulated duration instead of
+    /// its measured wall time. Tasks still execute for real (their outputs
+    /// are exact); only the timeline becomes independent of host load —
+    /// use for deterministic simulations and tests.
+    int64_t fixed_task_duration_nanos = 0;
     uint64_t seed = 42;
   };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/clock.h"
+#include "obs/metrics.h"
 #include "storage/fs.h"
 
 namespace sstreaming {
@@ -100,8 +102,23 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& dir) {
   return log;
 }
 
+Status WriteAheadLog::WriteEntryTimed(const std::string& path,
+                                      const std::string& body) {
+  if (metrics_ == nullptr) return WriteFileAtomic(path, body);
+  int64_t t0 = MonotonicNanos();
+  Status s = WriteFileAtomic(path, body);
+  metrics_->GetHistogram("sstreaming_wal_sync_nanos")
+      ->Record(MonotonicNanos() - t0);
+  if (s.ok()) {
+    metrics_->GetCounter("sstreaming_wal_bytes_total")
+        ->Increment(static_cast<int64_t>(body.size()));
+    metrics_->GetCounter("sstreaming_wal_writes_total")->Increment();
+  }
+  return s;
+}
+
 Status WriteAheadLog::WritePlan(const EpochPlan& plan) {
-  return WriteFileAtomic(offsets_dir() + "/" + EpochFileName(plan.epoch),
+  return WriteEntryTimed(offsets_dir() + "/" + EpochFileName(plan.epoch),
                          plan.ToJson().DumpPretty());
 }
 
@@ -121,7 +138,7 @@ Status WriteAheadLog::WriteCommit(int64_t epoch, int64_t watermark_micros) {
   if (watermark_micros != INT64_MIN) {
     obj.Set("watermarkMicros", Json::Int(watermark_micros));
   }
-  return WriteFileAtomic(commits_dir() + "/" + EpochFileName(epoch),
+  return WriteEntryTimed(commits_dir() + "/" + EpochFileName(epoch),
                          obj.DumpPretty());
 }
 

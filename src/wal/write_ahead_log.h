@@ -11,6 +11,8 @@
 
 namespace sstreaming {
 
+class MetricsRegistry;
+
 /// The offset range one epoch consumes from one source (per partition,
 /// half-open [start, end)).
 struct SourceOffsets {
@@ -91,13 +93,22 @@ class WriteAheadLog {
 
   const std::string& dir() const { return dir_; }
 
+  /// Optional instrumentation: when set, WritePlan/WriteCommit record the
+  /// atomic-write+fsync latency (`sstreaming_wal_sync_nanos`), bytes
+  /// (`sstreaming_wal_bytes_total`), and write count
+  /// (`sstreaming_wal_writes_total`).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   explicit WriteAheadLog(std::string dir) : dir_(std::move(dir)) {}
+
+  Status WriteEntryTimed(const std::string& path, const std::string& body);
 
   std::string offsets_dir() const { return dir_ + "/offsets"; }
   std::string commits_dir() const { return dir_ + "/commits"; }
 
   std::string dir_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sstreaming

@@ -1,0 +1,277 @@
+#include "obs/listener.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/logging.h"
+#include "connectors/memory.h"
+#include "exec/query_manager.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+namespace {
+
+SchemaPtr EventSchema() {
+  return Schema::Make({{"k", TypeId::kString, false},
+                       {"v", TypeId::kInt64, false}});
+}
+
+Row Ev(const char* k, int64_t v) { return {Value::Str(k), Value::Int64(v)}; }
+
+/// A sink whose commits start failing after `fail_after` epochs.
+class FailingSink : public Sink {
+ public:
+  explicit FailingSink(int fail_after) : fail_after_(fail_after) {}
+
+  bool SupportsMode(OutputMode) const override { return true; }
+
+  Status CommitEpoch(int64_t, OutputMode, int,
+                     const std::vector<RecordBatchPtr>&) override {
+    if (++commits_ > fail_after_) {
+      return Status::IOError("sink exploded (injected)");
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fail_after_;
+  int commits_ = 0;
+};
+
+TEST(ListenerTest, LifecycleOrderingOnStop) {
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  auto listener = std::make_shared<CollectingListener>();
+  QueryManager manager;
+  manager.AddListener(listener);
+  ASSERT_TRUE(manager
+                  .StartQuerySynchronous("q", DataFrame::ReadStream(stream),
+                                         std::make_shared<MemorySink>(),
+                                         QueryOptions())
+                  .ok());
+  ASSERT_TRUE(stream->AddData({Ev("a", 1)}).ok());
+  ASSERT_TRUE(manager.ProcessAllAvailable().ok());
+  ASSERT_TRUE(stream->AddData({Ev("b", 2)}).ok());
+  ASSERT_TRUE(manager.ProcessAllAvailable().ok());
+  ASSERT_TRUE(manager.StopQuery("q").ok());
+
+  EXPECT_EQ(listener->Timeline("q"), "started,progress,progress,terminated");
+  ASSERT_EQ(listener->started().size(), 1u);
+  EXPECT_EQ(listener->started()[0].name, "q");
+  ASSERT_EQ(listener->progress().size(), 2u);
+  EXPECT_EQ(listener->progress()[0].progress.epoch, 1);
+  EXPECT_EQ(listener->progress()[0].progress.rows_read, 1);
+  EXPECT_EQ(listener->progress()[1].progress.epoch, 2);
+  ASSERT_EQ(listener->terminated().size(), 1u);
+  EXPECT_TRUE(listener->terminated()[0].error.ok());  // clean stop
+  EXPECT_EQ(listener->terminated()[0].last_epoch, 2);
+}
+
+TEST(ListenerTest, TerminatedFiresExactlyOnceAcrossStopAndDestruction) {
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  auto listener = std::make_shared<CollectingListener>();
+  {
+    QueryManager manager;
+    manager.AddListener(listener);
+    ASSERT_TRUE(manager
+                    .StartQuerySynchronous("q", DataFrame::ReadStream(stream),
+                                           std::make_shared<MemorySink>(),
+                                           QueryOptions())
+                    .ok());
+    ASSERT_TRUE(manager.StopQuery("q").ok());
+    // Manager destruction (StopAll) must not re-fire termination.
+  }
+  EXPECT_EQ(listener->Timeline("q"), "started,terminated");
+}
+
+TEST(ListenerTest, FailureTerminatesWithError) {
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  auto listener = std::make_shared<CollectingListener>();
+  QueryManager manager;
+  manager.AddListener(listener);
+  ASSERT_TRUE(manager
+                  .StartQuerySynchronous("q", DataFrame::ReadStream(stream),
+                                         std::make_shared<FailingSink>(1),
+                                         QueryOptions())
+                  .ok());
+  ASSERT_TRUE(stream->AddData({Ev("a", 1)}).ok());
+  ASSERT_TRUE(manager.ProcessAllAvailable().ok());  // epoch 1 commits
+  ASSERT_TRUE(stream->AddData({Ev("b", 2)}).ok());
+  EXPECT_FALSE(manager.ProcessAllAvailable().ok());  // epoch 2 explodes
+
+  EXPECT_EQ(listener->Timeline("q"), "started,progress,terminated");
+  ASSERT_EQ(listener->terminated().size(), 1u);
+  EXPECT_FALSE(listener->terminated()[0].error.ok());
+  EXPECT_NE(listener->terminated()[0].error.ToString().find("sink exploded"),
+            std::string::npos);
+  EXPECT_EQ(listener->terminated()[0].last_epoch, 1);
+  // Stopping the already-failed query must not fire a second event.
+  ASSERT_TRUE(manager.StopQuery("q").ok());
+  EXPECT_EQ(listener->terminated().size(), 1u);
+}
+
+TEST(ListenerTest, RemoveListenerStopsDelivery) {
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  auto listener = std::make_shared<CollectingListener>();
+  QueryManager manager;
+  manager.AddListener(listener);
+  EXPECT_EQ(manager.num_listeners(), 1u);
+  manager.RemoveListener(listener.get());
+  EXPECT_EQ(manager.num_listeners(), 0u);
+  ASSERT_TRUE(manager
+                  .StartQuerySynchronous("q", DataFrame::ReadStream(stream),
+                                         std::make_shared<MemorySink>(),
+                                         QueryOptions())
+                  .ok());
+  EXPECT_EQ(listener->Timeline("q"), "");
+}
+
+TEST(ListenerTest, StageDurationsSumToEpochDuration) {
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  auto listener = std::make_shared<CollectingListener>();
+  QueryManager manager;
+  manager.AddListener(listener);
+  QueryOptions opts;
+  auto dir = MakeTempDir("obs_listener_stages").TakeValue();
+  opts.checkpoint_dir = dir;  // exercise plan/commit WAL stages too
+  ASSERT_TRUE(manager
+                  .StartQuerySynchronous("q", DataFrame::ReadStream(stream),
+                                         std::make_shared<MemorySink>(), opts)
+                  .ok());
+  ASSERT_TRUE(stream->AddData({Ev("a", 1), Ev("b", 2)}).ok());
+  ASSERT_TRUE(manager.ProcessAllAvailable().ok());
+  ASSERT_TRUE(stream->AddData({Ev("c", 3)}).ok());
+  ASSERT_TRUE(manager.ProcessAllAvailable().ok());
+
+  ASSERT_EQ(listener->progress().size(), 2u);
+  for (const QueryProgressEvent& event : listener->progress()) {
+    const QueryProgress& p = event.progress;
+    EXPECT_EQ(p.duration_nanos, p.StageSumNanos()) << "epoch " << p.epoch;
+    EXPECT_GE(p.plan_nanos, 0);
+    EXPECT_GE(p.source_read_nanos, 0);
+    EXPECT_GE(p.exec_nanos, 0);
+    EXPECT_GE(p.checkpoint_nanos, 0);
+    EXPECT_GE(p.commit_nanos, 0);
+    EXPECT_GE(p.other_nanos, 0);
+    EXPECT_GT(p.plan_nanos, 0);    // WAL plan write happened
+    EXPECT_GT(p.commit_nanos, 0);  // sink + WAL commit happened
+  }
+  // The second trigger waited (however briefly) after the first.
+  EXPECT_GT(listener->progress()[1].progress.trigger_wait_nanos, 0);
+  RemoveDirRecursive(dir).ok();
+}
+
+TEST(ListenerTest, PerOperatorProgressTracksRows) {
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  auto listener = std::make_shared<CollectingListener>();
+  QueryManager manager;
+  manager.AddListener(listener);
+  ASSERT_TRUE(manager
+                  .StartQuerySynchronous(
+                      "q",
+                      DataFrame::ReadStream(stream).Where(
+                          Gt(Col("v"), Lit(2))),
+                      std::make_shared<MemorySink>(), QueryOptions())
+                  .ok());
+  ASSERT_TRUE(
+      stream->AddData({Ev("a", 1), Ev("b", 3), Ev("c", 5), Ev("d", 2)}).ok());
+  ASSERT_TRUE(manager.ProcessAllAvailable().ok());
+
+  auto events = listener->progress();
+  ASSERT_EQ(events.size(), 1u);
+  const QueryProgress& p = events[0].progress;
+  ASSERT_FALSE(p.operators.empty());
+  int64_t source_out = 0, filter_in = 0, filter_out = 0;
+  for (const OperatorProgress& op : p.operators) {
+    if (op.name.rfind("Source", 0) == 0) source_out = op.rows_out;
+    if (op.name.rfind("Filter", 0) == 0) {
+      filter_in = op.rows_in;
+      filter_out = op.rows_out;
+    }
+    EXPECT_GE(op.cpu_nanos, 0);
+  }
+  EXPECT_EQ(source_out, 4);
+  EXPECT_EQ(filter_in, 4);
+  EXPECT_EQ(filter_out, 2);  // v > 2 keeps b and c
+  // Per-source progress carries the input attribution.
+  ASSERT_EQ(p.sources.size(), 1u);
+  EXPECT_EQ(p.sources[0].name, "events");
+  EXPECT_EQ(p.sources[0].rows, 4);
+  EXPECT_GT(p.sources[0].rows_per_sec, 0.0);
+  EXPECT_EQ(p.sources[0].backlog_rows, 0);
+}
+
+TEST(ListenerTest, MetricsEventLogAsListener) {
+  auto dir = MakeTempDir("obs_eventlog").TakeValue();
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  auto log = std::make_shared<MetricsEventLog>(dir + "/metrics.jsonl");
+  QueryManager manager;
+  manager.AddListener(log);
+  ASSERT_TRUE(manager
+                  .StartQuerySynchronous("q", DataFrame::ReadStream(stream),
+                                         std::make_shared<MemorySink>(),
+                                         QueryOptions())
+                  .ok());
+  ASSERT_TRUE(stream->AddData({Ev("a", 1)}).ok());
+  ASSERT_TRUE(manager.ProcessAllAvailable().ok());
+  ASSERT_TRUE(stream->AddData({Ev("b", 2), Ev("c", 3)}).ok());
+  ASSERT_TRUE(manager.ProcessAllAvailable().ok());
+
+  // Lines appear without any manual Report() call.
+  auto events = log->ReadAll();
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].Get("query").string_value(), "q");
+  EXPECT_EQ((*events)[0].Get("epoch").int_value(), 1);
+  EXPECT_EQ((*events)[1].Get("rowsRead").int_value(), 2);
+  // The stage breakdown is part of the event schema.
+  EXPECT_TRUE((*events)[0].Has("durations"));
+  EXPECT_TRUE((*events)[0].Get("durations").Has("execNanos"));
+  EXPECT_TRUE(log->status().ok());
+  RemoveDirRecursive(dir).ok();
+}
+
+TEST(ListenerTest, MetricsEventLogSurfacesWriteErrors) {
+  // A path in a directory that doesn't exist: the open fails, and the
+  // failure must surface both from Report() and through status().
+  auto stream = std::make_shared<MemoryStream>("events", EventSchema(), 1);
+  auto query = StreamingQuery::Start(DataFrame::ReadStream(stream),
+                                     std::make_shared<MemorySink>(),
+                                     QueryOptions())
+                   .TakeValue();
+  ASSERT_TRUE(stream->AddData({Ev("a", 1)}).ok());
+  ASSERT_TRUE(query->ProcessAllAvailable().ok());
+
+  MetricsEventLog log("/nonexistent_dir_for_sure/metrics.jsonl");
+  Status s = log.Report("q", *query);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(log.status().ok());
+
+  // The listener path records the same failure in status().
+  MetricsEventLog log2("/nonexistent_dir_for_sure/metrics2.jsonl");
+  QueryProgressEvent event;
+  event.name = "q";
+  event.progress.epoch = 1;
+  log2.OnQueryProgress(event);
+  EXPECT_FALSE(log2.status().ok());
+}
+
+TEST(LogContextTest, PrefixesNestAndRestore) {
+  EXPECT_EQ(LogContext::Current(), "");
+  {
+    LogContext outer("etl", 7);
+    EXPECT_EQ(LogContext::Current(), "[query=etl epoch=7] ");
+    {
+      LogContext inner("alerts", 9);
+      EXPECT_EQ(LogContext::Current(), "[query=alerts epoch=9] ");
+    }
+    EXPECT_EQ(LogContext::Current(), "[query=etl epoch=7] ");
+  }
+  EXPECT_EQ(LogContext::Current(), "");
+  // Anonymous queries keep the epoch part only.
+  LogContext anon("", 3);
+  EXPECT_EQ(LogContext::Current(), "[epoch=3] ");
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,212 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "runtime/scheduler.h"
+
+namespace sstreaming {
+namespace {
+
+TEST(LogHistogramTest, SmallValuesAreExact) {
+  LogHistogram h;
+  for (int64_t v = 0; v < 16; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 16);
+  EXPECT_EQ(h.sum(), 120);
+  EXPECT_EQ(h.max(), 15);
+  // Values below 16 land in dedicated buckets, so quantiles are exact.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 15);
+}
+
+TEST(LogHistogramTest, NegativeValuesClampToZero) {
+  LogHistogram h;
+  h.Record(-100);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(LogHistogramTest, BucketIndexRoundTrips) {
+  for (int64_t v : std::vector<int64_t>{0, 1, 15, 16, 17, 100, 1000, 123456,
+                                        int64_t{1} << 40}) {
+    int index = LogHistogram::BucketIndex(v);
+    // The bucket's upper bound must be >= the value, and the previous
+    // bucket's upper bound < value (the buckets partition the range).
+    EXPECT_GE(LogHistogram::BucketUpperBound(index), v) << "value " << v;
+    if (index > 0) {
+      EXPECT_LT(LogHistogram::BucketUpperBound(index - 1), v) << "value " << v;
+    }
+  }
+}
+
+TEST(LogHistogramTest, QuantilesMatchExactPercentiles) {
+  // Compare against exact order statistics of a skewed distribution; the
+  // log-bucketed estimate must stay within one sub-bucket (~6%, allow 10%).
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(10.0, 1.0);
+  LogHistogram h;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = static_cast<int64_t>(dist(rng));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    int64_t exact = values[static_cast<size_t>(
+        q * static_cast<double>(values.size() - 1))];
+    int64_t estimate = h.ValueAtQuantile(q);
+    EXPECT_NEAR(static_cast<double>(estimate), static_cast<double>(exact),
+                0.10 * static_cast<double>(exact))
+        << "quantile " << q;
+  }
+  LogHistogram::Snapshot snap = h.GetSnapshot();
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+  EXPECT_EQ(snap.max, values.back());
+  EXPECT_EQ(snap.count, 20000);
+}
+
+TEST(LogHistogramTest, QuantileNeverExceedsTrueMax) {
+  LogHistogram h;
+  h.Record(1000);
+  // A single observation: every quantile is that observation.
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 1000);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 1000);
+}
+
+TEST(LogHistogramTest, ResetClears) {
+  LogHistogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0);
+}
+
+TEST(LogHistogramTest, ConcurrentRecordsLoseNothing) {
+  LogHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(t * kPerThread + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h.max(), int64_t{kThreads} * kPerThread - 1);
+}
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("requests_total");
+  Counter* c2 = registry.GetCounter("requests_total");
+  EXPECT_EQ(c1, c2);  // same series, same instrument
+  Counter* c3 = registry.GetCounter("requests_total", {{"op", "Filter"}});
+  EXPECT_NE(c1, c3);  // different labels, different series
+  c1->Increment(5);
+  c3->Increment();
+  EXPECT_EQ(c2->value(), 5);
+  EXPECT_EQ(c3->value(), 1);
+  EXPECT_EQ(registry.num_instruments(), 2u);
+}
+
+TEST(MetricsRegistryTest, GaugeMoves) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("queue_depth");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("ss_rows_total", {{"op", "Source[\"x\"]"}})
+      ->Increment(42);
+  registry.GetGauge("ss_depth")->Set(3);
+  LogHistogram* h = registry.GetHistogram("ss_latency_nanos");
+  for (int i = 1; i <= 100; ++i) h->Record(i * 1000);
+
+  std::string text = registry.ToPrometheusText();
+  // TYPE headers per family.
+  EXPECT_NE(text.find("# TYPE ss_rows_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ss_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ss_latency_nanos summary"), std::string::npos);
+  // Label values are escaped (the quote inside the op name).
+  EXPECT_NE(text.find("ss_rows_total{op=\"Source[\\\"x\\\"]\"} 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("ss_depth 3"), std::string::npos);
+  // Histogram renders as a summary with quantiles plus _sum/_count/_max.
+  EXPECT_NE(text.find("ss_latency_nanos{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ss_latency_nanos{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ss_latency_nanos_count 100"), std::string::npos);
+  EXPECT_NE(text.find("ss_latency_nanos_max 100000"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonDump) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(7);
+  registry.GetGauge("g")->Set(-2);
+  registry.GetHistogram("h")->Record(100);
+  Json json = registry.ToJson();
+  EXPECT_EQ(json.Get("counters").Get("c").int_value(), 7);
+  EXPECT_EQ(json.Get("gauges").Get("g").int_value(), -2);
+  EXPECT_EQ(json.Get("histograms").Get("h").Get("count").int_value(), 1);
+}
+
+TEST(MetricsRegistryTest, EscapeLabelValueHandlesSpecials) {
+  EXPECT_EQ(EscapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesFromPoolScheduler) {
+  // The registry is updated from real scheduler worker threads — the shape
+  // of contention the engine produces — and must lose no increments.
+  MetricsRegistry registry;
+  PoolScheduler scheduler(4);
+  scheduler.set_metrics(&registry);
+  Counter* work = registry.GetCounter("work_total");
+  constexpr int kTasks = 64;
+  constexpr int kIncrementsPerTask = 1000;
+  std::vector<std::function<Status()>> tasks;
+  for (int t = 0; t < kTasks; ++t) {
+    tasks.push_back([&registry, work, t]() -> Status {
+      LogHistogram* h = registry.GetHistogram("work_latency_nanos");
+      for (int i = 0; i < kIncrementsPerTask; ++i) {
+        work->Increment();
+        h->Record(t * 100 + i);
+      }
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(scheduler.RunStage("work", std::move(tasks)).ok());
+  EXPECT_EQ(work->value(), int64_t{kTasks} * kIncrementsPerTask);
+  EXPECT_EQ(registry.GetHistogram("work_latency_nanos")->count(),
+            int64_t{kTasks} * kIncrementsPerTask);
+  // The instrumented scheduler recorded its own task/stage series too.
+  EXPECT_EQ(registry.GetCounter("sstreaming_scheduler_tasks_total")->value(),
+            kTasks);
+  EXPECT_EQ(registry.GetHistogram("sstreaming_scheduler_task_nanos")->count(),
+            kTasks);
+  EXPECT_EQ(registry.GetHistogram("sstreaming_scheduler_stage_nanos")->count(),
+            1);
+  EXPECT_EQ(registry.GetGauge("sstreaming_scheduler_queue_depth")->value(), 0);
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,236 @@
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "connectors/bus_connectors.h"
+#include "connectors/memory.h"
+#include "exec/streaming_query.h"
+#include "storage/fs.h"
+#include "workloads/yahoo.h"
+
+namespace sstreaming {
+namespace {
+
+TEST(EpochTracerTest, RecordsAndSnapshots) {
+  EpochTracer tracer;
+  tracer.AddSpan("execute", "stage", 1000, 500, 1);
+  tracer.AddSpan("commit", "stage", 1500, 100, 1);
+  EXPECT_EQ(tracer.span_count(), 2u);
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "execute");
+  EXPECT_EQ(spans[0].dur_nanos, 500);
+  EXPECT_EQ(spans[1].epoch, 1);
+  tracer.Clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(EpochTracerTest, CapacityBoundDropsNotGrows) {
+  EpochTracer tracer(/*max_spans=*/2);
+  tracer.AddSpan("a", "stage", 0, 1, 1);
+  tracer.AddSpan("b", "stage", 1, 1, 1);
+  tracer.AddSpan("c", "stage", 2, 1, 1);
+  EXPECT_EQ(tracer.span_count(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1);
+}
+
+TEST(EpochTracerTest, ScopedSpanRecordsOnDestruction) {
+  EpochTracer tracer;
+  {
+    ScopedSpan span(&tracer, "work", "stage", 42);
+  }
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].epoch, 42);
+  EXPECT_GE(spans[0].dur_nanos, 0);
+  // Null tracer disables recording without crashing.
+  { ScopedSpan disabled(nullptr, "skipped", "stage", 0); }
+  EXPECT_EQ(tracer.span_count(), 1u);
+}
+
+TEST(EpochTracerTest, ChromeTraceJsonIsWellFormed) {
+  EpochTracer tracer;
+  tracer.AddSpan("execute", "stage", 2000, 1000, 3);
+  Json trace = tracer.ToChromeTrace();
+  ASSERT_TRUE(trace.Has("traceEvents"));
+  const auto& events = trace.Get("traceEvents").array_items();
+  ASSERT_EQ(events.size(), 1u);
+  const Json& e = events[0];
+  EXPECT_EQ(e.Get("name").string_value(), "execute");
+  EXPECT_EQ(e.Get("ph").string_value(), "X");
+  EXPECT_DOUBLE_EQ(e.Get("ts").double_value(), 2.0);   // micros
+  EXPECT_DOUBLE_EQ(e.Get("dur").double_value(), 1.0);  // micros
+  EXPECT_EQ(e.Get("args").Get("epoch").int_value(), 3);
+  // The serialized form parses back.
+  auto parsed = Json::Parse(tracer.ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("traceEvents").array_items().size(), 1u);
+}
+
+TEST(EpochTracerTest, WriteChromeTraceToDisk) {
+  auto dir = MakeTempDir("obs_trace").TakeValue();
+  EpochTracer tracer;
+  tracer.AddSpan("execute", "stage", 0, 10, 1);
+  ASSERT_TRUE(tracer.WriteChromeTrace(dir + "/trace.json").ok());
+  auto text = ReadFile(dir + "/trace.json");
+  ASSERT_TRUE(text.ok());
+  auto parsed = Json::Parse(*text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("traceEvents").array_items().size(), 1u);
+  RemoveDirRecursive(dir).ok();
+}
+
+/// The acceptance run: the Yahoo workload (paper §9.1) driven end to end
+/// with the full observability stack on, validating the three ISSUE
+/// criteria — Prometheus dump with per-operator counters and an epoch
+/// histogram whose p50 <= p99, trace spans covering >= 95% of epoch wall
+/// time, and per-stage durations summing to the reported epoch duration.
+TEST(ObservabilityAcceptanceTest, YahooWorkloadEndToEnd) {
+  YahooConfig config;
+  config.num_partitions = 4;
+  config.num_events = 20000;
+  config.num_campaigns = 10;
+  config.ads_per_campaign = 5;
+  config.event_time_span_seconds = 50;
+
+  MessageBus bus;
+  auto campaigns = GenerateYahooData(&bus, "events", config);
+  ASSERT_TRUE(campaigns.ok()) << campaigns.status().ToString();
+  auto source =
+      std::make_shared<BusSource>(&bus, "events", YahooEventSchema());
+  auto sink = std::make_shared<MemorySink>();
+
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  opts.num_partitions = 4;
+  opts.query_name = "yahoo";
+  // Cap epochs so the run produces several epochs (a histogram needs more
+  // than one observation to be interesting).
+  opts.max_records_per_epoch = 5000;
+  auto query = StreamingQuery::Start(YahooQuery(source, *campaigns), sink,
+                                     opts)
+                   .TakeValue();
+  ASSERT_TRUE(query->ProcessAllAvailable().ok());
+  ASSERT_GE(query->last_epoch(), 3);
+
+  // (a) Prometheus text: per-operator row counters and the epoch-latency
+  // histogram with sane quantile ordering.
+  ASSERT_NE(query->metrics(), nullptr);
+  std::string prom = query->metrics()->ToPrometheusText();
+  EXPECT_NE(prom.find("sstreaming_operator_rows_out_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("sstreaming_operator_rows_in_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("op=\"Source[bus:events]\""), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE sstreaming_epoch_duration_nanos summary"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("sstreaming_source_rows_total{source=\"bus:events\"} 20000"),
+      std::string::npos);
+  LogHistogram* epoch_hist =
+      query->metrics()->GetHistogram("sstreaming_epoch_duration_nanos");
+  LogHistogram::Snapshot snap = epoch_hist->GetSnapshot();
+  EXPECT_EQ(snap.count, query->last_epoch());
+  EXPECT_GT(snap.p50, 0);
+  EXPECT_LE(snap.p50, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+
+  // (b) Trace spans cover >= 95% of each epoch's wall time.
+  ASSERT_NE(query->tracer(), nullptr);
+  auto spans = query->tracer()->Snapshot();
+  ASSERT_FALSE(spans.empty());
+  std::map<int64_t, int64_t> epoch_total;   // epoch span duration
+  std::map<int64_t, int64_t> stage_total;   // sum of stage spans
+  std::set<std::string> stage_names;
+  for (const TraceSpan& span : spans) {
+    if (span.cat == "epoch") epoch_total[span.epoch] += span.dur_nanos;
+    if (span.cat == "stage") {
+      stage_total[span.epoch] += span.dur_nanos;
+      stage_names.insert(span.name);
+    }
+  }
+  ASSERT_EQ(static_cast<int64_t>(epoch_total.size()), query->last_epoch());
+  for (const auto& [epoch, total] : epoch_total) {
+    ASSERT_GT(total, 0) << "epoch " << epoch;
+    double coverage = static_cast<double>(stage_total[epoch]) /
+                      static_cast<double>(total);
+    EXPECT_GE(coverage, 0.95) << "epoch " << epoch;
+  }
+  // The commit-protocol stages are all present.
+  EXPECT_TRUE(stage_names.count("plan"));
+  EXPECT_TRUE(stage_names.count("execute"));
+  EXPECT_TRUE(stage_names.count("checkpoint"));
+  EXPECT_TRUE(stage_names.count("commit"));
+  // Per-operator spans nest inside the epochs.
+  bool has_operator_span = false;
+  for (const TraceSpan& span : spans) {
+    if (span.cat == "operator") has_operator_span = true;
+  }
+  EXPECT_TRUE(has_operator_span);
+
+  // (c) Per-stage durations sum to the reported epoch duration, every epoch.
+  ASSERT_FALSE(query->recent_progress().empty());
+  for (const QueryProgress& p : query->recent_progress()) {
+    EXPECT_EQ(p.duration_nanos, p.StageSumNanos()) << "epoch " << p.epoch;
+    EXPECT_GT(p.duration_nanos, 0) << "epoch " << p.epoch;
+  }
+  // The capped epochs reported a backlog until the last one drained it.
+  const QueryProgress& first = query->recent_progress().front();
+  ASSERT_EQ(first.sources.size(), 1u);
+  EXPECT_GT(first.sources[0].backlog_rows, 0);
+  const QueryProgress& last = query->recent_progress().back();
+  EXPECT_EQ(last.sources[0].backlog_rows, 0);
+
+  // The trace exports as valid Chrome trace JSON.
+  auto dir = MakeTempDir("obs_accept").TakeValue();
+  ASSERT_TRUE(query->tracer()->WriteChromeTrace(dir + "/yahoo.json").ok());
+  auto parsed = Json::Parse(ReadFile(dir + "/yahoo.json").TakeValue());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("traceEvents").array_items().size(), spans.size());
+  RemoveDirRecursive(dir).ok();
+}
+
+TEST(ObservabilityOptionsTest, TracingCanBeDisabled) {
+  auto stream = std::make_shared<MemoryStream>(
+      "s", Schema::Make({{"v", TypeId::kInt64, false}}), 1);
+  QueryOptions opts;
+  opts.enable_tracing = false;
+  auto query = StreamingQuery::Start(DataFrame::ReadStream(stream),
+                                     std::make_shared<MemorySink>(), opts)
+                   .TakeValue();
+  EXPECT_EQ(query->tracer(), nullptr);
+  ASSERT_TRUE(stream->AddData({{Value::Int64(1)}}).ok());
+  ASSERT_TRUE(query->ProcessAllAvailable().ok());
+  EXPECT_NE(query->metrics(), nullptr);  // metrics stay on
+  EXPECT_EQ(
+      query->metrics()->GetCounter("sstreaming_epochs_total")->value(), 1);
+}
+
+TEST(ObservabilityOptionsTest, SharedRegistryAggregatesQueries) {
+  auto registry = std::make_shared<MetricsRegistry>();
+  auto stream = std::make_shared<MemoryStream>(
+      "s", Schema::Make({{"v", TypeId::kInt64, false}}), 1);
+  QueryOptions opts;
+  opts.metrics = registry;
+  auto q1 = StreamingQuery::Start(DataFrame::ReadStream(stream),
+                                  std::make_shared<MemorySink>(), opts)
+                .TakeValue();
+  auto q2 = StreamingQuery::Start(DataFrame::ReadStream(stream),
+                                  std::make_shared<MemorySink>(), opts)
+                .TakeValue();
+  ASSERT_TRUE(stream->AddData({{Value::Int64(1)}, {Value::Int64(2)}}).ok());
+  ASSERT_TRUE(q1->ProcessAllAvailable().ok());
+  ASSERT_TRUE(q2->ProcessAllAvailable().ok());
+  EXPECT_EQ(q1->metrics().get(), registry.get());
+  EXPECT_EQ(q2->metrics().get(), registry.get());
+  // Both queries' epochs land in the one registry.
+  EXPECT_EQ(registry->GetCounter("sstreaming_epochs_total")->value(), 2);
+  EXPECT_EQ(registry->GetCounter("sstreaming_rows_read_total")->value(), 4);
+}
+
+}  // namespace
+}  // namespace sstreaming

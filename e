@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+
+#include "connectors/memory.h"
+#include "exec/streaming_query.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+namespace {
+
+constexpr int64_t kSec = 1000000;
+
+SchemaPtr ClickSchema() {
+  return Schema::Make({{"country", TypeId::kString, false},
+                       {"latency", TypeId::kInt64, false},
+                       {"time", TypeId::kTimestamp, false}});
+}
+
+Row Click(const char* country, int64_t latency, int64_t time_sec) {
+  return {Value::Str(country), Value::Int64(latency),
+          Value::Timestamp(time_sec * kSec)};
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("sstreaming_recovery_test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { RemoveDirRecursive(dir_).ok(); }
+
+  QueryOptions Durable(OutputMode mode) {
+    QueryOptions opts;
+    opts.mode = mode;
+    opts.num_partitions = 2;
+    opts.checkpoint_dir = dir_;
+    return opts;
+  }
+
+  std::string dir_;

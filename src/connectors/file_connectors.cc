@@ -4,6 +4,7 @@
 
 #include "common/json.h"
 #include "storage/fs.h"
+#include "testing/failpoints.h"
 
 namespace sstreaming {
 
@@ -96,6 +97,7 @@ Result<Row> JsonFileSource::ParseLine(const Schema& schema,
 }
 
 Result<std::vector<int64_t>> JsonFileSource::LatestOffsets() const {
+  SS_FAILPOINT("source.get_offsets");
   SS_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
   int64_t total = 0;
   for (const std::string& name : names) {
@@ -111,6 +113,7 @@ Result<RecordBatchPtr> JsonFileSource::ReadPartition(int partition,
                                                      int64_t start,
                                                      int64_t end) const {
   if (partition != 0) return Status::OutOfRange("file source has 1 partition");
+  SS_FAILPOINT("source.get_batch");
   SS_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
   std::vector<Row> rows;
   int64_t index = 0;
@@ -144,6 +147,7 @@ Status JsonFileSink::CommitEpoch(int64_t epoch, OutputMode mode,
   if (!SupportsMode(mode)) {
     return Status::InvalidArgument("file sink does not support update mode");
   }
+  SS_FAILPOINT("sink.commit.before_apply");
   std::string text;
   for (const auto& b : batches) {
     for (int64_t i = 0; i < b->num_rows(); ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "testing/failpoints.h"
 
 namespace sstreaming {
 
@@ -37,6 +38,7 @@ Status MemoryStream::AddDataToPartition(int partition,
 }
 
 Result<std::vector<int64_t>> MemoryStream::LatestOffsets() const {
+  SS_FAILPOINT("source.get_offsets");
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<int64_t> out;
   out.reserve(partitions_.size());
@@ -49,6 +51,7 @@ Result<std::vector<int64_t>> MemoryStream::LatestOffsets() const {
 Result<RecordBatchPtr> MemoryStream::ReadPartition(int partition,
                                                    int64_t start,
                                                    int64_t end) const {
+  SS_FAILPOINT("source.get_batch");
   std::lock_guard<std::mutex> lock(mu_);
   if (partition < 0 || partition >= num_partitions()) {
     return Status::OutOfRange("bad partition");
@@ -67,6 +70,8 @@ Result<RecordBatchPtr> MemoryStream::ReadPartition(int partition,
 Status MemorySink::CommitEpoch(int64_t epoch, OutputMode mode,
                                int num_key_columns,
                                const std::vector<RecordBatchPtr>& batches) {
+  // Before any state mutates: a crash here loses the whole delivery.
+  SS_FAILPOINT("sink.commit.before_apply");
   std::lock_guard<std::mutex> lock(mu_);
   switch (mode) {
     case OutputMode::kAppend: {
@@ -105,6 +110,9 @@ Status MemorySink::CommitEpoch(int64_t epoch, OutputMode mode,
   }
   if (epoch > last_epoch_) last_epoch_ = epoch;
   ++committed_count_;
+  // After the sink applied the epoch but before the engine learns it did:
+  // recovery must re-deliver and the sink's idempotence must absorb it.
+  SS_FAILPOINT("sink.commit.after_apply");
   return Status::OK();
 }
 

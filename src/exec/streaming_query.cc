@@ -11,6 +11,7 @@
 #include "optimizer/optimizer.h"
 #include "state/state_store.h"
 #include "storage/fs.h"
+#include "testing/failpoints.h"
 
 namespace sstreaming {
 
@@ -105,6 +106,14 @@ void StreamingQuery::BuildOpIndex() {
 StreamingQuery::~StreamingQuery() { Stop(); }
 
 Status StreamingQuery::Recover() {
+  // A crash can leave a torn entry at the WAL tail (see RepairTornTail);
+  // drop it rather than refusing to start — the epoch it described never
+  // took effect and is simply recomputed.
+  SS_ASSIGN_OR_RETURN(int repaired, wal_->RepairTornTail());
+  if (repaired > 0) {
+    SS_LOG(Warn) << "recovery repaired " << repaired
+                 << " torn WAL tail entr" << (repaired == 1 ? "y" : "ies");
+  }
   // Paper §6.1 step 4: find the last planned epoch; reload state at the
   // newest checkpoint at or below the last *committed* epoch; replay
   // everything after it (sinks are idempotent, so replayed commits are
@@ -237,7 +246,10 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
 
   // §6.1 commit protocol: checkpoint state, then commit the sink, then log
   // the commit. A crash between any two steps is repaired by replaying this
-  // epoch (idempotent sink, state restored to the pre-epoch version).
+  // epoch (idempotent sink, state restored to the pre-epoch version). The
+  // epoch.* failpoints sit exactly in those crash windows; the chaos
+  // harness drives each of them.
+  SS_FAILPOINT("epoch.before_checkpoint");
   int64_t ckpt_t0 = MonotonicNanos();
   if (plan_.has_stateful) {
     const int interval = options_.state_checkpoint_interval;
@@ -256,8 +268,12 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
     // to append: every emitted row is new.
     sink_mode = OutputMode::kAppend;
   }
+  SS_FAILPOINT("epoch.before_sink_commit");
   SS_RETURN_IF_ERROR(
       sink_->CommitEpoch(plan.epoch, sink_mode, num_keys, output));
+  // The classic at-least-once window: output delivered, commit not yet
+  // logged. Replay re-delivers; the sink's idempotence deduplicates.
+  SS_FAILPOINT("epoch.after_sink_commit");
 
   // Advance cursors and the watermark for the next epoch (§4.3.1: the
   // watermark moves at epoch boundaries using event times seen so far).

@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "obs/metrics.h"
+#include "testing/failpoints.h"
 
 namespace sstreaming {
 
@@ -29,6 +30,17 @@ struct StageMetrics {
   bool enabled() const { return task_nanos != nullptr; }
 };
 
+/// Injected task failure ("scheduler.task.run"): the task is charged as
+/// failed before running, like an executor dying mid-task. The engine has
+/// no per-task retry in the real schedulers (SimClusterScheduler models
+/// that); an injected failure fails the stage and thus the epoch, which
+/// recovery then replays.
+Status MaybeInjectTaskFailure() {
+  static FailpointSite site("scheduler.task.run");
+  if (site.armed()) return Failpoints::Instance().Evaluate(&site);
+  return Status::OK();
+}
+
 }  // namespace
 
 Status InlineScheduler::RunStage(const std::string& /*stage_name*/,
@@ -40,7 +52,8 @@ Status InlineScheduler::RunStage(const std::string& /*stage_name*/,
   }
   for (auto& task : tasks) {
     int64_t t0 = m.enabled() ? MonotonicNanos() : 0;
-    Status s = task();
+    Status s = MaybeInjectTaskFailure();
+    if (s.ok()) s = task();
     if (m.enabled()) {
       m.task_nanos->Record(MonotonicNanos() - t0);
       m.tasks_total->Increment();
@@ -69,7 +82,8 @@ Status PoolScheduler::RunStage(const std::string& /*stage_name*/,
   for (auto& task : tasks) {
     pool_.Submit([&mu, &first_error, m, task = std::move(task)] {
       int64_t t0 = m.enabled() ? MonotonicNanos() : 0;
-      Status s = task();
+      Status s = MaybeInjectTaskFailure();
+      if (s.ok()) s = task();
       if (m.enabled()) {
         m.task_nanos->Record(MonotonicNanos() - t0);
         m.tasks_total->Increment();
@@ -105,7 +119,8 @@ Status SimClusterScheduler::RunStage(
   for (auto& task : tasks) {
     pending_charge_ = 0;
     int64_t t0 = MonotonicNanos();
-    Status s = task();
+    Status s = MaybeInjectTaskFailure();
+    if (s.ok()) s = task();
     SS_RETURN_IF_ERROR(s);
     int64_t measured = options_.fixed_task_duration_nanos > 0
                            ? options_.fixed_task_duration_nanos

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "storage/fs.h"
+#include "testing/failpoints.h"
 
 namespace sstreaming {
 
@@ -117,6 +118,7 @@ Result<std::unique_ptr<StateStore>> StateStore::Open(const std::string& dir,
 }
 
 Status StateStore::LoadUpTo(int64_t version) {
+  SS_FAILPOINT("state.load");
   SS_ASSIGN_OR_RETURN(std::vector<VersionFile> files, ListVersionFiles(dir_));
   // Newest snapshot at or below `version`.
   int64_t base = 0;
@@ -175,6 +177,8 @@ Status StateStore::Commit(int64_t version) {
   const bool snapshot = commits_since_snapshot_ + 1 >=
                             options_.snapshot_interval ||
                         last_commit_version_ == 0;
+  SS_FAILPOINT("state.commit.before_write");
+  if (snapshot) SS_FAILPOINT("state.snapshot.before_write");
   std::string buf;
   if (snapshot) {
     for (const auto& [key, value] : data_) AppendPut(&buf, key, value);
@@ -193,6 +197,9 @@ Status StateStore::Commit(int64_t version) {
   }
   SS_RETURN_IF_ERROR(
       WriteFileAtomic(VersionPath(dir_, version, snapshot), buf));
+  // Crash window after the version file is durable but before the store
+  // adopts it: recovery must treat the on-disk version as authoritative.
+  SS_FAILPOINT("state.commit.after_write");
   bytes_written_ += static_cast<int64_t>(buf.size());
   pending_.clear();
   last_commit_version_ = version;

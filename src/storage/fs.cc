@@ -9,11 +9,14 @@
 #include <fstream>
 #include <sstream>
 
+#include "testing/failpoints.h"
+
 namespace sstreaming {
 
 namespace fs = std::filesystem;
 
 Status EnsureDir(const std::string& path) {
+  SS_FAILPOINT("fs.ensure_dir");
   std::error_code ec;
   fs::create_directories(path, ec);
   if (ec) {
@@ -24,25 +27,69 @@ Status EnsureDir(const std::string& path) {
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  SS_FAILPOINT("fs.open");
+  // Torn-write injection: models a filesystem that publishes the file name
+  // before all data blocks are durable (a crash between write and fsync on
+  // a real FS). The caller sees a failure — the "process" died — but a
+  // truncated file is left visible under the final name for recovery code
+  // to cope with.
+  static FailpointSite torn_site("fs.write.torn");
+  const bool torn =
+      torn_site.armed() && Failpoints::Instance().EvaluateTorn(&torn_site);
+  const size_t write_len = torn ? data.size() / 2 : data.size();
+
   static std::atomic<uint64_t> counter{0};
   std::string tmp = path + ".tmp." + std::to_string(counter.fetch_add(1));
+  auto cleanup_tmp = [&tmp] {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+  };
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IOError("cannot open temp file " + tmp);
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.write(data.data(), static_cast<std::streamsize>(write_len));
     out.flush();
-    if (!out) return Status::IOError("short write to " + tmp);
+    if (!out) {
+      cleanup_tmp();
+      return Status::IOError("short write to " + tmp);
+    }
+  }
+  {
+    // Injected write/sync failure: the temp file must not leak.
+    static FailpointSite write_site("fs.write");
+    if (write_site.armed()) {
+      Status s = Failpoints::Instance().Evaluate(&write_site);
+      if (!s.ok()) {
+        cleanup_tmp();
+        return s;
+      }
+    }
+  }
+  {
+    static FailpointSite rename_site("fs.rename");
+    if (rename_site.armed()) {
+      Status s = Failpoints::Instance().Evaluate(&rename_site);
+      if (!s.ok()) {
+        cleanup_tmp();
+        return s;
+      }
+    }
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
-    fs::remove(tmp, ec);
+    cleanup_tmp();
     return Status::IOError("rename to " + path + " failed");
+  }
+  if (torn) {
+    return Status::IOError("failpoint: fs.write.torn (injected torn write to " +
+                           path + ")");
   }
   return Status::OK();
 }
 
 Result<std::string> ReadFile(const std::string& path) {
+  SS_FAILPOINT("fs.read");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   std::ostringstream ss;
@@ -52,6 +99,7 @@ Result<std::string> ReadFile(const std::string& path) {
 }
 
 Result<std::vector<std::string>> ListDir(const std::string& path) {
+  SS_FAILPOINT("fs.list");
   std::error_code ec;
   std::vector<std::string> names;
   fs::directory_iterator it(path, ec);
@@ -71,6 +119,7 @@ bool FileExists(const std::string& path) {
 }
 
 Status RemoveFile(const std::string& path) {
+  SS_FAILPOINT("fs.remove");
   std::error_code ec;
   if (!fs::remove(path, ec) || ec) {
     return Status::IOError("cannot remove " + path);

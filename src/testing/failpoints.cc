@@ -1,0 +1,262 @@
+#include "testing/failpoints.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace sstreaming {
+
+namespace {
+
+constexpr char kInjectedPrefix[] = "failpoint: ";
+
+Result<StatusCode> ParseActionCode(const std::string& action) {
+  if (action == "error" || action == "io") return StatusCode::kIOError;
+  if (action == "notfound") return StatusCode::kNotFound;
+  if (action == "aborted" || action == "abort") return StatusCode::kAborted;
+  if (action == "internal") return StatusCode::kInternal;
+  return Status::InvalidArgument("unknown failpoint action: " + action);
+}
+
+Status MakeInjected(const std::string& name, const FailpointSpec& spec) {
+  std::string msg = kInjectedPrefix + name + " (injected " +
+                    StatusCodeToString(spec.code) + ")";
+  return Status(spec.code, std::move(msg));
+}
+
+}  // namespace
+
+FailpointSite::FailpointSite(const char* name) : name_(name) {
+  Failpoints::Instance().Register(this);
+}
+
+Failpoints& Failpoints::Instance() {
+  // Intentionally leaked: sites in static storage may evaluate during
+  // static destruction of other objects.
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+Failpoints::Failpoints() {
+  const char* env = std::getenv("SSTREAMING_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    Status s = ArmFromString(env);
+    if (!s.ok()) {
+      SS_LOG(Error) << "ignoring bad SSTREAMING_FAILPOINTS: " << s.ToString();
+    }
+  }
+}
+
+void Failpoints::Register(FailpointSite* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[site->name()];
+  entry.sites.push_back(site);
+  site->armed_.store(entry.armed, std::memory_order_relaxed);
+}
+
+Status Failpoints::Arm(const std::string& name, FailpointSpec spec) {
+  if (spec.hit < 1) {
+    return Status::InvalidArgument("failpoint hit must be >= 1 for " + name);
+  }
+  if (spec.probability < 0 || spec.probability > 1) {
+    return Status::InvalidArgument("failpoint probability out of [0,1] for " +
+                                   name);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  entry.armed = true;
+  entry.spec = spec;
+  entry.evaluations = 0;
+  entry.triggers = 0;
+  entry.rng = Random(spec.seed ^ std::hash<std::string>{}(name));
+  for (FailpointSite* site : entry.sites) {
+    site->armed_.store(true, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  it->second.armed = false;
+  for (FailpointSite* site : it->second.sites) {
+    site->armed_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    entry.armed = false;
+    for (FailpointSite* site : entry.sites) {
+      site->armed_.store(false, std::memory_order_relaxed);
+    }
+  }
+}
+
+Result<std::pair<std::string, FailpointSpec>> Failpoints::ParseSpec(
+    const std::string& entry) {
+  size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint spec needs <name>=<action>: " +
+                                   entry);
+  }
+  std::string name = entry.substr(0, eq);
+  std::string rest = entry.substr(eq + 1);
+  FailpointSpec spec;
+
+  // Trailing '!' = sticky.
+  if (!rest.empty() && rest.back() == '!') {
+    spec.sticky = true;
+    rest.pop_back();
+  }
+  // Optional ~<seed>, then %<prob>, then @<hit>, right to left.
+  auto take_suffix = [&rest](char sigil) -> std::string {
+    size_t pos = rest.rfind(sigil);
+    if (pos == std::string::npos) return "";
+    std::string v = rest.substr(pos + 1);
+    rest.resize(pos);
+    return v;
+  };
+  std::string seed_str = take_suffix('~');
+  std::string prob_str = take_suffix('%');
+  std::string hit_str = take_suffix('@');
+  try {
+    if (!seed_str.empty()) spec.seed = std::stoull(seed_str);
+    if (!prob_str.empty()) spec.probability = std::stod(prob_str);
+    if (!hit_str.empty()) spec.hit = std::stoi(hit_str);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad failpoint spec numbers: " + entry);
+  }
+
+  // What remains is action[:param].
+  std::string action = rest;
+  std::string param;
+  size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    action = rest.substr(0, colon);
+    param = rest.substr(colon + 1);
+  }
+  if (action == "delay") {
+    spec.action = FailpointSpec::Action::kDelay;
+    try {
+      spec.delay_micros = param.empty() ? 1000 : std::stoll(param);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad delay micros: " + entry);
+    }
+  } else if (action == "torn") {
+    spec.action = FailpointSpec::Action::kTorn;
+    spec.code = StatusCode::kIOError;
+  } else {
+    spec.action = FailpointSpec::Action::kError;
+    SS_ASSIGN_OR_RETURN(spec.code, ParseActionCode(action));
+  }
+  return std::make_pair(std::move(name), spec);
+}
+
+Status Failpoints::ArmFromString(const std::string& specs) {
+  size_t start = 0;
+  while (start < specs.size()) {
+    size_t end = specs.find_first_of(";,", start);
+    if (end == std::string::npos) end = specs.size();
+    std::string entry = specs.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    SS_ASSIGN_OR_RETURN(auto parsed, ParseSpec(entry));
+    SS_RETURN_IF_ERROR(Arm(parsed.first, parsed.second));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Failpoints::RegisteredNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.sites.empty()) names.push_back(name);
+  }
+  return names;  // map order = sorted
+}
+
+int64_t Failpoints::evaluations(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.evaluations;
+}
+
+int64_t Failpoints::triggers(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.triggers;
+}
+
+void Failpoints::set_metrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+}
+
+bool Failpoints::IsInjected(const Status& status) {
+  return !status.ok() &&
+         status.message().compare(0, sizeof(kInjectedPrefix) - 1,
+                                  kInjectedPrefix) == 0;
+}
+
+bool Failpoints::Fires(Entry* entry) {
+  ++entry->evaluations;
+  if (entry->spec.probability > 0) {
+    return entry->rng.NextDouble() < entry->spec.probability;
+  }
+  if (entry->spec.sticky) return entry->evaluations >= entry->spec.hit;
+  return entry->evaluations == entry->spec.hit;
+}
+
+void Failpoints::CountTrigger(const std::string& name, Entry* entry) {
+  ++entry->triggers;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("sstreaming_failpoint_triggers_total",
+                     {{"failpoint", name}})
+        ->Increment();
+  }
+}
+
+Status Failpoints::Evaluate(FailpointSite* site) {
+  FailpointSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(site->name());
+    if (it == entries_.end() || !it->second.armed) return Status::OK();
+    Entry& entry = it->second;
+    // Torn specs only fire at torn-aware call sites (EvaluateTorn);
+    // evaluating one here is a plain pass-through so hit counts stay
+    // comparable across sites sharing a name.
+    if (entry.spec.action == FailpointSpec::Action::kTorn) {
+      return Status::OK();
+    }
+    if (!Fires(&entry)) return Status::OK();
+    CountTrigger(site->name(), &entry);
+    spec = entry.spec;
+  }
+  if (spec.action == FailpointSpec::Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::microseconds(spec.delay_micros));
+    return Status::OK();
+  }
+  return MakeInjected(site->name(), spec);
+}
+
+bool Failpoints::EvaluateTorn(FailpointSite* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(site->name());
+  if (it == entries_.end() || !it->second.armed) return false;
+  Entry& entry = it->second;
+  if (entry.spec.action != FailpointSpec::Action::kTorn) return false;
+  if (!Fires(&entry)) return false;
+  CountTrigger(site->name(), &entry);
+  return true;
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,170 @@
+#ifndef SSTREAMING_TESTING_FAILPOINTS_H_
+#define SSTREAMING_TESTING_FAILPOINTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace sstreaming {
+
+class MetricsRegistry;
+
+/// Deterministic fault injection for crash-recovery testing (the chaos
+/// harness in tests/ sweeps every site; see docs/FAULT_INJECTION.md).
+///
+/// A *failpoint* is a named site on a durability-critical code path,
+/// declared with SS_FAILPOINT("wal.commit.before_write"). Disarmed sites
+/// cost one relaxed atomic load and a never-taken branch; armed sites
+/// consult the process-global registry, which can inject an error Status,
+/// a delay, or a torn write on the Nth evaluation (or probabilistically,
+/// seeded via common/random.h so runs are reproducible).
+///
+/// Arm programmatically (tests) or from the environment:
+///   SSTREAMING_FAILPOINTS="wal.commit.before_write=error@2;fs.rename=io"
+///
+/// Spec grammar (see ParseSpec):
+///   <name>=<action>[:<param>][@<hit>][%<prob>][~<seed>][!]
+///     action: error|io|notfound|aborted|internal (injected Status code),
+///             delay:<micros>, torn (fs.write sites: truncate then fail)
+///     @<hit>: fire on the Nth evaluation of the site (default 1)
+///     %<prob>: instead of a fixed hit, fire with probability per
+///              evaluation, from a Random seeded with ~<seed> ^ hash(name)
+///     !: sticky — keep firing on every evaluation from the Nth on
+struct FailpointSpec {
+  enum class Action {
+    kError,  // return an injected Status
+    kDelay,  // sleep delay_micros, then continue
+    kTorn,   // WriteFileAtomic only: publish a truncated file, then fail
+  };
+
+  Action action = Action::kError;
+  StatusCode code = StatusCode::kIOError;
+  int64_t delay_micros = 0;
+  int hit = 1;             // 1-based evaluation index that fires
+  bool sticky = false;     // fire on every evaluation >= hit
+  double probability = 0;  // > 0: ignore `hit`, fire probabilistically
+  uint64_t seed = 0;       // seeds the per-failpoint Random
+};
+
+/// Static per-site handle; one lives at each SS_FAILPOINT expansion and
+/// registers itself with the global registry on first execution of the
+/// enclosing code path.
+class FailpointSite {
+ public:
+  explicit FailpointSite(const char* name);
+
+  FailpointSite(const FailpointSite&) = delete;
+  FailpointSite& operator=(const FailpointSite&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Failpoints;
+
+  std::string name_;
+  std::atomic<bool> armed_{false};
+};
+
+/// Process-global failpoint registry. Singleton; never destroyed (sites in
+/// static storage may outlive any other object).
+class Failpoints {
+ public:
+  static Failpoints& Instance();
+
+  /// Arms `name` with `spec`, resetting its evaluation/trigger counters.
+  /// The name does not need a registered site yet; the spec applies as soon
+  /// as one registers (this is how env-var arming reaches sites that run
+  /// later). Rejects malformed specs (e.g. hit < 1).
+  Status Arm(const std::string& name, FailpointSpec spec);
+
+  void Disarm(const std::string& name);
+  void DisarmAll();
+
+  /// Parses one "name=spec" entry of the grammar above.
+  static Result<std::pair<std::string, FailpointSpec>> ParseSpec(
+      const std::string& entry);
+
+  /// Parses and arms a ';'- or ','-separated spec list (the
+  /// SSTREAMING_FAILPOINTS syntax). Applied automatically from that env var
+  /// when the registry is first used.
+  Status ArmFromString(const std::string& specs);
+
+  /// Names of all failpoints whose sites have executed at least once (the
+  /// set a chaos sweep enumerates after a fault-free run), sorted.
+  std::vector<std::string> RegisteredNames() const;
+
+  /// Evaluations of the site while armed / faults actually injected.
+  int64_t evaluations(const std::string& name) const;
+  int64_t triggers(const std::string& name) const;
+
+  /// When set, every injected fault increments
+  /// `sstreaming_failpoint_triggers_total{failpoint="<name>"}`.
+  void set_metrics(MetricsRegistry* metrics);
+
+  /// True if `status` was produced by an armed failpoint (the chaos harness
+  /// uses this to tell injected crashes from real bugs).
+  static bool IsInjected(const Status& status);
+
+  // --- called from the SS_FAILPOINT machinery ---
+  void Register(FailpointSite* site);
+  /// Decides whether the armed site fires; returns the injected error (or
+  /// sleeps and returns OK for delay specs). kTorn specs evaluated through
+  /// this path inject a plain error.
+  Status Evaluate(FailpointSite* site);
+  /// Like Evaluate but for kTorn specs: returns true when the torn write
+  /// should happen (the caller truncates + publishes + fails itself).
+  /// Non-torn specs never fire through this path.
+  bool EvaluateTorn(FailpointSite* site);
+
+ private:
+  struct Entry {
+    bool armed = false;
+    FailpointSpec spec;
+    int64_t evaluations = 0;
+    int64_t triggers = 0;
+    Random rng{0};  // for probabilistic specs; reseeded at Arm
+    std::vector<FailpointSite*> sites;
+  };
+
+  Failpoints();
+
+  /// Returns true when this evaluation fires (counts it either way).
+  bool Fires(Entry* entry);
+  void CountTrigger(const std::string& name, Entry* entry);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace sstreaming
+
+/// Declares a failpoint site. In a function returning Status or Result<T>,
+/// an injected error propagates via `return`. Compiles to a no-op branch
+/// when the site is disarmed; compiles away entirely with
+/// -DSSTREAMING_DISABLE_FAILPOINTS.
+#ifdef SSTREAMING_DISABLE_FAILPOINTS
+#define SS_FAILPOINT(name_literal) \
+  do {                             \
+  } while (0)
+#else
+#define SS_FAILPOINT(name_literal)                                      \
+  do {                                                                  \
+    static ::sstreaming::FailpointSite _ss_fp_site(name_literal);       \
+    if (_ss_fp_site.armed()) {                                          \
+      ::sstreaming::Status _ss_fp_status =                              \
+          ::sstreaming::Failpoints::Instance().Evaluate(&_ss_fp_site);  \
+      if (!_ss_fp_status.ok()) return _ss_fp_status;                    \
+    }                                                                   \
+  } while (0)
+#endif
+
+#endif  // SSTREAMING_TESTING_FAILPOINTS_H_

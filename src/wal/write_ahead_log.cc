@@ -4,8 +4,10 @@
 #include <cstdio>
 
 #include "common/clock.h"
+#include "common/logging.h"
 #include "obs/metrics.h"
 #include "storage/fs.h"
+#include "testing/failpoints.h"
 
 namespace sstreaming {
 
@@ -118,11 +120,17 @@ Status WriteAheadLog::WriteEntryTimed(const std::string& path,
 }
 
 Status WriteAheadLog::WritePlan(const EpochPlan& plan) {
-  return WriteEntryTimed(offsets_dir() + "/" + EpochFileName(plan.epoch),
-                         plan.ToJson().DumpPretty());
+  SS_FAILPOINT("wal.plan.before_write");
+  SS_RETURN_IF_ERROR(
+      WriteEntryTimed(offsets_dir() + "/" + EpochFileName(plan.epoch),
+                      plan.ToJson().DumpPretty()));
+  // Crash window between making the plan durable and acting on it.
+  SS_FAILPOINT("wal.plan.after_write");
+  return Status::OK();
 }
 
 Result<EpochPlan> WriteAheadLog::ReadPlan(int64_t epoch) const {
+  SS_FAILPOINT("wal.replay.read_plan");
   std::string path = offsets_dir() + "/" + EpochFileName(epoch);
   if (!FileExists(path)) {
     return Status::NotFound("no plan for epoch " + std::to_string(epoch));
@@ -133,13 +141,16 @@ Result<EpochPlan> WriteAheadLog::ReadPlan(int64_t epoch) const {
 }
 
 Status WriteAheadLog::WriteCommit(int64_t epoch, int64_t watermark_micros) {
+  SS_FAILPOINT("wal.commit.before_write");
   Json obj = Json::Object();
   obj.Set("epoch", Json::Int(epoch));
   if (watermark_micros != INT64_MIN) {
     obj.Set("watermarkMicros", Json::Int(watermark_micros));
   }
-  return WriteEntryTimed(commits_dir() + "/" + EpochFileName(epoch),
-                         obj.DumpPretty());
+  SS_RETURN_IF_ERROR(WriteEntryTimed(
+      commits_dir() + "/" + EpochFileName(epoch), obj.DumpPretty()));
+  SS_FAILPOINT("wal.commit.after_write");
+  return Status::OK();
 }
 
 Result<int64_t> WriteAheadLog::ReadCommitWatermark(int64_t epoch) const {
@@ -194,6 +205,7 @@ Status WriteAheadLog::PurgeBefore(int64_t keep) {
 }
 
 Status WriteAheadLog::TruncateAfter(int64_t epoch) {
+  SS_FAILPOINT("wal.truncate");
   SS_ASSIGN_OR_RETURN(std::vector<int64_t> planned,
                       ListEpochFiles(offsets_dir()));
   for (int64_t e : planned) {
@@ -209,6 +221,42 @@ Status WriteAheadLog::TruncateAfter(int64_t epoch) {
     }
   }
   return Status::OK();
+}
+
+Result<int> WriteAheadLog::RepairTornTail() {
+  // A crash while an entry was being made durable can leave a partial file
+  // under the final name (on filesystems weaker than our temp+rename
+  // idealization — modeled by the fs.write.torn failpoint). Only the tail
+  // can legally be torn: entries are written in epoch order, so the newest
+  // file is the only one that was in flight. Removing it merely undoes an
+  // epoch that never took effect; replay recomputes it.
+  int removed = 0;
+  for (bool is_plan : {true, false}) {
+    const std::string dir = is_plan ? offsets_dir() : commits_dir();
+    while (true) {
+      SS_ASSIGN_OR_RETURN(std::vector<int64_t> epochs, ListEpochFiles(dir));
+      if (epochs.empty()) break;
+      const std::string path = dir + "/" + EpochFileName(epochs.back());
+      auto text = ReadFile(path);
+      bool intact = false;
+      if (text.ok()) {
+        auto json = Json::Parse(*text);
+        if (json.ok()) {
+          intact = is_plan ? EpochPlan::FromJson(*json).ok()
+                           : json->is_object() && json->Has("epoch");
+        }
+      } else {
+        return text.status();  // cannot read at all: surface, don't delete
+      }
+      if (intact) break;
+      SS_LOG(Warn) << "WAL: removing torn " << (is_plan ? "plan" : "commit")
+                   << " entry for epoch " << epochs.back() << " (" << path
+                   << "); it will be recomputed";
+      SS_RETURN_IF_ERROR(RemoveFile(path));
+      ++removed;
+    }
+  }
+  return removed;
 }
 
 }  // namespace sstreaming

@@ -91,6 +91,14 @@ class WriteAheadLog {
   /// (rollbacks remain possible back to `keep`).
   Status PurgeBefore(int64_t keep);
 
+  /// Crash repair: if the newest plan or commit entry is torn (partial or
+  /// corrupt JSON — a crash while the entry was being made durable), removes
+  /// it so the log ends at the last intact entry, and repeats until the tail
+  /// is clean. Corruption *behind* an intact tail is never touched (that is
+  /// real damage, not a torn tail) and still fails reads. Returns the number
+  /// of entries removed. Recovery calls this before replay.
+  Result<int> RepairTornTail();
+
   const std::string& dir() const { return dir_; }
 
   /// Optional instrumentation: when set, WritePlan/WriteCommit record the

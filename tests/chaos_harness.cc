@@ -1,0 +1,262 @@
+#include "chaos_harness.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/random.h"
+#include "state/state_store.h"
+#include "storage/fs.h"
+#include "wal/write_ahead_log.h"
+
+namespace sstreaming {
+
+namespace {
+
+constexpr int64_t kSec = 1000000;
+
+SchemaPtr ChaosSchema() {
+  return Schema::Make({{"country", TypeId::kString, false},
+                       {"latency", TypeId::kInt64, false},
+                       {"time", TypeId::kTimestamp, false}});
+}
+
+/// The whole workload, generated up front so every run (golden or faulted,
+/// however many crashes) feeds byte-identical rounds.
+std::vector<std::vector<Row>> GenerateRounds(const ChaosHarness::Options& o) {
+  static const char* kCountries[] = {"ca", "ny", "tx", "uk"};
+  Random rng(o.seed);
+  std::vector<std::vector<Row>> rounds(static_cast<size_t>(o.rounds));
+  for (int r = 0; r < o.rounds; ++r) {
+    for (int i = 0; i < o.rows_per_round; ++i) {
+      // Event times advance ~6s per round with ±8s jitter: windows keep
+      // opening and closing as the watermark moves, so state both grows
+      // and drains over the run.
+      int64_t sec = r * 6 + static_cast<int64_t>(rng.Uniform(8));
+      rounds[static_cast<size_t>(r)].push_back(
+          {Value::Str(kCountries[rng.Uniform(4)]),
+           Value::Int64(static_cast<int64_t>(rng.Uniform(100))),
+           Value::Timestamp(sec * kSec)});
+    }
+  }
+  return rounds;
+}
+
+DataFrame ChaosQuery(const std::shared_ptr<MemoryStream>& stream) {
+  return DataFrame::ReadStream(stream)
+      .WithWatermark("time", 5 * kSec)
+      .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec), "w"),
+                NamedExpr{Col("country"), "country"}})
+      .Count();
+}
+
+/// After a drained run the durable artifacts must agree: every planned
+/// epoch committed, the WAL tail matches the engine's last epoch, and each
+/// state-store partition restores to the expected checkpointed version.
+Status CheckDurableAgreement(const std::string& checkpoint_dir,
+                             int64_t last_epoch,
+                             int state_checkpoint_interval) {
+  SS_ASSIGN_OR_RETURN(WriteAheadLog wal,
+                      WriteAheadLog::Open(checkpoint_dir + "/wal"));
+  SS_ASSIGN_OR_RETURN(std::optional<int64_t> planned,
+                      wal.LatestPlannedEpoch());
+  SS_ASSIGN_OR_RETURN(std::optional<int64_t> committed,
+                      wal.LatestCommittedEpoch());
+  if (planned.value_or(0) != last_epoch ||
+      committed.value_or(0) != last_epoch) {
+    return Status::Internal(
+        "WAL disagrees with engine: planned=" +
+        std::to_string(planned.value_or(0)) +
+        " committed=" + std::to_string(committed.value_or(0)) +
+        " last_epoch=" + std::to_string(last_epoch));
+  }
+  SS_ASSIGN_OR_RETURN(std::vector<int64_t> epochs, wal.ListPlannedEpochs());
+  int64_t expect = 1;
+  for (int64_t e : epochs) {
+    if (e != expect++) {
+      return Status::Internal("lost epoch: plan log skips to " +
+                              std::to_string(e));
+    }
+    if (!wal.IsCommitted(e)) {
+      return Status::Internal("epoch " + std::to_string(e) +
+                              " planned but never committed");
+    }
+  }
+  // Stateful stages checkpoint on multiples of the interval; every
+  // partition store must restore exactly that version.
+  const int64_t interval = std::max(1, state_checkpoint_interval);
+  const int64_t expected_version = (last_epoch / interval) * interval;
+  std::string state_root = checkpoint_dir + "/state";
+  if (FileExists(state_root)) {
+    std::error_code ec;
+    for (const auto& op_entry :
+         std::filesystem::directory_iterator(state_root, ec)) {
+      if (!op_entry.is_directory()) continue;
+      for (const auto& part_entry :
+           std::filesystem::directory_iterator(op_entry.path(), ec)) {
+        if (!part_entry.is_directory()) continue;
+        SS_ASSIGN_OR_RETURN(
+            std::unique_ptr<StateStore> store,
+            StateStore::Open(part_entry.path().string(), last_epoch));
+        if (store->loaded_version() != expected_version) {
+          return Status::Internal(
+              "state store " + part_entry.path().string() + " restored v" +
+              std::to_string(store->loaded_version()) + ", expected v" +
+              std::to_string(expected_version));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyingSink::CommitEpoch(int64_t epoch, OutputMode mode,
+                                  int num_key_columns,
+                                  const std::vector<RecordBatchPtr>& batches) {
+  std::vector<Row> rows;
+  for (const auto& b : batches) {
+    auto brows = b->ToRows();
+    rows.insert(rows.end(), brows.begin(), brows.end());
+  }
+  std::sort(rows.begin(), rows.end(), RowLess());
+  // Forward first: the inner sink carries the sink.commit.* failpoints, and
+  // a delivery that failed there must not be recorded as seen.
+  SS_RETURN_IF_ERROR(inner_.CommitEpoch(epoch, mode, num_key_columns,
+                                        batches));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++commit_calls_;
+  auto it = epoch_rows_.find(epoch);
+  if (it == epoch_rows_.end()) {
+    epoch_rows_.emplace(epoch, std::move(rows));
+  } else if (it->second != rows) {
+    mismatched_epochs_.push_back(epoch);
+  }
+  return Status::OK();
+}
+
+ChaosHarness::RunResult ChaosHarness::RunWithFault(
+    const std::string& failpoint, int hit) {
+  FailpointSpec spec;
+  spec.hit = hit;
+  spec.action = failpoint == "fs.write.torn" ? FailpointSpec::Action::kTorn
+                                             : FailpointSpec::Action::kError;
+  return Run(failpoint, spec);
+}
+
+ChaosHarness::RunResult ChaosHarness::Run(const std::string& failpoint,
+                                          FailpointSpec spec) {
+  RunResult result;
+  auto dir = MakeTempDir("sstreaming_chaos");
+  if (!dir.ok()) {
+    result.status = dir.status();
+    return result;
+  }
+  result.checkpoint_dir = *dir;
+
+  auto stream = std::make_shared<MemoryStream>("clicks", ChaosSchema(),
+                                               options_.num_partitions);
+  auto sink = std::make_shared<VerifyingSink>();
+  DataFrame df = ChaosQuery(stream);
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  opts.num_partitions = options_.num_partitions;
+  opts.checkpoint_dir = result.checkpoint_dir;
+  opts.state_checkpoint_interval = options_.state_checkpoint_interval;
+  opts.enable_tracing = false;
+  opts.query_name = "chaos";
+
+  Failpoints& fps = Failpoints::Instance();
+  fps.DisarmAll();
+  if (!failpoint.empty()) {
+    result.status = fps.Arm(failpoint, spec);
+    if (!result.status.ok()) return result;
+  }
+
+  std::unique_ptr<StreamingQuery> query;
+  // Starts (recovering) if needed and drains available input, treating
+  // every injected failure — wherever it strikes, including inside
+  // recovery itself — as a crash: drop the query object, start over from
+  // the checkpoint.
+  auto pump = [&]() -> Status {
+    while (true) {
+      if (query == nullptr) {
+        auto q = StreamingQuery::Start(df, sink, opts);
+        if (!q.ok()) {
+          if (!Failpoints::IsInjected(q.status())) return q.status();
+          if (++result.crashes > options_.max_crashes) {
+            return Status::Internal("crash loop during recovery: " +
+                                    q.status().ToString());
+          }
+          continue;
+        }
+        query = std::move(*q);
+      }
+      Status st = query->ProcessAllAvailable();
+      if (st.ok()) return Status::OK();
+      query.reset();  // simulated process death
+      if (!Failpoints::IsInjected(st)) return st;
+      if (++result.crashes > options_.max_crashes) {
+        return Status::Internal("crash loop: " + st.ToString());
+      }
+    }
+  };
+
+  auto rounds = GenerateRounds(options_);
+  for (int r = 0; r < options_.rounds; ++r) {
+    result.status = stream->AddData(rounds[static_cast<size_t>(r)]);
+    if (!result.status.ok()) break;
+    result.status = pump();
+    if (!result.status.ok()) break;
+    if (r + 1 == options_.planned_restart_after_round) {
+      query.reset();  // clean stop; next pump exercises the recovery path
+    }
+  }
+  if (result.status.ok()) result.status = pump();
+  if (query != nullptr) result.last_epoch = query->last_epoch();
+  query.reset();
+  if (!failpoint.empty()) result.triggers = fps.triggers(failpoint);
+  fps.DisarmAll();
+
+  result.final_rows = sink->SortedSnapshot();
+  result.epochs = sink->epoch_rows();
+  result.mismatched_epochs = sink->mismatched_epochs();
+  if (result.status.ok()) {
+    result.status = CheckDurableAgreement(result.checkpoint_dir,
+                                          result.last_epoch,
+                                          options_.state_checkpoint_interval);
+  }
+  RemoveDirRecursive(result.checkpoint_dir).ok();
+  return result;
+}
+
+Status ChaosHarness::CheckInvariants(const RunResult& golden,
+                                     const RunResult& chaos) {
+  SS_RETURN_IF_ERROR(chaos.status);
+  if (!chaos.mismatched_epochs.empty()) {
+    return Status::Internal(
+        "replayed epoch delivered different rows (first: epoch " +
+        std::to_string(chaos.mismatched_epochs.front()) + ")");
+  }
+  if (chaos.last_epoch != golden.last_epoch) {
+    return Status::Internal("epoch count diverged: " +
+                            std::to_string(chaos.last_epoch) + " vs golden " +
+                            std::to_string(golden.last_epoch));
+  }
+  // Every delivered epoch matches the fault-free run's same epoch, and the
+  // epoch sets are equal — so at any crash point the committed output was a
+  // prefix of the golden sequence, with no duplicates and nothing lost.
+  if (chaos.epochs != golden.epochs) {
+    return Status::Internal("per-epoch output diverged from fault-free run");
+  }
+  if (chaos.final_rows != golden.final_rows) {
+    return Status::Internal("final table diverged from fault-free run");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ChaosHarness::RegisteredFailpoints() {
+  return Failpoints::Instance().RegisteredNames();
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,215 @@
+#include "testing/failpoints.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace sstreaming {
+namespace {
+
+/// A function with a failpoint site, standing in for a durability seam.
+Status GuardedStep() {
+  SS_FAILPOINT("test.step");
+  return Status::OK();
+}
+
+Status OtherStep() {
+  SS_FAILPOINT("test.other");
+  return Status::OK();
+}
+
+class FailpointsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Instance().DisarmAll(); }
+  void TearDown() override {
+    Failpoints::Instance().DisarmAll();
+    Failpoints::Instance().set_metrics(nullptr);
+  }
+};
+
+TEST_F(FailpointsTest, DisarmedSiteIsTransparent) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(GuardedStep().ok());
+  }
+  EXPECT_EQ(Failpoints::Instance().evaluations("test.step"), 0);
+}
+
+TEST_F(FailpointsTest, FiresOnNthHitExactlyOnce) {
+  FailpointSpec spec;
+  spec.hit = 3;
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.step", spec).ok());
+  EXPECT_TRUE(GuardedStep().ok());
+  EXPECT_TRUE(GuardedStep().ok());
+  Status st = GuardedStep();
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_TRUE(Failpoints::IsInjected(st));
+  // Single-shot: evaluation 4+ passes again (so a restarted query makes
+  // progress instead of crash-looping).
+  EXPECT_TRUE(GuardedStep().ok());
+  EXPECT_EQ(Failpoints::Instance().evaluations("test.step"), 4);
+  EXPECT_EQ(Failpoints::Instance().triggers("test.step"), 1);
+}
+
+TEST_F(FailpointsTest, StickyFiresFromNthHitOnward) {
+  FailpointSpec spec;
+  spec.hit = 2;
+  spec.sticky = true;
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.step", spec).ok());
+  EXPECT_TRUE(GuardedStep().ok());
+  EXPECT_FALSE(GuardedStep().ok());
+  EXPECT_FALSE(GuardedStep().ok());
+  EXPECT_EQ(Failpoints::Instance().triggers("test.step"), 2);
+}
+
+TEST_F(FailpointsTest, InjectedStatusCarriesRequestedCode) {
+  FailpointSpec spec;
+  spec.code = StatusCode::kNotFound;
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.step", spec).ok());
+  Status st = GuardedStep();
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Failpoints::IsInjected(st));
+  EXPECT_NE(st.message().find("test.step"), std::string::npos);
+}
+
+TEST_F(FailpointsTest, DisarmRestoresFastPath) {
+  FailpointSpec spec;
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.step", spec).ok());
+  EXPECT_FALSE(GuardedStep().ok());
+  Failpoints::Instance().Disarm("test.step");
+  int64_t evals = Failpoints::Instance().evaluations("test.step");
+  EXPECT_TRUE(GuardedStep().ok());
+  // Disarmed evaluations are not counted: the site's atomic is off.
+  EXPECT_EQ(Failpoints::Instance().evaluations("test.step"), evals);
+}
+
+TEST_F(FailpointsTest, ArmingOneSiteLeavesOthersAlone) {
+  FailpointSpec spec;
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.step", spec).ok());
+  EXPECT_TRUE(OtherStep().ok());
+  EXPECT_FALSE(GuardedStep().ok());
+}
+
+TEST_F(FailpointsTest, ArmBeforeSiteRegistration) {
+  // Arming a name with no executed site yet must work — this is how
+  // SSTREAMING_FAILPOINTS reaches sites that only run later.
+  FailpointSpec spec;
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.late.no_site_yet", spec).ok());
+}
+
+TEST_F(FailpointsTest, RearmResetsCounters) {
+  FailpointSpec spec;
+  spec.hit = 2;
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.step", spec).ok());
+  EXPECT_TRUE(GuardedStep().ok());
+  EXPECT_FALSE(GuardedStep().ok());
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.step", spec).ok());
+  EXPECT_EQ(Failpoints::Instance().evaluations("test.step"), 0);
+  EXPECT_TRUE(GuardedStep().ok());
+  EXPECT_FALSE(GuardedStep().ok());
+}
+
+TEST_F(FailpointsTest, RejectsMalformedSpecs) {
+  FailpointSpec bad_hit;
+  bad_hit.hit = 0;
+  EXPECT_FALSE(Failpoints::Instance().Arm("test.step", bad_hit).ok());
+  FailpointSpec bad_prob;
+  bad_prob.probability = 1.5;
+  EXPECT_FALSE(Failpoints::Instance().Arm("test.step", bad_prob).ok());
+}
+
+TEST_F(FailpointsTest, ProbabilisticFiringIsSeedDeterministic) {
+  auto trace = [&](uint64_t seed) {
+    FailpointSpec spec;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    EXPECT_TRUE(Failpoints::Instance().Arm("test.step", spec).ok());
+    std::string bits;
+    for (int i = 0; i < 64; ++i) bits += GuardedStep().ok() ? '0' : '1';
+    Failpoints::Instance().Disarm("test.step");
+    return bits;
+  };
+  std::string a = trace(7);
+  std::string b = trace(7);
+  std::string c = trace(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 false-failure odds
+  EXPECT_NE(a.find('1'), std::string::npos);
+  EXPECT_NE(a.find('0'), std::string::npos);
+}
+
+TEST_F(FailpointsTest, ParseSpecGrammar) {
+  auto parsed = Failpoints::ParseSpec("wal.commit.before_write=error@2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->first, "wal.commit.before_write");
+  EXPECT_EQ(parsed->second.action, FailpointSpec::Action::kError);
+  EXPECT_EQ(parsed->second.code, StatusCode::kIOError);
+  EXPECT_EQ(parsed->second.hit, 2);
+  EXPECT_FALSE(parsed->second.sticky);
+
+  parsed = Failpoints::ParseSpec("fs.read=notfound@3!");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->second.code, StatusCode::kNotFound);
+  EXPECT_EQ(parsed->second.hit, 3);
+  EXPECT_TRUE(parsed->second.sticky);
+
+  parsed = Failpoints::ParseSpec("source.get_batch=delay:2500");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->second.action, FailpointSpec::Action::kDelay);
+  EXPECT_EQ(parsed->second.delay_micros, 2500);
+
+  parsed = Failpoints::ParseSpec("fs.write.torn=torn");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->second.action, FailpointSpec::Action::kTorn);
+
+  parsed = Failpoints::ParseSpec("test.step=error%0.25~99");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->second.probability, 0.25);
+  EXPECT_EQ(parsed->second.seed, 99u);
+
+  EXPECT_FALSE(Failpoints::ParseSpec("no-equals-sign").ok());
+  EXPECT_FALSE(Failpoints::ParseSpec("x=bogusaction").ok());
+  EXPECT_FALSE(Failpoints::ParseSpec("x=error@zero").ok());
+  EXPECT_FALSE(Failpoints::ParseSpec("=error").ok());
+}
+
+TEST_F(FailpointsTest, ArmFromStringArmsEveryEntry) {
+  ASSERT_TRUE(Failpoints::Instance()
+                  .ArmFromString("test.step=error@2;test.other=aborted")
+                  .ok());
+  EXPECT_TRUE(GuardedStep().ok());
+  EXPECT_FALSE(GuardedStep().ok());
+  Status st = OtherStep();
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_FALSE(Failpoints::Instance().ArmFromString("garbage").ok());
+}
+
+TEST_F(FailpointsTest, RegisteredNamesIncludesExecutedSites) {
+  (void)GuardedStep();
+  auto names = Failpoints::Instance().RegisteredNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.step"), names.end());
+}
+
+TEST_F(FailpointsTest, TriggersExportedThroughMetricsRegistry) {
+  MetricsRegistry registry;
+  Failpoints::Instance().set_metrics(&registry);
+  FailpointSpec spec;
+  spec.hit = 1;
+  spec.sticky = true;
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.step", spec).ok());
+  EXPECT_FALSE(GuardedStep().ok());
+  EXPECT_FALSE(GuardedStep().ok());
+  Counter* c = registry.GetCounter("sstreaming_failpoint_triggers_total",
+                                   {{"failpoint", "test.step"}});
+  EXPECT_EQ(c->value(), 2);
+  Failpoints::Instance().set_metrics(nullptr);
+}
+
+TEST_F(FailpointsTest, IsInjectedRejectsOrdinaryErrors) {
+  EXPECT_FALSE(Failpoints::IsInjected(Status::OK()));
+  EXPECT_FALSE(Failpoints::IsInjected(Status::IOError("disk on fire")));
+}
+
+}  // namespace
+}  // namespace sstreaming

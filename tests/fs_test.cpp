@@ -2,17 +2,29 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/failpoints.h"
+
 namespace sstreaming {
 namespace {
 
 class FsTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    Failpoints::Instance().DisarmAll();
     auto dir = MakeTempDir("sstreaming_fs_test");
     ASSERT_TRUE(dir.ok());
     dir_ = *dir;
   }
-  void TearDown() override { RemoveDirRecursive(dir_).ok(); }
+  void TearDown() override {
+    Failpoints::Instance().DisarmAll();
+    RemoveDirRecursive(dir_).ok();
+  }
+
+  void Arm(const std::string& name, StatusCode code = StatusCode::kIOError) {
+    FailpointSpec spec;
+    spec.code = code;
+    ASSERT_TRUE(Failpoints::Instance().Arm(name, spec).ok());
+  }
 
   std::string dir_;
 };
@@ -83,6 +95,76 @@ TEST_F(FsTest, FileExistsAndRemove) {
 TEST_F(FsTest, EnsureDirIsIdempotent) {
   EXPECT_TRUE(EnsureDir(dir_ + "/x/y/z").ok());
   EXPECT_TRUE(EnsureDir(dir_ + "/x/y/z").ok());
+}
+
+TEST_F(FsTest, WriteToMissingDirectoryIsError) {
+  Status st = WriteFileAtomic(dir_ + "/no/such/dir/f", "x");
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(Failpoints::IsInjected(st));  // a real error, not a failpoint
+}
+
+TEST_F(FsTest, InjectedOpenFailureLeavesNothingBehind) {
+  std::string path = dir_ + "/f";
+  Arm("fs.open");
+  Status st = WriteFileAtomic(path, "x");
+  EXPECT_TRUE(Failpoints::IsInjected(st));
+  EXPECT_FALSE(FileExists(path));
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_TRUE(names->empty()) << "temp file leaked: " << (*names)[0];
+}
+
+TEST_F(FsTest, InjectedWriteFailureCleansUpTempFile) {
+  std::string path = dir_ + "/f";
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  Arm("fs.write");
+  Status st = WriteFileAtomic(path, "new");
+  EXPECT_TRUE(Failpoints::IsInjected(st));
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  // The failed write must not disturb the committed file or leave a temp.
+  EXPECT_EQ(*ReadFile(path), "old");
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);
+}
+
+TEST_F(FsTest, InjectedRenameFailureCleansUpTempFile) {
+  std::string path = dir_ + "/f";
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  Arm("fs.rename");
+  Status st = WriteFileAtomic(path, "new");
+  EXPECT_TRUE(Failpoints::IsInjected(st));
+  EXPECT_EQ(*ReadFile(path), "old");
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);
+}
+
+TEST_F(FsTest, InjectedReadFailure) {
+  std::string path = dir_ + "/f";
+  ASSERT_TRUE(WriteFileAtomic(path, "x").ok());
+  Arm("fs.read", StatusCode::kNotFound);
+  Status st = ReadFile(path).status();
+  EXPECT_TRUE(Failpoints::IsInjected(st));
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(*ReadFile(path), "x");  // single-shot: next read succeeds
+}
+
+TEST_F(FsTest, TornWritePublishesTruncatedFileThenFails) {
+  std::string path = dir_ + "/f";
+  FailpointSpec spec;
+  spec.action = FailpointSpec::Action::kTorn;
+  ASSERT_TRUE(Failpoints::Instance().Arm("fs.write.torn", spec).ok());
+  Status st = WriteFileAtomic(path, "0123456789");
+  EXPECT_TRUE(Failpoints::IsInjected(st));
+  // Models a filesystem that made the rename durable before the data: the
+  // file exists under its final name with only a prefix of the bytes.
+  auto data = ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "01234");
+  auto names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);  // the torn file, and no temp leftovers
 }
 
 }  // namespace

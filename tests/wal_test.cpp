@@ -157,5 +157,69 @@ TEST_F(WalTest, WatermarkPersists) {
   EXPECT_EQ(log.ReadPlan(8)->watermark_micros, INT64_MIN);
 }
 
+std::string EpochFile(int64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012lld.json",
+                static_cast<long long>(epoch));
+  return buf;
+}
+
+TEST_F(WalTest, RepairTornTailRemovesTornPlan) {
+  auto log = WriteAheadLog::Open(dir_).TakeValue();
+  ASSERT_TRUE(log.WritePlan(MakePlan(1)).ok());
+  ASSERT_TRUE(log.WriteCommit(1).ok());
+  // Simulate a crash mid-write of plan 2: half a JSON document under the
+  // final name (what a torn write leaves behind).
+  ASSERT_TRUE(
+      WriteFileAtomic(dir_ + "/offsets/" + EpochFile(2), "{\"epoch\": 2,")
+          .ok());
+  auto removed = log.RepairTornTail();
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(*removed, 1);
+  EXPECT_EQ(log.LatestPlannedEpoch()->value_or(0), 1);
+  ASSERT_TRUE(log.ReadPlan(1).ok());  // intact entries untouched
+  EXPECT_EQ(*log.RepairTornTail(), 0);  // idempotent
+}
+
+TEST_F(WalTest, RepairTornTailRemovesTornCommit) {
+  auto log = WriteAheadLog::Open(dir_).TakeValue();
+  ASSERT_TRUE(log.WritePlan(MakePlan(1)).ok());
+  ASSERT_TRUE(log.WriteCommit(1).ok());
+  ASSERT_TRUE(log.WritePlan(MakePlan(2)).ok());
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/commits/" + EpochFile(2), "{\"ep").ok());
+  auto removed = log.RepairTornTail();
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1);
+  EXPECT_TRUE(log.IsCommitted(1));
+  EXPECT_FALSE(log.IsCommitted(2));  // epoch 2 back to planned-not-committed
+  EXPECT_EQ(log.LatestPlannedEpoch()->value_or(0), 2);
+}
+
+TEST_F(WalTest, RepairTornTailRemovesMultipleTornEntries) {
+  auto log = WriteAheadLog::Open(dir_).TakeValue();
+  ASSERT_TRUE(log.WritePlan(MakePlan(1)).ok());
+  // Two garbage tail entries (e.g. torn write, crash, torn write again).
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/offsets/" + EpochFile(2), "junk").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/offsets/" + EpochFile(3), "").ok());
+  auto removed = log.RepairTornTail();
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 2);
+  EXPECT_EQ(log.LatestPlannedEpoch()->value_or(0), 1);
+}
+
+TEST_F(WalTest, RepairTornTailLeavesMidLogCorruptionAlone) {
+  auto log = WriteAheadLog::Open(dir_).TakeValue();
+  ASSERT_TRUE(log.WritePlan(MakePlan(1)).ok());
+  ASSERT_TRUE(log.WritePlan(MakePlan(2)).ok());
+  ASSERT_TRUE(log.WritePlan(MakePlan(3)).ok());
+  // Corruption *behind* an intact tail cannot come from a torn tail write;
+  // repair must refuse to mask it.
+  ASSERT_TRUE(
+      WriteFileAtomic(dir_ + "/offsets/" + EpochFile(2), "garbage").ok());
+  EXPECT_EQ(*log.RepairTornTail(), 0);
+  EXPECT_FALSE(log.ReadPlan(2).ok());  // still surfaces as an error
+  ASSERT_TRUE(log.ReadPlan(3).ok());
+}
+
 }  // namespace
 }  // namespace sstreaming

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "analysis/plan_analyzer.h"
 #include "common/logging.h"
 
 namespace sstreaming {
@@ -277,164 +278,12 @@ Result<PlanPtr> Analyzer::Analyze(const PlanPtr& plan) {
   return Status::Internal("unknown plan node");
 }
 
-namespace {
-
-struct StreamingStats {
-  int streaming_aggregates = 0;
-  int stateful_ops = 0;
-  bool has_sort = false;
-  bool sort_above_aggregate = false;
-  bool has_limit = false;
-  bool has_event_time_timeout_without_watermark = false;
-  Status error = Status::OK();
-};
-
-// Watermarked timestamp columns visible in `plan`'s output.
-std::set<std::string> WatermarkedColumns(const PlanPtr& plan) {
-  std::set<std::string> out;
-  for (const auto& [col, delay] : CollectWatermarkColumns(plan)) {
-    (void)delay;
-    out.insert(col);
-  }
-  return out;
-}
-
-// Walks the analyzed tree gathering streaming-validity facts; fails fast on
-// structural violations.
-Status Walk(const PlanPtr& plan, OutputMode mode, bool above_aggregate,
-            StreamingStats* stats) {
-  // Children first (bottom-up errors read more naturally).
-  bool child_above_aggregate =
-      above_aggregate || plan->kind() == LogicalPlan::Kind::kAggregate;
-  for (const PlanPtr& child : plan->children()) {
-    SS_RETURN_IF_ERROR(Walk(child, mode, child_above_aggregate, stats));
-  }
-  switch (plan->kind()) {
-    case LogicalPlan::Kind::kAggregate: {
-      if (!plan->IsStreaming()) break;
-      ++stats->streaming_aggregates;
-      if (stats->streaming_aggregates > 1) {
-        return Status::UnsupportedOperation(
-            "streaming queries support at most one aggregation (paper "
-            "§5.2); use mapGroupsWithState for custom multi-level logic");
-      }
-      if (mode == OutputMode::kAppend) {
-        // Append requires monotonic results: the group key must include an
-        // event-time window over a watermarked column so each group closes.
-        const auto& agg = static_cast<const AggregateNode&>(*plan);
-        std::set<std::string> wm = WatermarkedColumns(plan->children()[0]);
-        bool ok = false;
-        for (const NamedExpr& g : agg.group_exprs()) {
-          if (g.expr->kind() != Expr::Kind::kWindow) continue;
-          const auto& w = static_cast<const WindowExpr&>(*g.expr);
-          std::vector<std::string> refs;
-          w.CollectColumnRefs(&refs);
-          for (const std::string& r : refs) {
-            if (wm.count(r)) ok = true;
-          }
-        }
-        if (!ok) {
-          return Status::AnalysisError(
-              "append output mode is not allowed for aggregations without a "
-              "window over a watermarked event-time column: the engine can "
-              "never know it has stopped receiving records for a group "
-              "(paper §4.2)");
-        }
-      }
-      break;
-    }
-    case LogicalPlan::Kind::kJoin: {
-      const auto& join = static_cast<const JoinNode&>(*plan);
-      bool left_stream = join.children()[0]->IsStreaming();
-      bool right_stream = join.children()[1]->IsStreaming();
-      if (!left_stream && !right_stream) break;
-      if (left_stream && right_stream) {
-        if (join.join_type() != JoinType::kInner) {
-          std::set<std::string> lwm = WatermarkedColumns(join.children()[0]);
-          std::set<std::string> rwm = WatermarkedColumns(join.children()[1]);
-          if (lwm.empty() || rwm.empty()) {
-            return Status::AnalysisError(
-                "stream-stream outer joins require watermarks on both "
-                "inputs so the unmatched side can eventually be emitted "
-                "(paper §5.2)");
-          }
-        }
-      } else {
-        // Stream-static: the preserved (outer) side must be the stream.
-        if (join.join_type() == JoinType::kLeftOuter && !left_stream) {
-          return Status::UnsupportedOperation(
-              "left-outer join with a static left side and streaming right "
-              "side is not incrementalizable (the static side would need "
-              "re-emission as the stream grows)");
-        }
-        if (join.join_type() == JoinType::kRightOuter && !right_stream) {
-          return Status::UnsupportedOperation(
-              "right-outer join with a static right side and streaming left "
-              "side is not incrementalizable");
-        }
-      }
-      break;
-    }
-    case LogicalPlan::Kind::kSort: {
-      if (!plan->IsStreaming()) break;
-      stats->has_sort = true;
-      stats->sort_above_aggregate = above_aggregate || child_above_aggregate;
-      if (mode != OutputMode::kComplete) {
-        return Status::UnsupportedOperation(
-            "sorting a streaming query is only supported in complete output "
-            "mode (paper §5.2)");
-      }
-      if (stats->streaming_aggregates == 0) {
-        return Status::UnsupportedOperation(
-            "sorting a streaming query is only supported after an "
-            "aggregation (paper §5.2)");
-      }
-      break;
-    }
-    case LogicalPlan::Kind::kLimit: {
-      if (!plan->IsStreaming()) break;
-      if (mode != OutputMode::kComplete) {
-        return Status::UnsupportedOperation(
-            "limit on a streaming query is only supported in complete "
-            "output mode");
-      }
-      break;
-    }
-    case LogicalPlan::Kind::kFlatMapGroupsWithState: {
-      if (!plan->IsStreaming()) break;
-      ++stats->stateful_ops;
-      const auto& fm = static_cast<const FlatMapGroupsWithStateNode&>(*plan);
-      if (fm.timeout() == GroupStateTimeout::kEventTime &&
-          WatermarkedColumns(plan->children()[0]).empty()) {
-        return Status::AnalysisError(
-            "event-time timeouts in mapGroupsWithState require a watermark "
-            "on the input");
-      }
-      break;
-    }
-    default:
-      break;
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
 Status ValidateStreamingQuery(const PlanPtr& plan, OutputMode mode) {
-  if (!plan->IsStreaming()) {
-    return Status::InvalidArgument(
-        "not a streaming query (no streaming source); run it with the batch "
-        "executor instead");
-  }
-  StreamingStats stats;
-  SS_RETURN_IF_ERROR(Walk(plan, mode, /*above_aggregate=*/false, &stats));
-  if (mode == OutputMode::kComplete && stats.streaming_aggregates == 0) {
-    return Status::AnalysisError(
-        "complete output mode requires an aggregation: the engine only "
-        "retains state proportional to the number of result keys (paper "
-        "§5.1)");
-  }
-  return Status::OK();
+  // The yes/no contract is now a view over the full static plan analysis:
+  // run every pass, keep the first error (warnings never block a query).
+  // Callers that want the complete report — all violations, provenance,
+  // unbounded-state warnings — use PlanAnalyzer::Analyze directly.
+  return PlanAnalyzer::Analyze(plan, mode).FirstErrorStatus();
 }
 
 std::map<std::string, int64_t> CollectWatermarkColumns(const PlanPtr& plan) {

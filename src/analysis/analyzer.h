@@ -18,8 +18,11 @@ class Analyzer {
 };
 
 /// Checks that an *analyzed* streaming query is incrementalizable (§5.2) and
-/// that the chosen sink output mode is valid for it (§5.1). Returns
-/// UnsupportedOperation / AnalysisError with the paper's semantics:
+/// that the chosen sink output mode is valid for it (§5.1). A thin wrapper
+/// over PlanAnalyzer::Analyze (analysis/plan_analyzer.h) that keeps the
+/// legacy single-Status contract: the first SS1xxx error diagnostic is
+/// returned as UnsupportedOperation / AnalysisError with the paper's
+/// semantics:
 ///  - at most one aggregation on the streaming path;
 ///  - append mode requires monotonic output: aggregations must group by an
 ///    event-time window over a watermarked column;

@@ -1,0 +1,135 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+
+namespace sstreaming {
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kError:
+      return "error";
+    case DiagSeverity::kWarning:
+      return "warning";
+  }
+  return "?";
+}
+
+std::string DiagCodeString(DiagCode code) {
+  return "SS" + std::to_string(static_cast<int>(code));
+}
+
+std::string Diagnostic::Render() const {
+  std::string out = DiagCodeString(code);
+  out += " ";
+  out += DiagSeverityName(severity);
+  if (!node.empty()) {
+    out += " [";
+    out += node;
+    out += "]";
+  }
+  out += ": ";
+  out += message;
+  if (!state_growth.empty()) {
+    out += " (state grows ";
+    out += state_growth;
+    out += ")";
+  }
+  return out;
+}
+
+Json Diagnostic::ToJson() const {
+  Json obj = Json::Object();
+  obj.Set("code", Json::Str(DiagCodeString(code)));
+  obj.Set("severity", Json::Str(DiagSeverityName(severity)));
+  obj.Set("message", Json::Str(message));
+  obj.Set("node", Json::Str(node));
+  obj.Set("path", Json::Str(path));
+  if (!state_growth.empty()) {
+    obj.Set("state_growth", Json::Str(state_growth));
+  }
+  return obj;
+}
+
+std::vector<Diagnostic> PlanAnalysis::errors() const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == DiagSeverity::kError) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> PlanAnalysis::warnings() const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == DiagSeverity::kWarning) out.push_back(d);
+  }
+  return out;
+}
+
+bool PlanAnalysis::has_errors() const {
+  return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                     [](const Diagnostic& d) {
+                       return d.severity == DiagSeverity::kError;
+                     });
+}
+
+bool PlanAnalysis::Has(DiagCode code) const {
+  return std::any_of(
+      diagnostics_.begin(), diagnostics_.end(),
+      [code](const Diagnostic& d) { return d.code == code; });
+}
+
+Status PlanAnalysis::FirstErrorStatus() const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity != DiagSeverity::kError) continue;
+    std::string msg = d.Render();
+    switch (d.code) {
+      case DiagCode::kNotStreaming:
+        return Status::InvalidArgument(std::move(msg));
+      case DiagCode::kMultipleAggregations:
+      case DiagCode::kStaticSidePreserved:
+      case DiagCode::kSortNotComplete:
+      case DiagCode::kSortBeforeAggregation:
+      case DiagCode::kLimitNotComplete:
+        return Status::UnsupportedOperation(std::move(msg));
+      default:
+        // Watermark/output-mode semantics violations are analysis errors.
+        return Status::AnalysisError(std::move(msg));
+    }
+  }
+  return Status::OK();
+}
+
+std::string PlanAnalysis::Explain() const {
+  std::vector<Diagnostic> errs = errors();
+  std::vector<Diagnostic> warns = warnings();
+  std::string out = "plan analysis: " + std::to_string(errs.size()) +
+                    " error(s), " + std::to_string(warns.size()) +
+                    " warning(s)\n";
+  for (const Diagnostic& d : errs) {
+    out += "  ";
+    out += d.Render();
+    out += "\n";
+    if (!d.path.empty()) out += "    at: " + d.path + "\n";
+  }
+  for (const Diagnostic& d : warns) {
+    out += "  ";
+    out += d.Render();
+    out += "\n";
+    if (!d.path.empty()) out += "    at: " + d.path + "\n";
+  }
+  return out;
+}
+
+Json PlanAnalysis::ToJson() const {
+  Json errs = Json::Array();
+  for (const Diagnostic& d : errors()) errs.Append(d.ToJson());
+  Json warns = Json::Array();
+  for (const Diagnostic& d : warnings()) warns.Append(d.ToJson());
+  Json obj = Json::Object();
+  obj.Set("errors", std::move(errs));
+  obj.Set("warnings", std::move(warns));
+  return obj;
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,49 @@
+#ifndef SSTREAMING_ANALYSIS_PLAN_ANALYZER_H_
+#define SSTREAMING_ANALYSIS_PLAN_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "logical/output_mode.h"
+#include "logical/plan.h"
+
+namespace sstreaming {
+
+/// Rule-based static analysis over an *analyzed* logical plan (the
+/// incremental-execution counterpart of the optimizer's rule set). Where
+/// `ValidateStreamingQuery` answers yes/no, the plan analyzer explains:
+/// every pass walks the tree and appends structured diagnostics — stable
+/// SSxxxx codes, severity, node provenance — to one PlanAnalysis report
+/// instead of stopping at the first violation (paper §4.2's output-mode
+/// checks, generalized per Begoli et al., SIGMOD 2019: watermark
+/// propagation and emission semantics are statically derivable).
+///
+/// Passes:
+///  1. Watermark propagation — derives, per node, which event-time columns
+///     still carry a watermark in that node's output (through projections,
+///     joins and window aggregations), and flags operators whose state is
+///     unbounded without one (SS2001-SS2003, SS2006) with an asymptotic
+///     state-growth estimate.
+///  2. Output-mode validation — the §5.1/§5.2 incrementalizability rules
+///     (SS1002-SS1010), reporting *all* violations with provenance.
+///  3. Sanity — watermark dropped by a projection below a stateful
+///     operator (SS2004), complete-mode memory advisory (SS2005).
+class PlanAnalyzer {
+ public:
+  /// Runs every pass. `plan` must have been through Analyzer::Analyze
+  /// (schemas resolved); the plan itself is never modified.
+  static PlanAnalysis Analyze(const PlanPtr& plan, OutputMode mode);
+};
+
+/// The watermark-propagation relation on its own (exposed for tests and
+/// EXPLAIN): the set of output columns of `plan` that carry a watermark,
+/// tracking renames through projections, the USING-join drop/`_r` rename,
+/// and window group keys (a window over a watermarked column yields
+/// watermarked `<name>_start`/`<name>_end` bounds).
+std::set<std::string> PropagatedWatermarkColumns(const PlanPtr& plan);
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_ANALYSIS_PLAN_ANALYZER_H_

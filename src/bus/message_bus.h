@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "types/record_batch.h"
 #include "types/row.h"
 
@@ -69,16 +70,19 @@ class MessageBus {
  private:
   struct Partition {
     mutable std::mutex mu;
-    std::vector<Row> log;
+    std::vector<Row> log SS_GUARDED_BY(mu);
   };
   struct Topic {
+    // The vector is append-never after CreateTopic; partitions synchronize
+    // themselves.
     std::vector<std::unique_ptr<Partition>> partitions;
   };
 
-  Result<const Topic*> FindTopic(const std::string& topic) const;
+  Result<const Topic*> FindTopic(const std::string& topic) const
+      SS_EXCLUDES(topics_mu_);
 
   mutable std::mutex topics_mu_;
-  std::map<std::string, Topic> topics_;
+  std::map<std::string, Topic> topics_ SS_GUARDED_BY(topics_mu_);
 };
 
 }  // namespace sstreaming

@@ -1,0 +1,53 @@
+#ifndef SSTREAMING_COMMON_THREAD_ANNOTATIONS_H_
+#define SSTREAMING_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety annotations (the abseil/LLVM convention, SS_-prefixed
+/// to stay out of other libraries' macro namespaces). Annotating a member
+///
+///   std::map<...> queries_ SS_GUARDED_BY(mu_);
+///
+/// makes "every access holds mu_" a *compile-time* property under
+/// `clang -Wthread-safety` (wired up automatically by the build when the
+/// compiler is Clang; see CMakeLists.txt). Under GCC the macros expand to
+/// nothing — the annotations still document the locking discipline, and a
+/// Clang build of the same tree enforces it. Convention (see DESIGN.md):
+/// every mutex-protected member is SS_GUARDED_BY its mutex, and private
+/// helpers called with the lock held are SS_REQUIRES(mu) — named
+/// `FooLocked()` by repo style.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SS_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define SS_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Data members: reads and writes require holding `x`.
+#define SS_GUARDED_BY(x) SS_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer members: the *pointed-to* data requires holding `x`.
+#define SS_PT_GUARDED_BY(x) SS_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Functions: the caller must hold (exclusively / shared) the listed
+/// capabilities on entry, and still holds them on exit.
+#define SS_REQUIRES(...) \
+  SS_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define SS_REQUIRES_SHARED(...) \
+  SS_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// Functions that acquire/release capabilities themselves (lock wrappers).
+#define SS_ACQUIRE(...) \
+  SS_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define SS_RELEASE(...) \
+  SS_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// The caller must NOT already hold the listed capabilities (deadlock
+/// prevention for non-reentrant mutexes).
+#define SS_EXCLUDES(...) \
+  SS_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: turns the analysis off for one function body (e.g. a
+/// destructor that touches guarded state after joining all threads).
+#define SS_NO_THREAD_SAFETY_ANALYSIS \
+  SS_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // SSTREAMING_COMMON_THREAD_ANNOTATIONS_H_

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace sstreaming {
 
 /// A fixed-size worker pool. Tasks are arbitrary closures; Wait() blocks
@@ -35,10 +37,10 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  std::deque<std::function<void()>> queue_ SS_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_;  // written once in the constructor
+  int active_ SS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sstreaming

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bus/message_bus.h"
+#include "common/thread_annotations.h"
 #include "connectors/sink.h"
 #include "connectors/source.h"
 
@@ -57,7 +58,7 @@ class BusSink : public Sink {
   MessageBus* bus_;
   std::string topic_;
   std::mutex mu_;
-  std::map<int64_t, bool> committed_;
+  std::map<int64_t, bool> committed_ SS_GUARDED_BY(mu_);
 };
 
 /// Sink invoking a user callback per committed epoch (foreachBatch).

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "connectors/sink.h"
 #include "connectors/source.h"
 #include "types/row.h"
@@ -37,8 +38,8 @@ class MemoryStream : public Source {
   std::string name_;
   SchemaPtr schema_;
   mutable std::mutex mu_;
-  std::vector<std::vector<Row>> partitions_;
-  int next_partition_ = 0;
+  std::vector<std::vector<Row>> partitions_ SS_GUARDED_BY(mu_);
+  int next_partition_ SS_GUARDED_BY(mu_) = 0;
 };
 
 /// An in-memory table sink that exposes only *committed* epochs — the
@@ -61,13 +62,13 @@ class MemorySink : public Sink {
  private:
   mutable std::mutex mu_;
   // Append mode: per-epoch row sets (idempotent re-commit replaces).
-  std::map<int64_t, std::vector<Row>> append_epochs_;
+  std::map<int64_t, std::vector<Row>> append_epochs_ SS_GUARDED_BY(mu_);
   // Update mode: table keyed by the first num_key_columns columns.
-  std::map<Row, Row, RowLess> update_table_;
+  std::map<Row, Row, RowLess> update_table_ SS_GUARDED_BY(mu_);
   // Complete mode: the latest table.
-  std::vector<Row> complete_table_;
-  int64_t last_epoch_ = -1;
-  int64_t committed_count_ = 0;
+  std::vector<Row> complete_table_ SS_GUARDED_BY(mu_);
+  int64_t last_epoch_ SS_GUARDED_BY(mu_) = -1;
+  int64_t committed_count_ SS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sstreaming

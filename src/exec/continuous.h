@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "connectors/sink.h"
 #include "logical/dataframe.h"
 #include "wal/write_ahead_log.h"
@@ -95,7 +97,7 @@ class ContinuousQuery {
   std::vector<std::unique_ptr<std::atomic<int64_t>>> positions_;
   std::vector<int64_t> epoch_start_positions_;
   int64_t next_epoch_ = 1;
-  Status error_;
+  Status error_ SS_GUARDED_BY(error_mu_);
   std::mutex error_mu_;
 };
 

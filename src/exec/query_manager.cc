@@ -49,6 +49,7 @@ Status QueryManager::StartQuerySynchronous(const std::string& name,
         event.last_epoch = last_epoch;
         bus_.NotifyTerminated(event);
       });
+  std::vector<Diagnostic> plan_warnings = query->plan_warnings();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queries_.count(name)) {
@@ -59,6 +60,7 @@ Status QueryManager::StartQuerySynchronous(const std::string& name,
   QueryStartedEvent started;
   started.name = name;
   started.timestamp_micros = clock->NowMicros();
+  started.plan_warnings = std::move(plan_warnings);
   bus_.NotifyStarted(started);
   return Status::OK();
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "exec/streaming_query.h"
 #include "obs/listener.h"
 
@@ -68,8 +69,9 @@ class QueryManager {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<StreamingQuery>> queries_;
-  ListenerBus bus_;
+  std::map<std::string, std::unique_ptr<StreamingQuery>> queries_
+      SS_GUARDED_BY(mu_);
+  ListenerBus bus_;  // internally synchronized
 };
 
 /// Appends each epoch's QueryProgress as one JSON line to a file — the
@@ -101,11 +103,11 @@ class MetricsEventLog : public StreamingQueryListener {
   /// Appends one line; requires mu_ held. Updates last_reported_ only after
   /// the line is flushed and verified.
   Status AppendLineLocked(std::ofstream& out, const std::string& query_name,
-                          const QueryProgress& progress);
+                          const QueryProgress& progress) SS_REQUIRES(mu_);
 
   std::string path_;
-  std::map<std::string, int64_t> last_reported_;
-  Status status_;
+  std::map<std::string, int64_t> last_reported_ SS_GUARDED_BY(mu_);
+  Status status_ SS_GUARDED_BY(mu_);
   mutable std::mutex mu_;
 };
 

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "analysis/analyzer.h"
+#include "analysis/plan_analyzer.h"
 #include "common/logging.h"
 #include "optimizer/optimizer.h"
 #include "state/state_store.h"
@@ -32,9 +33,14 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Start(
     logical = Optimizer::Optimize(logical);
   }
   SS_ASSIGN_OR_RETURN(PlanPtr analyzed, Analyzer::Analyze(logical));
-  SS_RETURN_IF_ERROR(ValidateStreamingQuery(analyzed, options.mode));
+  // Static plan analysis (§4.2 checks + unbounded-state/watermark
+  // advisories): any SS1xxx error fails the start; SS2xxx warnings ride on
+  // the query (listener event + metrics) and are logged once here.
+  PlanAnalysis plan_analysis = PlanAnalyzer::Analyze(analyzed, options.mode);
+  SS_RETURN_IF_ERROR(plan_analysis.FirstErrorStatus());
 
   std::unique_ptr<StreamingQuery> query(new StreamingQuery());
+  query->plan_warnings_ = plan_analysis.warnings();
   query->options_ = options;
   query->sink_ = std::move(sink);
   query->clock_ = options.clock != nullptr ? options.clock
@@ -54,6 +60,14 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Start(
     query->tracer_ = options.tracer;
   } else if (options.enable_tracing) {
     query->tracer_ = std::make_shared<EpochTracer>();
+  }
+  for (const Diagnostic& w : query->plan_warnings_) {
+    SS_LOG(Warn) << "plan analysis [" << options.query_name
+                 << "]: " << w.Render();
+    query->metrics_
+        ->GetCounter("sstreaming_plan_warnings_total",
+                     {{"code", DiagCodeString(w.code)}})
+        ->Increment();
   }
   if (query->owned_scheduler_ != nullptr) {
     // An externally supplied scheduler may be shared across queries (and

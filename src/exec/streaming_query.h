@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "common/clock.h"
 #include "connectors/sink.h"
 #include "incremental/incrementalizer.h"
@@ -118,6 +119,14 @@ class StreamingQuery {
   int64_t watermark_micros() const { return watermark_micros_; }
   const PhysicalPlan& physical_plan() const { return plan_; }
 
+  /// Static plan-analysis warnings (SS2xxx) found at Start — unbounded
+  /// state, lost watermarks, complete-mode memory. The query runs anyway;
+  /// these also surface through QueryStartedEvent.plan_warnings and the
+  /// `sstreaming_plan_warnings_total` counter (labeled by code).
+  const std::vector<Diagnostic>& plan_warnings() const {
+    return plan_warnings_;
+  }
+
   /// The registry this query records into (never null after Start).
   const std::shared_ptr<MetricsRegistry>& metrics() const { return metrics_; }
   /// The epoch tracer (null when tracing is disabled).
@@ -182,6 +191,7 @@ class StreamingQuery {
   // Offsets consumed so far per source (end of last epoch).
   std::map<std::string, std::vector<int64_t>> committed_offsets_;
   std::vector<QueryProgress> progress_;
+  std::vector<Diagnostic> plan_warnings_;
   Status error_;
 
   // Observability (§7.4).

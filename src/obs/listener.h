@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/progress.h"
 
 namespace sstreaming {
@@ -14,6 +16,10 @@ namespace sstreaming {
 struct QueryStartedEvent {
   std::string name;
   int64_t timestamp_micros = 0;
+  /// Static plan-analysis warnings (SS2xxx) the query started with —
+  /// unbounded-state and watermark advisories from PlanAnalyzer. Errors
+  /// never appear here: they fail StreamingQuery::Start instead.
+  std::vector<Diagnostic> plan_warnings;
 };
 
 struct QueryProgressEvent {
@@ -68,7 +74,8 @@ class ListenerBus {
       const;
 
   mutable std::mutex mu_;
-  std::vector<std::shared_ptr<StreamingQueryListener>> listeners_;
+  std::vector<std::shared_ptr<StreamingQueryListener>> listeners_
+      SS_GUARDED_BY(mu_);
 };
 
 /// A listener that collects events in memory — handy for tests and for
@@ -87,10 +94,12 @@ class CollectingListener : public StreamingQueryListener {
 
  private:
   mutable std::mutex mu_;
-  std::vector<QueryStartedEvent> started_;
-  std::vector<QueryProgressEvent> progress_;
-  std::vector<QueryTerminatedEvent> terminated_;
-  std::vector<std::pair<std::string, std::string>> timeline_;  // (query, kind)
+  std::vector<QueryStartedEvent> started_ SS_GUARDED_BY(mu_);
+  std::vector<QueryProgressEvent> progress_ SS_GUARDED_BY(mu_);
+  std::vector<QueryTerminatedEvent> terminated_ SS_GUARDED_BY(mu_);
+  // (query, kind)
+  std::vector<std::pair<std::string, std::string>> timeline_
+      SS_GUARDED_BY(mu_);
 };
 
 }  // namespace sstreaming

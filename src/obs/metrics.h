@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/thread_annotations.h"
 #include "obs/histogram.h"
 
 namespace sstreaming {
@@ -96,7 +97,10 @@ class MetricsRegistry {
                                    const MetricLabels& labels);
 
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Instrument>> instruments_;
+  // The map is guarded; the pointed-to instruments are deliberately not:
+  // they are lock-free atomics updated concurrently by design.
+  std::map<std::string, std::unique_ptr<Instrument>> instruments_
+      SS_GUARDED_BY(mu_);
 };
 
 /// Escapes a Prometheus label value (backslash, quote, newline).

@@ -8,6 +8,7 @@
 
 #include "common/json.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sstreaming {
 
@@ -52,9 +53,9 @@ class EpochTracer {
 
  private:
   mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
-  size_t max_spans_;
-  int64_t dropped_ = 0;
+  std::vector<TraceSpan> spans_ SS_GUARDED_BY(mu_);
+  size_t max_spans_;  // immutable after construction
+  int64_t dropped_ SS_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII helper: times a scope and records it on destruction. A null tracer

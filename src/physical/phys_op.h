@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "logical/output_mode.h"
 #include "runtime/scheduler.h"
 #include "state/state_store.h"
@@ -69,7 +70,8 @@ class StateManager {
   std::string ephemeral_dir_;
   MetricsRegistry* metrics_ = nullptr;
   mutable std::mutex mu_;
-  std::map<std::pair<int, int>, std::unique_ptr<StateStore>> stores_;
+  std::map<std::pair<int, int>, std::unique_ptr<StateStore>> stores_
+      SS_GUARDED_BY(mu_);
 };
 
 /// Per-operator counters accumulated over one epoch (§7.4 monitoring).
@@ -110,7 +112,7 @@ struct ExecContext {
   /// policy: a query with several watermarked inputs only advances to a
   /// point safe for all of them.
   std::mutex observed_mu;
-  std::map<int, int64_t> observed_watermarks;
+  std::map<int, int64_t> observed_watermarks SS_GUARDED_BY(observed_mu);
 
   void ObserveEventTime(int watermark_op_id, int64_t candidate) {
     std::lock_guard<std::mutex> lock(observed_mu);
@@ -124,9 +126,9 @@ struct ExecContext {
   /// source. `op_stats` is filled by PhysOp::Execute (one entry per
   /// operator). All three are guarded by `metrics_mu`.
   std::mutex metrics_mu;
-  int64_t rows_read = 0;
-  std::map<std::string, int64_t> source_rows;
-  std::map<int, OpStats> op_stats;
+  int64_t rows_read SS_GUARDED_BY(metrics_mu) = 0;
+  std::map<std::string, int64_t> source_rows SS_GUARDED_BY(metrics_mu);
+  std::map<int, OpStats> op_stats SS_GUARDED_BY(metrics_mu);
   void CountSourceRows(const std::string& source, int64_t n) {
     std::lock_guard<std::mutex> lock(metrics_mu);
     rows_read += n;

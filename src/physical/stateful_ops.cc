@@ -625,7 +625,8 @@ Result<RecordBatchPtr> StreamStreamJoinExec::ExecutePartition(
   for (int64_t i = 0; i < nl; ++i) {
     Row lrow = left_input.RowAt(i);
     SS_ASSIGN_OR_RETURN(std::string lkey, key_of(left_keys_, lrow, 'L'));
-    std::string rkey = "R" + lkey.substr(1);
+    std::string rkey = lkey;
+    rkey[0] = 'R';
     SS_ASSIGN_OR_RETURN(auto* right_rows, load(rkey));
     bool matched = false;
     for (auto& [rmatched, rrow] : *right_rows) {
@@ -642,7 +643,8 @@ Result<RecordBatchPtr> StreamStreamJoinExec::ExecutePartition(
   for (int64_t i = 0; i < nr; ++i) {
     Row rrow = right_input.RowAt(i);
     SS_ASSIGN_OR_RETURN(std::string rkey, key_of(right_keys_, rrow, 'R'));
-    std::string lkey = "L" + rkey.substr(1);
+    std::string lkey = rkey;
+    lkey[0] = 'L';
     SS_ASSIGN_OR_RETURN(auto* left_rows, load(lkey));
     bool matched = false;
     for (auto& [lmatched, lrow] : *left_rows) {

@@ -73,7 +73,7 @@ PoolScheduler::PoolScheduler(int num_threads) : pool_(num_threads) {}
 Status PoolScheduler::RunStage(const std::string& /*stage_name*/,
                                std::vector<std::function<Status()>> tasks) {
   std::mutex mu;
-  Status first_error;
+  Status first_error;  // guarded by mu (locals cannot carry SS_GUARDED_BY)
   StageMetrics m(metrics_);
   int64_t stage_t0 = m.enabled() ? MonotonicNanos() : 0;
   if (m.enabled()) {

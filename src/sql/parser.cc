@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/analyzer.h"
+#include "analysis/plan_analyzer.h"
 #include "expr/aggregate.h"
 
 namespace sstreaming {
@@ -696,6 +698,19 @@ Result<DataFrame> SqlContext::Sql(const std::string& query) const {
   std::map<std::string, DataFrame> upper_tables = tables_;
   Parser parser(query, upper_tables);
   return parser.ParseSelect();
+}
+
+Result<std::string> SqlContext::ExplainSql(const std::string& query,
+                                           OutputMode mode) const {
+  SS_ASSIGN_OR_RETURN(DataFrame df, Sql(query));
+  SS_ASSIGN_OR_RETURN(PlanPtr analyzed, Analyzer::Analyze(df.plan()));
+  std::string out = analyzed->TreeString();
+  if (analyzed->IsStreaming()) {
+    out += PlanAnalyzer::Analyze(analyzed, mode).Explain();
+  } else {
+    out += "plan analysis: batch plan; streaming diagnostics skipped\n";
+  }
+  return out;
 }
 
 }  // namespace sstreaming

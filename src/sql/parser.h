@@ -5,6 +5,7 @@
 #include <string>
 
 #include "logical/dataframe.h"
+#include "logical/output_mode.h"
 
 namespace sstreaming {
 
@@ -42,6 +43,15 @@ class SqlContext {
   /// NotFound for unknown tables. (Name/type errors surface later, at
   /// analysis, exactly as with the DataFrame API.)
   Result<DataFrame> Sql(const std::string& query) const;
+
+  /// The SQL spelling of EXPLAIN: parses and analyzes `query`, then renders
+  /// the resolved plan tree followed by the static plan-analysis report for
+  /// `mode` (every SSxxxx error and warning with provenance; see
+  /// docs/PLAN_DIAGNOSTICS.md). Batch queries render their plan with the
+  /// streaming diagnostics skipped. Parse and name/type errors return the
+  /// usual Status.
+  Result<std::string> ExplainSql(const std::string& query,
+                                 OutputMode mode) const;
 
  private:
   std::map<std::string, DataFrame> tables_;

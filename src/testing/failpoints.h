@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sstreaming {
 
@@ -137,12 +138,13 @@ class Failpoints {
   Failpoints();
 
   /// Returns true when this evaluation fires (counts it either way).
-  bool Fires(Entry* entry);
-  void CountTrigger(const std::string& name, Entry* entry);
+  bool Fires(Entry* entry) SS_REQUIRES(mu_);
+  void CountTrigger(const std::string& name, Entry* entry)
+      SS_REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  MetricsRegistry* metrics_ = nullptr;
+  std::map<std::string, Entry> entries_ SS_GUARDED_BY(mu_);
+  MetricsRegistry* metrics_ SS_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace sstreaming

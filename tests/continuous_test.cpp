@@ -49,7 +49,12 @@ TEST(ContinuousTest, MapPipelineDeliversRecords) {
                                {Value::Str("c"), Value::Int64(3),
                                 Value::Timestamp(3)}})
                   .ok());
-  WaitFor([&] { return sink->Snapshot().size() >= 2; });
+  // Wait for the filtered record too: records_processed() counts all three
+  // inputs, and the "b" row can lose the race with Stop() under load.
+  WaitFor([&] {
+    return sink->Snapshot().size() >= 2 &&
+           (*query)->records_processed() >= 3;
+  });
   (*query)->Stop();
   auto rows = sink->SortedSnapshot();
   ASSERT_EQ(rows.size(), 2u);

@@ -151,7 +151,9 @@ TEST(JsonFuzzTest, RandomDocumentsRoundTrip) {
     }
     Json obj = Json::Object();
     for (int i = 0; i < static_cast<int>(rng.Uniform(5)); ++i) {
-      obj.Set("k" + std::to_string(i), gen(depth - 1));
+      // std::string("k") rather than "k": gcc 12's -Wrestrict false-fires
+      // on operator+(const char*, string&&) under -O2 (PR 105329).
+      obj.Set(std::string("k") + std::to_string(i), gen(depth - 1));
     }
     return obj;
   };

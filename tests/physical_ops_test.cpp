@@ -27,7 +27,9 @@ RecordBatchPtr RandomBatch(int64_t n, uint64_t seed) {
     if (rng.OneIn(0.1)) {
       s->AppendNull();
     } else {
-      s->AppendString("s" + std::to_string(rng.Uniform(10)));
+      // std::string("s") rather than "s": gcc 12's -Wrestrict false-fires
+      // on operator+(const char*, string&&) under -O2 (PR 105329).
+      s->AppendString(std::string("s") + std::to_string(rng.Uniform(10)));
     }
     if (rng.OneIn(0.1)) {
       v->AppendNull();

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# translation unit in src/, using the compile database from a CMake build.
+#
+#   tools/run_clang_tidy.sh [build_dir]
+#
+# build_dir defaults to ./build; it is created (with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON) if it does not exist. Exits non-zero if
+# any check fires. On machines without clang-tidy (e.g. the gcc-only CI
+# image) the script prints a notice and exits 0 so it can be wired into
+# always-on verification.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "$tidy_bin" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy_bin="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy_bin" ]]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (set" \
+       "CLANG_TIDY to override)."
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: no compile_commands.json in $build_dir" >&2
+  exit 1
+fi
+
+mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
+echo "run_clang_tidy: $tidy_bin over ${#sources[@]} files in src/"
+
+status=0
+for f in "${sources[@]}"; do
+  "$tidy_bin" -p "$build_dir" --quiet "$f" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "run_clang_tidy: findings reported above" >&2
+fi
+exit $status

@@ -2,19 +2,27 @@
 // Yahoo! benchmark as the cluster grows from 1 to 20 nodes (8 cores each,
 // one partition per core). Paper: near-linear scaling, 11.5 M rec/s at 1
 // node to 225 M rec/s at 20 nodes (~19.6x over 20x the nodes).
+//
+// --json <path> additionally writes the results as machine-readable JSON
+// (throughput, p50/p99 epoch latency, and the configuration of every point)
+// for CI trend tracking, e.g.:  bench_yahoo_scaling --json BENCH_yahoo.json
 
 #include <cstdio>
+#include <cstring>
 
+#include "common/json.h"
+#include "storage/fs.h"
 #include "yahoo_common.h"
 
 namespace sstreaming {
 namespace {
 
-void Run() {
+void Run(const char* json_path) {
   std::printf("=== Figure 6b: Structured Streaming scaling ===\n");
   std::printf("%6s %10s %18s %18s %10s\n", "nodes", "cores",
               "paper (M rec/s)", "measured (M rec/s)", "speedup");
 
+  Json points = Json::Array();
   const int node_counts[] = {1, 5, 10, 20};
   const double paper[] = {11.5, 65.0, 120.0, 225.0};
   double base = 0;
@@ -39,24 +47,63 @@ void Run() {
     // simulated stage time is a max over per-task durations, so a single
     // OS-descheduled task would otherwise skew the whole stage.
     double throughput = 0;
+    bench::StructuredRunStats best_stats;
     for (int run = 0; run < 3; ++run) {
       SimClusterScheduler scheduler(cluster);
+      bench::StructuredRunStats stats;
       double t = bench::RunStructured(&bus, "events", *campaigns,
                                       config.num_partitions, &scheduler,
-                                      config.num_events);
-      if (t > throughput) throughput = t;
+                                      config.num_events, &stats);
+      if (t > throughput) {
+        throughput = t;
+        best_stats = stats;
+      }
     }
     if (i == 0) base = throughput;
     std::printf("%6d %10d %18.1f %18.2f %9.1fx\n", nodes, nodes * 8,
                 paper[i], throughput / 1e6, throughput / base);
+
+    Json point = Json::Object();
+    point.Set("nodes", Json::Int(nodes));
+    point.Set("cores", Json::Int(nodes * 8));
+    point.Set("numPartitions", Json::Int(config.num_partitions));
+    point.Set("numEvents", Json::Int(config.num_events));
+    point.Set("paperThroughputRecsPerSec", Json::Double(paper[i] * 1e6));
+    point.Set("throughputRecsPerSec", Json::Double(throughput));
+    point.Set("epochs", Json::Int(best_stats.epochs));
+    point.Set("p50EpochNanos", Json::Int(best_stats.p50_epoch_nanos));
+    point.Set("p99EpochNanos", Json::Int(best_stats.p99_epoch_nanos));
+    points.Append(std::move(point));
   }
   std::printf("\npaper speedup at 20 nodes: 19.6x (near-linear)\n");
+
+  if (json_path != nullptr) {
+    Json doc = Json::Object();
+    doc.Set("benchmark", Json::Str("yahoo_scaling"));
+    doc.Set("figure", Json::Str("6b"));
+    doc.Set("runsPerPoint", Json::Int(3));
+    doc.Set("points", std::move(points));
+    std::string text = doc.Dump();
+    text += "\n";
+    Status s = WriteFileAtomic(json_path, text);
+    SS_CHECK(s.ok()) << s.ToString();
+    std::printf("wrote %s\n", json_path);
+  }
 }
 
 }  // namespace
 }  // namespace sstreaming
 
-int main() {
-  sstreaming::Run();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  sstreaming::Run(json_path);
   return 0;
 }

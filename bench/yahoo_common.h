@@ -1,6 +1,7 @@
 #ifndef SSTREAMING_BENCH_YAHOO_COMMON_H_
 #define SSTREAMING_BENCH_YAHOO_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -16,14 +17,24 @@
 namespace sstreaming {
 namespace bench {
 
+// Per-run actuals beyond throughput, for machine-readable output (--json).
+// Epoch latencies are wall-clock per-trigger durations from QueryProgress.
+struct StructuredRunStats {
+  double records_per_sec = 0;
+  int64_t epochs = 0;
+  int64_t p50_epoch_nanos = 0;
+  int64_t p99_epoch_nanos = 0;
+};
+
 // Runs the Structured Streaming Yahoo query over all data in `bus`'s
 // `topic`, charging task durations to `scheduler`. Returns records/second
-// of simulated cluster time.
+// of simulated cluster time; fills `stats` when non-null.
 inline double RunStructured(MessageBus* bus, const std::string& topic,
                             const std::vector<Row>& campaigns,
                             int num_partitions,
                             SimClusterScheduler* scheduler,
-                            int64_t num_events) {
+                            int64_t num_events,
+                            StructuredRunStats* stats = nullptr) {
   auto source = std::make_shared<BusSource>(bus, topic, YahooEventSchema());
   auto sink = std::make_shared<MemorySink>();
   DataFrame df = YahooQuery(source, campaigns);
@@ -37,7 +48,21 @@ inline double RunStructured(MessageBus* bus, const std::string& topic,
   SS_CHECK_OK((*query)->ProcessAllAvailable());
   double seconds =
       static_cast<double>(scheduler->virtual_nanos()) / 1e9;
-  return static_cast<double>(num_events) / seconds;
+  double records_per_sec = static_cast<double>(num_events) / seconds;
+  if (stats != nullptr) {
+    stats->records_per_sec = records_per_sec;
+    std::vector<int64_t> durations;
+    for (const QueryProgress& p : (*query)->recent_progress()) {
+      durations.push_back(p.duration_nanos);
+    }
+    std::sort(durations.begin(), durations.end());
+    stats->epochs = static_cast<int64_t>(durations.size());
+    if (!durations.empty()) {
+      stats->p50_epoch_nanos = durations[durations.size() / 2];
+      stats->p99_epoch_nanos = durations[durations.size() * 99 / 100];
+    }
+  }
+  return records_per_sec;
 }
 
 // Runs the flinksim pipelines (one per partition, as scheduler tasks).

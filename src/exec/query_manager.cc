@@ -2,9 +2,17 @@
 
 #include <fstream>
 
+#include "obs/http_server.h"
 #include "storage/fs.h"
 
 namespace sstreaming {
+
+QueryManager::QueryManager() = default;
+
+QueryManager::~QueryManager() {
+  StopHttp();
+  StopAll();
+}
 
 Status QueryManager::StartQuery(const std::string& name, const DataFrame& df,
                                 SinkPtr sink, QueryOptions options) {
@@ -71,6 +79,16 @@ StreamingQuery* QueryManager::Get(const std::string& name) {
   return it == queries_.end() ? nullptr : it->second.get();
 }
 
+bool QueryManager::WithQuery(
+    const std::string& name,
+    const std::function<void(const StreamingQuery&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(name);
+  if (it == queries_.end()) return false;
+  fn(*it->second);
+  return true;
+}
+
 std::vector<std::string> QueryManager::ActiveQueryNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
@@ -119,9 +137,8 @@ std::map<std::string, QueryProgress> QueryManager::LatestProgress() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, QueryProgress> out;
   for (const auto& [name, query] : queries_) {
-    if (!query->recent_progress().empty()) {
-      out[name] = query->recent_progress().back();
-    }
+    QueryProgress last;
+    if (query->GetLastProgress(&last)) out[name] = std::move(last);
   }
   return out;
 }
@@ -129,9 +146,39 @@ std::map<std::string, QueryProgress> QueryManager::LatestProgress() const {
 Status QueryManager::AnyError() const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, query] : queries_) {
-    if (!query->error().ok()) return query->error();
+    Status error = query->GetError();
+    if (!error.ok()) return error;
   }
   return Status::OK();
+}
+
+Status QueryManager::ServeHttp(int port) {
+  std::lock_guard<std::mutex> lock(http_mu_);
+  if (http_ != nullptr) {
+    return Status::AlreadyExists("HTTP server already serving on port " +
+                                 std::to_string(http_->port()));
+  }
+  auto server = std::make_unique<ObservabilityServer>();
+  server->MountQueryManager(this);
+  SS_RETURN_IF_ERROR(server->Start(port));
+  http_ = std::move(server);
+  return Status::OK();
+}
+
+void QueryManager::StopHttp() {
+  std::unique_ptr<ObservabilityServer> server;
+  {
+    std::lock_guard<std::mutex> lock(http_mu_);
+    server.swap(http_);
+  }
+  // Stopped (and the serving thread joined) outside http_mu_; see the
+  // member comment on lock ordering.
+  if (server != nullptr) server->Stop();
+}
+
+int QueryManager::http_port() const {
+  std::lock_guard<std::mutex> lock(http_mu_);
+  return http_ != nullptr ? http_->port() : 0;
 }
 
 Status MetricsEventLog::AppendLineLocked(std::ofstream& out,

@@ -1,6 +1,7 @@
 #ifndef SSTREAMING_EXEC_QUERY_MANAGER_H_
 #define SSTREAMING_EXEC_QUERY_MANAGER_H_
 
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -19,10 +20,12 @@ namespace sstreaming {
 /// names, list/stop them, drive them together, and aggregate their
 /// progress. Production deployments in §8 run many queries side by side
 /// (ETL + alerting + dashboards) against shared sources.
+class ObservabilityServer;
+
 class QueryManager {
  public:
-  QueryManager() = default;
-  ~QueryManager() { StopAll(); }
+  QueryManager();
+  ~QueryManager();
 
   QueryManager(const QueryManager&) = delete;
   QueryManager& operator=(const QueryManager&) = delete;
@@ -38,6 +41,13 @@ class QueryManager {
 
   /// The named query, or nullptr.
   StreamingQuery* Get(const std::string& name);
+
+  /// Runs `fn` against the named query while holding the manager lock, so a
+  /// concurrent StopQuery cannot destroy the query mid-call (the HTTP
+  /// handlers resolve queries through this). `fn` must be brief and must not
+  /// call back into the manager. Returns false when no such query is active.
+  bool WithQuery(const std::string& name,
+                 const std::function<void(const StreamingQuery&)>& fn) const;
 
   std::vector<std::string> ActiveQueryNames() const;
 
@@ -67,11 +77,25 @@ class QueryManager {
   }
   size_t num_listeners() const { return bus_.size(); }
 
+  /// Starts the embedded observability HTTP server on 127.0.0.1:`port`
+  /// (0 = ephemeral; read the bound port back via http_port()). Serves
+  /// /metrics, /healthz, /queries and the per-query plan/trace endpoints
+  /// for every query this manager holds — see obs/http_server.h. The server
+  /// is off by default and costs nothing until started.
+  Status ServeHttp(int port);
+  void StopHttp();
+  /// Port the HTTP server is bound to (0 when not serving).
+  int http_port() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<StreamingQuery>> queries_
       SS_GUARDED_BY(mu_);
   ListenerBus bus_;  // internally synchronized
+  // Separate lock: StopHttp joins the serving thread, which may be waiting
+  // on mu_ inside WithQuery — holding mu_ here would deadlock.
+  mutable std::mutex http_mu_;
+  std::unique_ptr<ObservabilityServer> http_ SS_GUARDED_BY(http_mu_);
 };
 
 /// Appends each epoch's QueryProgress as one JSON line to a file — the

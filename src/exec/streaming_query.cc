@@ -111,10 +111,29 @@ void StreamingQuery::BuildOpIndex() {
     for (const PhysOpPtr& child : op.children()) {
       entry.child_ids.push_back(child->op_id());
     }
+    plan_profile_.AddNode(entry.op_id, entry.name, entry.is_source,
+                          entry.child_ids);
     op_index_.push_back(std::move(entry));
     for (const PhysOpPtr& child : op.children()) walk(*child);
   };
   if (plan_.root != nullptr) walk(*plan_.root);
+}
+
+std::vector<QueryProgress> StreamingQuery::GetProgressSnapshot() const {
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  return progress_;
+}
+
+bool StreamingQuery::GetLastProgress(QueryProgress* out) const {
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  if (progress_.empty()) return false;
+  *out = progress_.back();
+  return true;
+}
+
+Status StreamingQuery::GetError() const {
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  return error_;
 }
 
 StreamingQuery::~StreamingQuery() { Stop(); }
@@ -332,12 +351,21 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   }
   int64_t commit_end = MonotonicNanos();
 
+  // Memory accounting (§7.4): live state size per stateful operator, read
+  // once per epoch (not per row) so the cost is one map walk.
+  std::map<int, StateManager::OpStateSize> state_sizes =
+      state_->PerOpSizes();
+
   QueryProgress progress;
   progress.epoch = plan.epoch;
   progress.rows_read = ctx.rows_read;
   for (const RecordBatchPtr& b : output) progress.rows_written += b->num_rows();
   progress.watermark_micros = watermark_micros_;
   progress.state_entries = state_->TotalEntries();
+  for (const auto& [op_id, size] : state_sizes) {
+    (void)op_id;
+    progress.state_bytes += size.bytes;
+  }
   progress.trigger_wait_nanos = trigger_wait;
   progress.plan_nanos = plan_nanos;
   // Source-scan leaves run their partition reads inside their own Execute,
@@ -394,7 +422,13 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
       if (it != ctx.op_stats.end()) {
         op.rows_out = it->second.rows_out;
         op.batches = it->second.batches;
+        op.output_bytes = it->second.bytes_out;
         wall = it->second.wall_nanos;
+      }
+      auto sit = state_sizes.find(entry.op_id);
+      if (sit != state_sizes.end()) {
+        op.state_rows = sit->second.rows;
+        op.state_bytes = sit->second.bytes;
       }
       int64_t children_wall = 0;
       for (int child_id : entry.child_ids) {
@@ -438,6 +472,12 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
       metrics_->GetCounter("sstreaming_operator_cpu_nanos_total", labels)
           ->Increment(op.cpu_nanos);
     }
+    // Memory-accounting gauges: live state size per stateful operator.
+    for (const auto& [op_id, size] : state_sizes) {
+      MetricLabels labels{{"op_id", std::to_string(op_id)}};
+      metrics_->GetGauge("sstreaming_state_rows", labels)->Set(size.rows);
+      metrics_->GetGauge("sstreaming_state_bytes", labels)->Set(size.bytes);
+    }
   }
 
   if (tracer_ != nullptr) {
@@ -460,18 +500,23 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
                      progress.duration_nanos, plan.epoch);
   }
 
-  progress_.push_back(progress);
-  if (progress_.size() > 256) {
-    progress_.erase(progress_.begin(), progress_.begin() + 128);
+  plan_profile_.RecordEpoch(progress);
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    progress_.push_back(progress);
+    if (progress_.size() > 256) {
+      progress_.erase(progress_.begin(), progress_.begin() + 128);
+    }
   }
-  if (progress_callback_) progress_callback_(progress_.back());
+  if (progress_callback_) progress_callback_(progress);
   return Status::OK();
 }
 
 Result<bool> StreamingQuery::ProcessOneTrigger() {
-  if (!error_.ok()) {
+  Status prior = GetError();
+  if (!prior.ok()) {
     return Status::FailedPrecondition(
-        "query previously failed (" + error_.ToString() +
+        "query previously failed (" + prior.ToString() +
         "); fix the code and restart from the checkpoint (§7.1)");
   }
   int64_t now = MonotonicNanos();
@@ -494,7 +539,10 @@ Result<bool> StreamingQuery::ProcessOneTrigger() {
   Status s = RunPlannedEpoch(plan);
   last_trigger_end_nanos_ = MonotonicNanos();
   if (!s.ok()) {
-    error_ = s;
+    {
+      std::lock_guard<std::mutex> lock(progress_mu_);
+      error_ = s;
+    }
     NotifyTerminated();
     return s;
   }
@@ -544,7 +592,7 @@ void StreamingQuery::Stop() {
 void StreamingQuery::NotifyTerminated() {
   // Exactly once across Stop(), destruction and epoch failure.
   if (termination_notified_.exchange(true)) return;
-  if (termination_callback_) termination_callback_(error_, last_epoch_);
+  if (termination_callback_) termination_callback_(GetError(), last_epoch_);
 }
 
 Status StreamingQuery::Rollback(const std::string& checkpoint_dir,

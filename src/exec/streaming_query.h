@@ -14,6 +14,7 @@
 #include "incremental/incrementalizer.h"
 #include "logical/dataframe.h"
 #include "obs/metrics.h"
+#include "obs/plan_profile.h"
 #include "obs/progress.h"
 #include "obs/tracer.h"
 #include "runtime/scheduler.h"
@@ -111,13 +112,32 @@ class StreamingQuery {
   void Stop();
   bool IsActive() const { return background_active_.load(); }
 
-  /// Monitoring (§7.4).
-  const std::vector<QueryProgress>& recent_progress() const {
+  /// Monitoring (§7.4). `recent_progress()` returns the live ring buffer —
+  /// only safe while no trigger is running concurrently (tests, synchronous
+  /// drivers). Concurrent observers (the HTTP server) use the snapshot
+  /// accessors below.
+  const std::vector<QueryProgress>& recent_progress() const
+      SS_NO_THREAD_SAFETY_ANALYSIS {
     return progress_;
   }
+  /// Thread-safe copy of the progress ring buffer.
+  std::vector<QueryProgress> GetProgressSnapshot() const;
+  /// Thread-safe copy of the most recent progress; false when no epoch has
+  /// completed yet.
+  bool GetLastProgress(QueryProgress* out) const;
+  /// Thread-safe copy of error() (safe while triggers run concurrently).
+  Status GetError() const;
   int64_t last_epoch() const { return last_epoch_; }
   int64_t watermark_micros() const { return watermark_micros_; }
   const PhysicalPlan& physical_plan() const { return plan_; }
+
+  /// EXPLAIN ANALYZE (§7.4): the physical plan annotated with cumulative
+  /// per-operator actuals — rows, batches, self CPU, output bytes, live and
+  /// peak state size. Thread-safe; callable while the query runs. Also
+  /// served as JSON by the observability HTTP endpoint
+  /// /queries/<id>/plan (see obs/http_server.h).
+  std::string ExplainAnalyze() const { return plan_profile_.Render(); }
+  const PlanProfile& plan_profile() const { return plan_profile_; }
 
   /// Static plan-analysis warnings (SS2xxx) found at Start — unbounded
   /// state, lost watermarks, complete-mode memory. The query runs anyway;
@@ -145,8 +165,9 @@ class StreamingQuery {
     termination_callback_ = std::move(cb);
   }
   /// Non-OK once an epoch has failed; the query must be restarted (§7.1:
-  /// fix the UDF, restart from the log).
-  const Status& error() const { return error_; }
+  /// fix the UDF, restart from the log). Like recent_progress(), only safe
+  /// when no trigger runs concurrently; use GetError() otherwise.
+  const Status& error() const SS_NO_THREAD_SAFETY_ANALYSIS { return error_; }
 
   /// Manual rollback (paper §7.2): removes WAL entries and state versions
   /// after `epoch` so a restarted query recomputes from there. The query
@@ -190,13 +211,17 @@ class StreamingQuery {
   std::map<int, int64_t> per_op_watermark_;
   // Offsets consumed so far per source (end of last epoch).
   std::map<std::string, std::vector<int64_t>> committed_offsets_;
-  std::vector<QueryProgress> progress_;
+  // Guards progress_ and error_ against concurrent observers (HTTP scrape
+  // threads read snapshots while the trigger thread appends).
+  mutable std::mutex progress_mu_;
+  std::vector<QueryProgress> progress_ SS_GUARDED_BY(progress_mu_);
   std::vector<Diagnostic> plan_warnings_;
-  Status error_;
+  Status error_ SS_GUARDED_BY(progress_mu_);
 
   // Observability (§7.4).
   std::shared_ptr<MetricsRegistry> metrics_;
   std::shared_ptr<EpochTracer> tracer_;
+  PlanProfile plan_profile_;  // internally synchronized
   std::vector<OpIndexEntry> op_index_;
   std::function<void(const QueryProgress&)> progress_callback_;
   std::function<void(const Status&, int64_t)> termination_callback_;

@@ -1,5 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include "common/logging.h"
 
 namespace sstreaming {
@@ -104,45 +107,84 @@ size_t MetricsRegistry::num_instruments() const {
   return instruments_.size();
 }
 
+namespace {
+
+/// One instrument's fully-rendered exposition lines, keyed for sorting.
+/// The map key "name{labels}" cannot be the sort key: '_' < '{' in ASCII,
+/// so "foo_sum" would sort between "foo{a}" and "foo{b}" and interleave
+/// families — sorting on (name, labels) keeps every family contiguous.
+struct PromSeries {
+  std::string name;
+  std::string labels;
+  const char* type;
+  std::string lines;
+};
+
+}  // namespace
+
 std::string MetricsRegistry::ToPrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::string out;
-  std::string last_family;
-  for (const auto& [key, inst] : instruments_) {
-    (void)key;
-    if (inst->name != last_family) {
-      last_family = inst->name;
-      const char* type = inst->kind == Kind::kCounter   ? "counter"
-                         : inst->kind == Kind::kGauge   ? "gauge"
-                                                        : "summary";
-      out += "# TYPE " + inst->name + " " + type + "\n";
-    }
-    switch (inst->kind) {
-      case Kind::kCounter:
-        out += inst->name + RenderLabels(inst->labels) + " " +
-               std::to_string(inst->counter->value()) + "\n";
-        break;
-      case Kind::kGauge:
-        out += inst->name + RenderLabels(inst->labels) + " " +
-               std::to_string(inst->gauge->value()) + "\n";
-        break;
-      case Kind::kHistogram: {
-        LogHistogram::Snapshot snap = inst->histogram->GetSnapshot();
-        out += inst->name + RenderLabels(inst->labels, "quantile", "0.5") +
-               " " + std::to_string(snap.p50) + "\n";
-        out += inst->name + RenderLabels(inst->labels, "quantile", "0.95") +
-               " " + std::to_string(snap.p95) + "\n";
-        out += inst->name + RenderLabels(inst->labels, "quantile", "0.99") +
-               " " + std::to_string(snap.p99) + "\n";
-        out += inst->name + "_sum" + RenderLabels(inst->labels) + " " +
-               std::to_string(snap.sum) + "\n";
-        out += inst->name + "_count" + RenderLabels(inst->labels) + " " +
-               std::to_string(snap.count) + "\n";
-        out += inst->name + "_max" + RenderLabels(inst->labels) + " " +
-               std::to_string(snap.max) + "\n";
-        break;
+  return RenderPrometheusText({this});
+}
+
+std::string MetricsRegistry::RenderPrometheusText(
+    std::vector<const MetricsRegistry*> registries) {
+  // Several queries may share one registry: render each at most once.
+  std::sort(registries.begin(), registries.end());
+  registries.erase(std::unique(registries.begin(), registries.end()),
+                   registries.end());
+  std::vector<PromSeries> series;
+  for (const MetricsRegistry* reg : registries) {
+    if (reg == nullptr) continue;
+    std::lock_guard<std::mutex> lock(reg->mu_);
+    for (const auto& [key, inst] : reg->instruments_) {
+      (void)key;
+      PromSeries row;
+      row.name = inst->name;
+      row.labels = RenderLabels(inst->labels);
+      switch (inst->kind) {
+        case Kind::kCounter:
+          row.type = "counter";
+          row.lines = inst->name + row.labels + " " +
+                      std::to_string(inst->counter->value()) + "\n";
+          break;
+        case Kind::kGauge:
+          row.type = "gauge";
+          row.lines = inst->name + row.labels + " " +
+                      std::to_string(inst->gauge->value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          row.type = "summary";
+          LogHistogram::Snapshot snap = inst->histogram->GetSnapshot();
+          row.lines =
+              inst->name + RenderLabels(inst->labels, "quantile", "0.5") +
+              " " + std::to_string(snap.p50) + "\n" + inst->name +
+              RenderLabels(inst->labels, "quantile", "0.95") + " " +
+              std::to_string(snap.p95) + "\n" + inst->name +
+              RenderLabels(inst->labels, "quantile", "0.99") + " " +
+              std::to_string(snap.p99) + "\n" + inst->name + "_sum" +
+              row.labels + " " + std::to_string(snap.sum) + "\n" +
+              inst->name + "_count" + row.labels + " " +
+              std::to_string(snap.count) + "\n" + inst->name + "_max" +
+              row.labels + " " + std::to_string(snap.max) + "\n";
+          break;
+        }
       }
+      series.push_back(std::move(row));
     }
+  }
+  std::stable_sort(series.begin(), series.end(),
+                   [](const PromSeries& a, const PromSeries& b) {
+                     return std::tie(a.name, a.labels) <
+                            std::tie(b.name, b.labels);
+                   });
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const PromSeries& row : series) {
+    if (last_family == nullptr || row.name != *last_family) {
+      out += "# TYPE " + row.name + " " + std::string(row.type) + "\n";
+      last_family = &row.name;
+    }
+    out += row.lines;
   }
   return out;
 }

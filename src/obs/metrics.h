@@ -68,7 +68,19 @@ class MetricsRegistry {
 
   /// Prometheus text exposition format (counters, gauges, and histograms as
   /// summary families with quantile labels plus _sum/_count/_max samples).
+  /// Output is stable: exactly one `# TYPE` line per family and series
+  /// sorted by (name, labels), so two scrapes of an unchanged registry are
+  /// byte-identical regardless of instrument creation order.
   std::string ToPrometheusText() const;
+
+  /// Renders several registries onto one Prometheus page (the /metrics
+  /// endpoint of an ObservabilityServer aggregating per-query registries).
+  /// Duplicate and null pointers are rendered once/skipped; series keep the
+  /// same global (name, labels) sort and one-TYPE-per-family guarantee.
+  /// Identical series from *different* registries both appear — give
+  /// queries distinct labels or one shared registry (docs/OBSERVABILITY.md).
+  static std::string RenderPrometheusText(
+      std::vector<const MetricsRegistry*> registries);
 
   /// JSON form: {"counters": {...}, "gauges": {...}, "histograms": {...}}
   /// keyed by "name{label=\"value\",...}".

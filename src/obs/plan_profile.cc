@@ -1,0 +1,124 @@
+#include "obs/plan_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sstreaming {
+
+void PlanProfile::AddNode(int op_id, std::string name, bool is_source,
+                          std::vector<int> children) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(op_id)) return;
+  Node node;
+  node.op_id = op_id;
+  node.name = std::move(name);
+  node.is_source = is_source;
+  node.children = std::move(children);
+  index_[op_id] = nodes_.size();
+  nodes_.push_back(std::move(node));
+}
+
+void PlanProfile::RecordEpoch(const QueryProgress& progress) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epochs_;
+  for (const OperatorProgress& op : progress.operators) {
+    auto it = index_.find(op.op_id);
+    if (it == index_.end()) continue;
+    Node& node = nodes_[it->second];
+    node.rows_in += op.rows_in;
+    node.rows_out += op.rows_out;
+    node.batches += op.batches;
+    node.cpu_nanos += op.cpu_nanos;
+    node.output_bytes += op.output_bytes;
+    node.state_rows = op.state_rows;
+    node.state_bytes = op.state_bytes;
+    node.peak_state_rows = std::max(node.peak_state_rows, op.state_rows);
+    node.peak_state_bytes = std::max(node.peak_state_bytes, op.state_bytes);
+  }
+}
+
+int64_t PlanProfile::epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_;
+}
+
+std::vector<PlanProfile::Node> PlanProfile::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_;
+}
+
+const PlanProfile::Node* PlanProfile::FindLocked(int op_id) const {
+  auto it = index_.find(op_id);
+  return it == index_.end() ? nullptr : &nodes_[it->second];
+}
+
+void PlanProfile::RenderNodeLocked(const Node& node, int depth,
+                                   std::string* out) const {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.name;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                " [op %d]  rows_in=%lld rows_out=%lld batches=%lld "
+                "self_cpu_ms=%.3f output_bytes=%lld",
+                node.op_id, static_cast<long long>(node.rows_in),
+                static_cast<long long>(node.rows_out),
+                static_cast<long long>(node.batches),
+                static_cast<double>(node.cpu_nanos) / 1e6,
+                static_cast<long long>(node.output_bytes));
+  *out += buf;
+  if (node.peak_state_rows > 0 || node.peak_state_bytes > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " state_rows=%lld state_bytes=%lld (peak %lld/%lld)",
+                  static_cast<long long>(node.state_rows),
+                  static_cast<long long>(node.state_bytes),
+                  static_cast<long long>(node.peak_state_rows),
+                  static_cast<long long>(node.peak_state_bytes));
+    *out += buf;
+  }
+  *out += "\n";
+  for (int child_id : node.children) {
+    const Node* child = FindLocked(child_id);
+    if (child != nullptr) RenderNodeLocked(*child, depth + 1, out);
+  }
+}
+
+std::string PlanProfile::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "== EXPLAIN ANALYZE (epochs=" + std::to_string(epochs_) +
+                    ") ==\n";
+  if (!nodes_.empty()) RenderNodeLocked(nodes_.front(), 0, &out);
+  return out;
+}
+
+Json PlanProfile::NodeJsonLocked(const Node& node) const {
+  Json obj = Json::Object();
+  obj.Set("opId", Json::Int(node.op_id));
+  obj.Set("name", Json::Str(node.name));
+  obj.Set("isSource", Json::Bool(node.is_source));
+  obj.Set("rowsIn", Json::Int(node.rows_in));
+  obj.Set("rowsOut", Json::Int(node.rows_out));
+  obj.Set("batches", Json::Int(node.batches));
+  obj.Set("cpuNanos", Json::Int(node.cpu_nanos));
+  obj.Set("outputBytes", Json::Int(node.output_bytes));
+  obj.Set("stateRows", Json::Int(node.state_rows));
+  obj.Set("stateBytes", Json::Int(node.state_bytes));
+  obj.Set("peakStateRows", Json::Int(node.peak_state_rows));
+  obj.Set("peakStateBytes", Json::Int(node.peak_state_bytes));
+  Json children = Json::Array();
+  for (int child_id : node.children) {
+    const Node* child = FindLocked(child_id);
+    if (child != nullptr) children.Append(NodeJsonLocked(*child));
+  }
+  obj.Set("children", std::move(children));
+  return obj;
+}
+
+Json PlanProfile::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json obj = Json::Object();
+  obj.Set("epochs", Json::Int(epochs_));
+  if (!nodes_.empty()) obj.Set("root", NodeJsonLocked(nodes_.front()));
+  return obj;
+}
+
+}  // namespace sstreaming

@@ -2,6 +2,27 @@
 
 namespace sstreaming {
 
+namespace {
+
+// FromJson helpers: absent keys read as 0 / empty so the parsers accept
+// event-log lines written by older builds (fields only ever get added).
+int64_t GetInt(const Json& obj, const char* key) {
+  const Json& v = obj.Get(key);
+  return v.is_number() ? v.int_value() : 0;
+}
+
+double GetDouble(const Json& obj, const char* key) {
+  const Json& v = obj.Get(key);
+  return v.is_number() ? v.double_value() : 0;
+}
+
+std::string GetStr(const Json& obj, const char* key) {
+  const Json& v = obj.Get(key);
+  return v.is_string() ? v.string_value() : std::string();
+}
+
+}  // namespace
+
 Json OperatorProgress::ToJson() const {
   Json obj = Json::Object();
   obj.Set("opId", Json::Int(op_id));
@@ -10,7 +31,27 @@ Json OperatorProgress::ToJson() const {
   obj.Set("rowsOut", Json::Int(rows_out));
   obj.Set("batches", Json::Int(batches));
   obj.Set("cpuNanos", Json::Int(cpu_nanos));
+  obj.Set("outputBytes", Json::Int(output_bytes));
+  obj.Set("stateRows", Json::Int(state_rows));
+  obj.Set("stateBytes", Json::Int(state_bytes));
   return obj;
+}
+
+Result<OperatorProgress> OperatorProgress::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("operator progress must be an object");
+  }
+  OperatorProgress op;
+  op.op_id = static_cast<int>(GetInt(json, "opId"));
+  op.name = GetStr(json, "name");
+  op.rows_in = GetInt(json, "rowsIn");
+  op.rows_out = GetInt(json, "rowsOut");
+  op.batches = GetInt(json, "batches");
+  op.cpu_nanos = GetInt(json, "cpuNanos");
+  op.output_bytes = GetInt(json, "outputBytes");
+  op.state_rows = GetInt(json, "stateRows");
+  op.state_bytes = GetInt(json, "stateBytes");
+  return op;
 }
 
 Json SourceProgress::ToJson() const {
@@ -22,6 +63,18 @@ Json SourceProgress::ToJson() const {
   return obj;
 }
 
+Result<SourceProgress> SourceProgress::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("source progress must be an object");
+  }
+  SourceProgress sp;
+  sp.name = GetStr(json, "name");
+  sp.rows = GetInt(json, "rows");
+  sp.rows_per_sec = GetDouble(json, "rowsPerSec");
+  sp.backlog_rows = GetInt(json, "backlogRows");
+  return sp;
+}
+
 Json QueryProgress::ToJson() const {
   Json obj = Json::Object();
   obj.Set("epoch", Json::Int(epoch));
@@ -31,6 +84,7 @@ Json QueryProgress::ToJson() const {
     obj.Set("watermarkMicros", Json::Int(watermark_micros));
   }
   obj.Set("stateEntries", Json::Int(state_entries));
+  obj.Set("stateBytes", Json::Int(state_bytes));
   obj.Set("durationNanos", Json::Int(duration_nanos));
   obj.Set("triggerWaitNanos", Json::Int(trigger_wait_nanos));
   Json durations = Json::Object();
@@ -48,6 +102,45 @@ Json QueryProgress::ToJson() const {
   for (const OperatorProgress& o : operators) ops.Append(o.ToJson());
   obj.Set("operators", std::move(ops));
   return obj;
+}
+
+Result<QueryProgress> QueryProgress::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("query progress must be an object");
+  }
+  QueryProgress p;
+  p.epoch = GetInt(json, "epoch");
+  p.rows_read = GetInt(json, "rowsRead");
+  p.rows_written = GetInt(json, "rowsWritten");
+  p.watermark_micros =
+      json.Has("watermarkMicros") ? GetInt(json, "watermarkMicros")
+                                  : INT64_MIN;
+  p.state_entries = GetInt(json, "stateEntries");
+  p.state_bytes = GetInt(json, "stateBytes");
+  p.duration_nanos = GetInt(json, "durationNanos");
+  p.trigger_wait_nanos = GetInt(json, "triggerWaitNanos");
+  const Json& durations = json.Get("durations");
+  p.plan_nanos = GetInt(durations, "planNanos");
+  p.source_read_nanos = GetInt(durations, "sourceReadNanos");
+  p.exec_nanos = GetInt(durations, "execNanos");
+  p.checkpoint_nanos = GetInt(durations, "checkpointNanos");
+  p.commit_nanos = GetInt(durations, "commitNanos");
+  p.other_nanos = GetInt(durations, "otherNanos");
+  const Json& srcs = json.Get("sources");
+  if (srcs.is_array()) {
+    for (const Json& s : srcs.array_items()) {
+      SS_ASSIGN_OR_RETURN(SourceProgress sp, SourceProgress::FromJson(s));
+      p.sources.push_back(std::move(sp));
+    }
+  }
+  const Json& ops = json.Get("operators");
+  if (ops.is_array()) {
+    for (const Json& o : ops.array_items()) {
+      SS_ASSIGN_OR_RETURN(OperatorProgress op, OperatorProgress::FromJson(o));
+      p.operators.push_back(std::move(op));
+    }
+  }
+  return p;
 }
 
 }  // namespace sstreaming

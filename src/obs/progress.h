@@ -19,8 +19,14 @@ struct OperatorProgress {
   int64_t rows_out = 0;
   int64_t batches = 0;
   int64_t cpu_nanos = 0;
+  /// Approximate bytes of the operator's output batches this epoch.
+  int64_t output_bytes = 0;
+  /// Live state-store size after the epoch (0 for stateless operators).
+  int64_t state_rows = 0;
+  int64_t state_bytes = 0;
 
   Json ToJson() const;
+  static Result<OperatorProgress> FromJson(const Json& json);
 };
 
 /// Per-source input summary for one epoch.
@@ -34,6 +40,7 @@ struct SourceProgress {
   int64_t backlog_rows = 0;
 
   Json ToJson() const;
+  static Result<SourceProgress> FromJson(const Json& json);
 };
 
 /// Per-epoch progress information (paper §7.4 monitoring).
@@ -49,6 +56,8 @@ struct QueryProgress {
   int64_t rows_written = 0;
   int64_t watermark_micros = INT64_MIN;
   int64_t state_entries = 0;
+  /// Approximate live state bytes across all operators (memory accounting).
+  int64_t state_bytes = 0;
   int64_t duration_nanos = 0;
 
   // Stage breakdown (sums to duration_nanos).
@@ -74,6 +83,11 @@ struct QueryProgress {
 
   /// One JSON object per epoch — the schema of the JSONL metrics event log.
   Json ToJson() const;
+
+  /// Parses ToJson() output back. Round-trip is lossless: FromJson(ToJson())
+  /// re-serializes byte-identically (tested), so the JSONL event log can be
+  /// re-ingested without drift.
+  static Result<QueryProgress> FromJson(const Json& json);
 };
 
 }  // namespace sstreaming

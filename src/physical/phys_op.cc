@@ -129,6 +129,27 @@ int64_t StateManager::TotalEntries() const {
   return total;
 }
 
+std::map<int, StateManager::OpStateSize> StateManager::PerOpSizes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<int, OpStateSize> out;
+  for (const auto& [key, store] : stores_) {
+    OpStateSize& size = out[key.first];
+    size.rows += store->size();
+    size.bytes += store->ApproxBytes();
+  }
+  return out;
+}
+
+int64_t StateManager::TotalApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [key, store] : stores_) {
+    (void)key;
+    total += store->ApproxBytes();
+  }
+  return total;
+}
+
 int64_t StateManager::TotalBytesWritten() const {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
@@ -169,6 +190,7 @@ Result<std::vector<RecordBatchPtr>> PhysOp::Execute(ExecContext* ctx) {
       stats.batches += static_cast<int64_t>(result->size());
       for (const RecordBatchPtr& batch : *result) {
         stats.rows_out += batch->num_rows();
+        stats.bytes_out += batch->ApproxBytes();
       }
     }
   }

@@ -54,6 +54,18 @@ class StateManager {
 
   int64_t TotalEntries() const;
   int64_t TotalBytesWritten() const;
+
+  /// Live state size for one operator, summed over its partitions.
+  struct OpStateSize {
+    int64_t rows = 0;
+    int64_t bytes = 0;  // StateStore::ApproxBytes
+  };
+  /// Per-operator live state sizes across all opened stores — the memory
+  /// accounting behind `sstreaming_state_rows{op_id=}` /
+  /// `sstreaming_state_bytes{op_id=}` and the EXPLAIN ANALYZE state columns.
+  std::map<int, OpStateSize> PerOpSizes() const;
+  /// Sum of ApproxBytes over all opened stores.
+  int64_t TotalApproxBytes() const;
   bool durable() const { return durable_; }
   int num_open_stores() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -81,6 +93,9 @@ struct OpStats {
   /// Inclusive wall time of the operator's Execute (children included).
   int64_t wall_nanos = 0;
   int64_t invocations = 0;
+  /// Approximate bytes of the operator's output batches (memory accounting
+  /// for EXPLAIN ANALYZE; O(columns) per batch to compute).
+  int64_t bytes_out = 0;
 };
 
 /// Per-epoch execution context threaded through the physical operators.

@@ -7,6 +7,8 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/plan_analyzer.h"
+#include "connectors/memory.h"
+#include "exec/streaming_query.h"
 #include "expr/aggregate.h"
 
 namespace sstreaming {
@@ -711,6 +713,28 @@ Result<std::string> SqlContext::ExplainSql(const std::string& query,
     out += "plan analysis: batch plan; streaming diagnostics skipped\n";
   }
   return out;
+}
+
+Result<std::string> SqlContext::ExplainAnalyzeSql(const std::string& query,
+                                                  OutputMode mode) const {
+  SS_ASSIGN_OR_RETURN(DataFrame df, Sql(query));
+  SS_ASSIGN_OR_RETURN(PlanPtr analyzed, Analyzer::Analyze(df.plan()));
+  if (!analyzed->IsStreaming()) {
+    SS_ASSIGN_OR_RETURN(std::string explain, ExplainSql(query, mode));
+    return "== EXPLAIN ANALYZE ==\nbatch plan; no epochs to profile — "
+           "showing EXPLAIN\n" +
+           explain;
+  }
+  QueryOptions options;
+  options.mode = mode;
+  options.trigger = Trigger::Once();
+  options.query_name = "explain-analyze";
+  options.enable_tracing = false;
+  auto sink = std::make_shared<MemorySink>();
+  SS_ASSIGN_OR_RETURN(std::unique_ptr<StreamingQuery> run,
+                      StreamingQuery::Start(df, sink, std::move(options)));
+  SS_RETURN_IF_ERROR(run->ProcessAllAvailable());
+  return run->ExplainAnalyze();
 }
 
 }  // namespace sstreaming

@@ -53,6 +53,16 @@ class SqlContext {
   Result<std::string> ExplainSql(const std::string& query,
                                  OutputMode mode) const;
 
+  /// EXPLAIN ANALYZE (§7.4): parses `query`, runs it as an ephemeral
+  /// streaming query against an in-memory sink until all currently-available
+  /// input is consumed, and renders the physical plan annotated with actual
+  /// per-operator rows/batches/CPU/state sizes (PlanProfile). The run is
+  /// side-effect free: nothing is checkpointed and the sink is discarded.
+  /// Batch plans return EXPLAIN output plus a note (there are no epochs to
+  /// profile). Execution errors return the failing Status.
+  Result<std::string> ExplainAnalyzeSql(const std::string& query,
+                                        OutputMode mode) const;
+
  private:
   std::map<std::string, DataFrame> tables_;
 };

@@ -112,6 +112,13 @@ Result<std::unique_ptr<StateStore>> StateStore::Open(const std::string& dir,
   std::unique_ptr<StateStore> store(new StateStore(dir, options));
   if (version > 0) {
     SS_RETURN_IF_ERROR(store->LoadUpTo(version));
+    // ApplyLog fills data_ directly; charge the restored contents once here
+    // so the incremental accounting in Put/Remove starts from truth.
+    for (const auto& [key, value] : store->data_) {
+      store->approx_bytes_ +=
+          static_cast<int64_t>(key.size() + value.size()) +
+          kEntryOverheadBytes;
+    }
   }
   store->last_commit_version_ = store->loaded_version_;
   return store;
@@ -149,12 +156,27 @@ std::optional<std::string> StateStore::Get(const std::string& key) const {
 }
 
 void StateStore::Put(const std::string& key, std::string value) {
-  data_[key] = value;
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    approx_bytes_ +=
+        static_cast<int64_t>(key.size() + value.size()) + kEntryOverheadBytes;
+    data_.emplace(key, value);
+  } else {
+    approx_bytes_ += static_cast<int64_t>(value.size()) -
+                     static_cast<int64_t>(it->second.size());
+    it->second = value;
+  }
   pending_[key] = std::move(value);
 }
 
 void StateStore::Remove(const std::string& key) {
-  data_.erase(key);
+  auto it = data_.find(key);
+  if (it != data_.end()) {
+    approx_bytes_ -=
+        static_cast<int64_t>(key.size() + it->second.size()) +
+        kEntryOverheadBytes;
+    data_.erase(it);
+  }
   pending_[key] = std::nullopt;
 }
 

@@ -48,6 +48,12 @@ class StateStore {
   bool Contains(const std::string& key) const;
   int64_t size() const { return static_cast<int64_t>(data_.size()); }
 
+  /// Approximate in-memory footprint of the working copy: key and value
+  /// payloads plus a fixed per-entry overhead. Maintained incrementally on
+  /// Put/Remove (O(1) per call), so the epoch loop can publish state-size
+  /// gauges without walking the map.
+  int64_t ApproxBytes() const { return approx_bytes_; }
+
   /// Visits every live entry. Do not mutate during iteration; collect keys
   /// first when evicting.
   void ForEach(const std::function<void(const std::string& key,
@@ -75,9 +81,14 @@ class StateStore {
 
   Status LoadUpTo(int64_t version);
 
+  /// Accounting charge per map entry beyond the payload (hash-map node,
+  /// string headers). A rough constant — the gauges are approximations.
+  static constexpr int64_t kEntryOverheadBytes = 64;
+
   std::string dir_;
   Options options_;
   int64_t loaded_version_ = 0;
+  int64_t approx_bytes_ = 0;
   int64_t last_commit_version_ = 0;
   int commits_since_snapshot_ = 0;
   int64_t bytes_written_ = 0;

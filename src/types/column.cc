@@ -65,6 +65,7 @@ void Column::AppendFloat64(double v) {
 void Column::AppendString(std::string v) {
   SS_DCHECK(type_ == TypeId::kString);
   validity_.push_back(1);
+  string_bytes_ += static_cast<int64_t>(v.size());
   strings_.push_back(std::move(v));
 }
 

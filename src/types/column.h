@@ -70,6 +70,17 @@ class Column {
   /// without boxing — used to build state-store keys from columns.
   void EncodeValueTo(int64_t i, std::string* out) const;
 
+  /// Approximate in-memory footprint of the column's payload in bytes.
+  /// O(1): string character counts are maintained incrementally on append,
+  /// so memory accounting never re-walks the data (§7.4 monitoring).
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(validity_.size() + bools_.size() +
+                                ints_.size() * sizeof(int64_t) +
+                                doubles_.size() * sizeof(double) +
+                                strings_.size() * sizeof(std::string)) +
+           string_bytes_;
+  }
+
   /// Raw storage access for fused kernels.
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
@@ -80,6 +91,7 @@ class Column {
  private:
   TypeId type_;
   int64_t null_count_ = 0;
+  int64_t string_bytes_ = 0;  // sum of strings_[i].size()
   std::vector<uint8_t> validity_;
   std::vector<uint8_t> bools_;
   std::vector<int64_t> ints_;

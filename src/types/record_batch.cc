@@ -190,6 +190,12 @@ std::shared_ptr<RecordBatch> RecordBatch::Concat(
   return Make(std::move(schema), std::move(columns));
 }
 
+int64_t RecordBatch::ApproxBytes() const {
+  int64_t total = 0;
+  for (const ColumnPtr& col : columns_) total += col->ApproxBytes();
+  return total;
+}
+
 std::string RecordBatch::ToString() const {
   std::string out = schema_->ToString();
   out += "\n";

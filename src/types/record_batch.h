@@ -64,6 +64,11 @@ class RecordBatch {
       SchemaPtr schema,
       const std::vector<std::shared_ptr<RecordBatch>>& batches);
 
+  /// Approximate in-memory footprint in bytes (sum of the columns' payload
+  /// sizes; O(num_columns)). Feeds the per-operator output-bytes actuals and
+  /// the memory-accounting gauges.
+  int64_t ApproxBytes() const;
+
   /// Debug table rendering (header + all rows).
   std::string ToString() const;
 

@@ -208,5 +208,58 @@ TEST(MetricsRegistryTest, ConcurrentUpdatesFromPoolScheduler) {
   EXPECT_EQ(registry.GetGauge("sstreaming_scheduler_queue_depth")->value(), 0);
 }
 
+TEST(MetricsRegistryTest, PrometheusOutputIsSortedWithOneTypePerFamily) {
+  MetricsRegistry registry;
+  // Created deliberately out of order, with a histogram whose _sum/_count
+  // sample names would interleave the family under naive key sorting
+  // ('_' < '{' in ASCII).
+  registry.GetCounter("zzz_total")->Increment(3);
+  registry.GetHistogram("foo", {{"q", "b"}})->Record(10);
+  registry.GetCounter("aaa_total", {{"op", "late"}})->Increment(1);
+  registry.GetHistogram("foo", {{"q", "a"}})->Record(20);
+  registry.GetGauge("mmm")->Set(5);
+
+  std::string text = registry.ToPrometheusText();
+  // Exactly one TYPE line per family.
+  for (const char* family : {"aaa_total", "foo", "mmm", "zzz_total"}) {
+    std::string type_line = std::string("# TYPE ") + family + " ";
+    size_t first = text.find(type_line);
+    ASSERT_NE(first, std::string::npos) << text;
+    EXPECT_EQ(text.find(type_line, first + 1), std::string::npos)
+        << "duplicate TYPE for " << family << ":\n"
+        << text;
+  }
+  // Families appear in sorted order, series within a family sorted by
+  // labels.
+  EXPECT_LT(text.find("# TYPE aaa_total"), text.find("# TYPE foo"));
+  EXPECT_LT(text.find("# TYPE foo"), text.find("# TYPE mmm"));
+  EXPECT_LT(text.find("# TYPE mmm"), text.find("# TYPE zzz_total"));
+  EXPECT_LT(text.find("foo{q=\"a\""), text.find("foo{q=\"b\""));
+  // foo's _sum/_count samples stay inside the foo block (after both
+  // quantile series, before the next family's TYPE line).
+  EXPECT_LT(text.find("foo_sum"), text.find("# TYPE mmm"));
+
+  // Unchanged registry => byte-identical scrape (diff-clean).
+  EXPECT_EQ(registry.ToPrometheusText(), text);
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusTextMergesAndDedupes) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("shared_total", {{"src", "a"}})->Increment(1);
+  b.GetCounter("shared_total", {{"src", "b"}})->Increment(2);
+  b.GetGauge("only_b")->Set(7);
+  std::string text =
+      MetricsRegistry::RenderPrometheusText({&a, &b, &a, nullptr});
+  // One TYPE line even though the family spans two registries, and the
+  // duplicate/null registry pointers changed nothing.
+  size_t first = text.find("# TYPE shared_total counter");
+  ASSERT_NE(first, std::string::npos) << text;
+  EXPECT_EQ(text.find("# TYPE shared_total", first + 1), std::string::npos);
+  EXPECT_NE(text.find("shared_total{src=\"a\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("shared_total{src=\"b\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("only_b 7"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sstreaming

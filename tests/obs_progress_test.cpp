@@ -1,0 +1,146 @@
+#include "obs/progress.h"
+
+#include <gtest/gtest.h>
+
+#include "connectors/memory.h"
+#include "exec/streaming_query.h"
+
+namespace sstreaming {
+namespace {
+
+constexpr int64_t kSec = 1000000;
+
+SchemaPtr ClickSchema() {
+  return Schema::Make({{"country", TypeId::kString, false},
+                       {"latency", TypeId::kInt64, false},
+                       {"time", TypeId::kTimestamp, false}});
+}
+
+Row Click(const char* country, int64_t latency, int64_t time_sec) {
+  return {Value::Str(country), Value::Int64(latency),
+          Value::Timestamp(time_sec * kSec)};
+}
+
+QueryProgress MakeFullProgress() {
+  QueryProgress p;
+  p.epoch = 12;
+  p.rows_read = 1000;
+  p.rows_written = 42;
+  p.watermark_micros = 11 * kSec;
+  p.state_entries = 7;
+  p.state_bytes = 4096;
+  p.duration_nanos = 600;
+  p.plan_nanos = 100;
+  p.source_read_nanos = 150;
+  p.exec_nanos = 200;
+  p.checkpoint_nanos = 50;
+  p.commit_nanos = 75;
+  p.other_nanos = 25;
+  p.trigger_wait_nanos = 999;
+  SourceProgress src;
+  src.name = "clicks";
+  src.rows = 1000;
+  src.rows_per_sec = 123456.789;
+  src.backlog_rows = 17;
+  p.sources.push_back(src);
+  OperatorProgress op;
+  op.op_id = 3;
+  op.name = "StatefulAggregate";
+  op.rows_in = 1000;
+  op.rows_out = 42;
+  op.batches = 4;
+  op.cpu_nanos = 180;
+  op.output_bytes = 2048;
+  op.state_rows = 7;
+  op.state_bytes = 4096;
+  p.operators.push_back(op);
+  return p;
+}
+
+TEST(ProgressJsonTest, RoundTripIsByteIdentical) {
+  QueryProgress p = MakeFullProgress();
+  std::string dump = p.ToJson().Dump();
+  auto parsed = Json::Parse(dump);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto back = QueryProgress::FromJson(*parsed);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ToJson().Dump(), dump);
+}
+
+TEST(ProgressJsonTest, RoundTripPreservesUnsetWatermark) {
+  QueryProgress p = MakeFullProgress();
+  p.watermark_micros = INT64_MIN;  // serialized by omission
+  std::string dump = p.ToJson().Dump();
+  EXPECT_EQ(dump.find("watermarkMicros"), std::string::npos);
+  auto parsed = Json::Parse(dump);
+  ASSERT_TRUE(parsed.ok());
+  auto back = QueryProgress::FromJson(*parsed);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->watermark_micros, INT64_MIN);
+  EXPECT_EQ(back->ToJson().Dump(), dump);
+}
+
+TEST(ProgressJsonTest, FromJsonToleratesMissingNewFields) {
+  // A log line from a build without the memory-accounting fields.
+  auto parsed = Json::Parse(
+      R"({"epoch": 3, "rowsRead": 10, "rowsWritten": 5,)"
+      R"( "stateEntries": 2, "durationNanos": 100})");
+  ASSERT_TRUE(parsed.ok());
+  auto back = QueryProgress::FromJson(*parsed);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->epoch, 3);
+  EXPECT_EQ(back->state_bytes, 0);
+  EXPECT_TRUE(back->operators.empty());
+}
+
+// The documented invariant on a real stateful query: stage durations sum to
+// duration_nanos, and the new accounting fields are populated.
+TEST(ProgressJsonTest, RealQueryProgressInvariants) {
+  auto stream = std::make_shared<MemoryStream>("clicks", ClickSchema(), 2);
+  auto sink = std::make_shared<MemorySink>();
+  DataFrame df =
+      DataFrame::ReadStream(stream)
+          .WithWatermark("time", 5 * kSec)
+          .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec), "window")})
+          .Count();
+  QueryOptions opts;
+  opts.mode = OutputMode::kAppend;
+  opts.num_partitions = 3;
+  auto query = StreamingQuery::Start(df, sink, opts);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_TRUE(stream->AddData({Click("ca", 1, 2), Click("ny", 1, 7)}).ok());
+  ASSERT_TRUE((*query)->ProcessAllAvailable().ok());
+
+  QueryProgress last;
+  ASSERT_TRUE((*query)->GetLastProgress(&last));
+  EXPECT_EQ(last.StageSumNanos(), last.duration_nanos);
+  EXPECT_GT(last.state_entries, 0);
+  EXPECT_GT(last.state_bytes, 0) << "memory accounting must see the window "
+                                    "state";
+  bool saw_stateful = false;
+  int64_t op_state_bytes = 0;
+  for (const OperatorProgress& op : last.operators) {
+    if (op.state_rows > 0) {
+      saw_stateful = true;
+      op_state_bytes += op.state_bytes;
+      EXPECT_GT(op.state_bytes, 0);
+    }
+    if (op.rows_out > 0) {
+      EXPECT_GT(op.output_bytes, 0);
+    }
+  }
+  EXPECT_TRUE(saw_stateful);
+  EXPECT_EQ(op_state_bytes, last.state_bytes)
+      << "query total must equal the per-operator sum";
+
+  // The real progress also survives the JSON round trip byte-identically.
+  std::string dump = last.ToJson().Dump();
+  auto parsed = Json::Parse(dump);
+  ASSERT_TRUE(parsed.ok());
+  auto back = QueryProgress::FromJson(*parsed);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ToJson().Dump(), dump);
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -239,5 +239,40 @@ TEST(SqlTest, CaseInsensitiveKeywordsAndTables) {
   EXPECT_EQ(rows.size(), 3u);
 }
 
+TEST(SqlTest, ExplainAnalyzeStreamingQuery) {
+  auto schema = Schema::Make({{"campaign", TypeId::kString, false},
+                              {"event_time", TypeId::kTimestamp, false}});
+  auto stream = std::make_shared<MemoryStream>("clicks", schema, 2);
+  SqlContext ctx;
+  ctx.RegisterTable("clicks", DataFrame::ReadStream(stream));
+  ASSERT_TRUE(stream
+                  ->AddData({{Value::Str("c1"), Value::Timestamp(1 * kSec)},
+                             {Value::Str("c2"), Value::Timestamp(2 * kSec)}})
+                  .ok());
+  auto text = ctx.ExplainAnalyzeSql(
+      "SELECT campaign, COUNT(*) AS clicks FROM clicks GROUP BY campaign",
+      OutputMode::kUpdate);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // The profile ran a real epoch: actuals, not estimates.
+  EXPECT_NE(text->find("EXPLAIN ANALYZE"), std::string::npos) << *text;
+  EXPECT_NE(text->find("epochs=1"), std::string::npos) << *text;
+  EXPECT_NE(text->find("rows_in=2"), std::string::npos) << *text;
+  // And it was side-effect free for the stream: the data is still there
+  // for a real query to consume (MemoryStream reads do not retire offsets).
+  EXPECT_NE(text->find("state_rows="), std::string::npos)
+      << "the aggregate holds state: " << *text;
+}
+
+TEST(SqlTest, ExplainAnalyzeBatchFallsBackToExplain) {
+  auto ctx = MakeContext();
+  auto text = ctx.ExplainAnalyzeSql(
+      "SELECT region, COUNT(*) AS n FROM sales GROUP BY region",
+      OutputMode::kAppend);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("batch plan; no epochs to profile"),
+            std::string::npos)
+      << *text;
+}
+
 }  // namespace
 }  // namespace sstreaming

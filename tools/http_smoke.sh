@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Smoke test for the embedded observability HTTP server: starts the
+# live_dashboard example on an ephemeral port, curls every endpoint, and
+# validates the JSON payloads. Used by CI next to `ctest -L http`.
+#
+# Usage: tools/http_smoke.sh [path-to-live_dashboard]
+set -euo pipefail
+
+BIN="${1:-build/examples/live_dashboard}"
+if [[ ! -x "$BIN" ]]; then
+  echo "FAIL: $BIN not found or not executable (build the project first)" >&2
+  exit 1
+fi
+
+LOG="$(mktemp)"
+cleanup() {
+  kill "$PID" 2>/dev/null || true
+  wait "$PID" 2>/dev/null || true
+  rm -f "$LOG"
+}
+trap cleanup EXIT
+
+"$BIN" --port 0 --serve-seconds 30 >"$LOG" 2>&1 &
+PID=$!
+
+# The example prints "serving http://127.0.0.1:PORT" once the socket is up.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's|^serving http://127\.0\.0\.1:\([0-9]*\)$|\1|p' "$LOG")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$PID" 2>/dev/null || { echo "FAIL: example died"; cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "FAIL: no port in log"; cat "$LOG"; exit 1; }
+echo "serving on port $PORT"
+
+# Let a few epochs run so progress/state/metrics are non-trivial.
+sleep 1.5
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+get() { curl -sf --max-time 5 "http://127.0.0.1:$PORT$1"; }
+json_ok() { python3 -c 'import json,sys; json.load(sys.stdin)'; }
+
+[[ "$(get /healthz)" == "ok" ]] || fail "/healthz"
+echo "ok /healthz"
+
+METRICS="$(get /metrics)"
+grep -q '^# TYPE sstreaming_epochs_total counter' <<<"$METRICS" \
+  || fail "/metrics missing TYPE line"
+grep -q '^sstreaming_state_bytes{' <<<"$METRICS" \
+  || fail "/metrics missing state_bytes gauge"
+echo "ok /metrics"
+
+get /queries | json_ok || fail "/queries is not JSON"
+get /queries | python3 -c '
+import json, sys
+queries = json.load(sys.stdin)
+assert queries and queries[0]["name"] == "dashboard", queries
+assert queries[0]["lastEpoch"] > 0, queries
+' || fail "/queries content"
+echo "ok /queries"
+
+get /queries/dashboard | python3 -c '
+import json, sys
+detail = json.load(sys.stdin)
+assert detail["progress"], detail
+epoch = detail["progress"][-1]
+assert epoch["durationNanos"] > 0, epoch
+' || fail "/queries/dashboard content"
+echo "ok /queries/dashboard"
+
+get /queries/dashboard/plan | python3 -c '
+import json, sys
+plan = json.load(sys.stdin)
+assert plan["epochs"] > 0, plan
+assert "EXPLAIN ANALYZE" in plan["explain"], plan
+def rows(node):
+    return node["rowsIn"] + sum(rows(c) for c in node["children"])
+assert rows(plan["root"]) > 0, plan
+' || fail "/queries/dashboard/plan content"
+echo "ok /queries/dashboard/plan"
+
+get /queries/dashboard/trace | python3 -c '
+import json, sys
+trace = json.load(sys.stdin)
+assert isinstance(trace["traceEvents"], list), trace
+' || fail "/queries/dashboard/trace content"
+echo "ok /queries/dashboard/trace"
+
+curl -s --max-time 5 -o /dev/null -w '%{http_code}' \
+  "http://127.0.0.1:$PORT/nope" | grep -q 404 || fail "404 handling"
+echo "ok 404"
+
+echo "PASS: all endpoints healthy"

@@ -11,7 +11,9 @@
 //                                                       # chrome://tracing
 //
 // Flags: --port <n> (default 0 = ephemeral), --serve-seconds <n> (default
-// 10; 0 = serve until killed). tools/http_smoke.sh drives this binary in CI.
+// 10; 0 = serve until killed), --checkpoint <dir> (default none = ephemeral;
+// with a dir the run is recoverable and /queries/dashboard/history serves
+// the durable event log). tools/http_smoke.sh drives this binary in CI.
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,13 +31,18 @@ using namespace sstreaming;  // NOLINT — example brevity
 int main(int argc, char** argv) {
   int port = 0;
   int serve_seconds = 10;
+  const char* checkpoint_dir = "";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--serve-seconds") == 0 && i + 1 < argc) {
       serve_seconds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--port <n>] [--serve-seconds <n>]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--port <n>] [--serve-seconds <n>]"
+                   " [--checkpoint <dir>]\n",
                    argv[0]);
       return 2;
     }
@@ -57,6 +64,7 @@ int main(int argc, char** argv) {
   opts.mode = OutputMode::kUpdate;
   opts.num_partitions = 2;
   opts.trigger = Trigger::ProcessingTime(200 * 1000);  // 200ms epochs
+  opts.checkpoint_dir = checkpoint_dir;
   SS_CHECK_OK(manager.StartQuery("dashboard", df, sink, opts));
   SS_CHECK_OK(manager.ServeHttp(port));
   std::printf("serving http://127.0.0.1:%d\n", manager.http_port());

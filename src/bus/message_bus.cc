@@ -46,8 +46,10 @@ Result<int64_t> MessageBus::Append(const std::string& topic, int partition,
     return Status::OutOfRange("partition out of range");
   }
   Partition& p = *t->partitions[static_cast<size_t>(partition)];
+  int64_t now = ingest_clock_ ? ingest_clock_->NowMicros() : 0;
   std::lock_guard<std::mutex> lock(p.mu);
   p.log.push_back(std::move(row));
+  p.ingest.push_back(now);
   return static_cast<int64_t>(p.log.size()) - 1;
 }
 
@@ -59,9 +61,11 @@ Result<int64_t> MessageBus::AppendBatch(const std::string& topic,
     return Status::OutOfRange("partition out of range");
   }
   Partition& p = *t->partitions[static_cast<size_t>(partition)];
+  int64_t now = ingest_clock_ ? ingest_clock_->NowMicros() : 0;
   std::lock_guard<std::mutex> lock(p.mu);
   int64_t first = static_cast<int64_t>(p.log.size());
   for (Row& r : rows) p.log.push_back(std::move(r));
+  p.ingest.resize(p.log.size(), now);
   return first;
 }
 
@@ -124,6 +128,28 @@ Result<RecordBatchPtr> MessageBus::ReadBatch(
     }
   }
   return RecordBatch::Make(schema, std::move(columns));
+}
+
+Result<int64_t> MessageBus::OldestIngestMicros(const std::string& topic,
+                                               int partition, int64_t start,
+                                               int64_t end) const {
+  SS_ASSIGN_OR_RETURN(const Topic* t, FindTopic(topic));
+  if (partition < 0 || partition >= static_cast<int>(t->partitions.size())) {
+    return Status::OutOfRange("partition out of range");
+  }
+  const Partition& p = *t->partitions[static_cast<size_t>(partition)];
+  std::lock_guard<std::mutex> lock(p.mu);
+  if (start < 0) start = 0;
+  if (end > static_cast<int64_t>(p.ingest.size())) {
+    end = static_cast<int64_t>(p.ingest.size());
+  }
+  // Undated records (stamp 0) don't pull the minimum to zero.
+  int64_t oldest = 0;
+  for (int64_t i = start; i < end; ++i) {
+    int64_t s = p.ingest[static_cast<size_t>(i)];
+    if (s > 0 && (oldest == 0 || s < oldest)) oldest = s;
+  }
+  return oldest;
 }
 
 Result<int64_t> MessageBus::EndOffset(const std::string& topic,

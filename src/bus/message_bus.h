@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "types/record_batch.h"
@@ -29,6 +30,13 @@ class MessageBus {
   MessageBus() = default;
   MessageBus(const MessageBus&) = delete;
   MessageBus& operator=(const MessageBus&) = delete;
+
+  /// When set, every appended record is stamped with clock->NowMicros()
+  /// (broker arrival time, like Kafka's LogAppendTime) so consumers can
+  /// measure end-to-end latency and backlog age; records appended without a
+  /// clock read as undated (ingest 0). Set before producing — the bus does
+  /// not take ownership and the clock must outlive it.
+  void set_ingest_clock(const Clock* clock) { ingest_clock_ = clock; }
 
   Status CreateTopic(const std::string& topic, int num_partitions);
   bool HasTopic(const std::string& topic) const;
@@ -58,6 +66,12 @@ class MessageBus {
                                    const std::vector<int>* projection =
                                        nullptr) const;
 
+  /// Arrival stamp (clock micros) of the oldest record in [start, end) of a
+  /// partition, or 0 when no record in the range is dated. Errors only on
+  /// unknown topic/partition.
+  Result<int64_t> OldestIngestMicros(const std::string& topic, int partition,
+                                     int64_t start, int64_t end) const;
+
   /// One past the last offset in a partition.
   Result<int64_t> EndOffset(const std::string& topic, int partition) const;
 
@@ -71,6 +85,8 @@ class MessageBus {
   struct Partition {
     mutable std::mutex mu;
     std::vector<Row> log SS_GUARDED_BY(mu);
+    // Parallel to log: arrival stamp per record (0 = undated).
+    std::vector<int64_t> ingest SS_GUARDED_BY(mu);
   };
   struct Topic {
     // The vector is append-never after CreateTopic; partitions synchronize
@@ -81,6 +97,7 @@ class MessageBus {
   Result<const Topic*> FindTopic(const std::string& topic) const
       SS_EXCLUDES(topics_mu_);
 
+  const Clock* ingest_clock_ = nullptr;
   mutable std::mutex topics_mu_;
   std::map<std::string, Topic> topics_ SS_GUARDED_BY(topics_mu_);
 };

@@ -33,6 +33,12 @@ Result<RecordBatchPtr> BusSource::ReadPartitionProjected(
                          Schema::Make(std::move(fields)), &columns);
 }
 
+int64_t BusSource::OldestIngestMicros(int partition, int64_t start,
+                                      int64_t end) const {
+  auto oldest = bus_->OldestIngestMicros(topic_, partition, start, end);
+  return oldest.ok() ? *oldest : 0;
+}
+
 BusSink::BusSink(MessageBus* bus, std::string topic)
     : bus_(bus), topic_(std::move(topic)) {}
 

@@ -29,6 +29,10 @@ class BusSource : public Source {
   Result<RecordBatchPtr> ReadPartitionProjected(
       int partition, int64_t start, int64_t end,
       const std::vector<int>& columns) const override;
+  /// Broker arrival time of the oldest record in the range (0 when the bus
+  /// has no ingest clock).
+  int64_t OldestIngestMicros(int partition, int64_t start,
+                             int64_t end) const override;
 
  private:
   MessageBus* bus_;

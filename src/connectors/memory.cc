@@ -12,15 +12,18 @@ MemoryStream::MemoryStream(std::string name, SchemaPtr schema,
     : name_(std::move(name)), schema_(std::move(schema)) {
   SS_CHECK(num_partitions >= 1);
   partitions_.resize(static_cast<size_t>(num_partitions));
+  ingest_micros_.resize(static_cast<size_t>(num_partitions));
 }
 
 Status MemoryStream::AddData(const std::vector<Row>& rows) {
   std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = ingest_clock_ ? ingest_clock_->NowMicros() : 0;
   for (const Row& row : rows) {
     if (static_cast<int>(row.size()) != schema_->num_fields()) {
       return Status::InvalidArgument("row arity mismatch in AddData");
     }
     partitions_[static_cast<size_t>(next_partition_)].push_back(row);
+    ingest_micros_[static_cast<size_t>(next_partition_)].push_back(now);
     next_partition_ = (next_partition_ + 1) % num_partitions();
   }
   return Status::OK();
@@ -32,8 +35,10 @@ Status MemoryStream::AddDataToPartition(int partition,
   if (partition < 0 || partition >= num_partitions()) {
     return Status::OutOfRange("bad partition");
   }
+  int64_t now = ingest_clock_ ? ingest_clock_->NowMicros() : 0;
   auto& log = partitions_[static_cast<size_t>(partition)];
   log.insert(log.end(), rows.begin(), rows.end());
+  ingest_micros_[static_cast<size_t>(partition)].resize(log.size(), now);
   return Status::OK();
 }
 
@@ -65,6 +70,24 @@ Result<RecordBatchPtr> MemoryStream::ReadPartition(int partition,
   }
   std::vector<Row> rows(log.begin() + start, log.begin() + end);
   return RecordBatch::FromRows(schema_, rows);
+}
+
+int64_t MemoryStream::OldestIngestMicros(int partition, int64_t start,
+                                         int64_t end) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition < 0 || partition >= num_partitions()) return 0;
+  const auto& stamps = ingest_micros_[static_cast<size_t>(partition)];
+  if (start < 0) start = 0;
+  if (end > static_cast<int64_t>(stamps.size())) {
+    end = static_cast<int64_t>(stamps.size());
+  }
+  // Undated rows (stamp 0) don't pull the minimum to zero.
+  int64_t oldest = 0;
+  for (int64_t i = start; i < end; ++i) {
+    int64_t s = stamps[static_cast<size_t>(i)];
+    if (s > 0 && (oldest == 0 || s < oldest)) oldest = s;
+  }
+  return oldest;
 }
 
 Status MemorySink::CommitEpoch(int64_t epoch, OutputMode mode,

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/thread_annotations.h"
 #include "connectors/sink.h"
 #include "connectors/source.h"
@@ -20,6 +21,12 @@ class MemoryStream : public Source {
  public:
   MemoryStream(std::string name, SchemaPtr schema, int num_partitions = 1);
 
+  /// When set, every added row gets an ingest stamp of clock->NowMicros()
+  /// (arrival time) for e2e-latency and backlog-age tracking; rows added
+  /// without a clock read as undated (ingest 0). Set before adding data —
+  /// the stream does not take ownership and the clock must outlive it.
+  void set_ingest_clock(const Clock* clock) { ingest_clock_ = clock; }
+
   /// Appends rows round-robin across partitions (deterministic).
   Status AddData(const std::vector<Row>& rows);
   /// Appends rows to one partition.
@@ -33,12 +40,17 @@ class MemoryStream : public Source {
   Result<std::vector<int64_t>> LatestOffsets() const override;
   Result<RecordBatchPtr> ReadPartition(int partition, int64_t start,
                                        int64_t end) const override;
+  int64_t OldestIngestMicros(int partition, int64_t start,
+                             int64_t end) const override;
 
  private:
   std::string name_;
   SchemaPtr schema_;
+  const Clock* ingest_clock_ = nullptr;
   mutable std::mutex mu_;
   std::vector<std::vector<Row>> partitions_ SS_GUARDED_BY(mu_);
+  // Parallel to partitions_: arrival stamp per row (0 = undated).
+  std::vector<std::vector<int64_t>> ingest_micros_ SS_GUARDED_BY(mu_);
   int next_partition_ SS_GUARDED_BY(mu_) = 0;
 };
 

@@ -36,6 +36,12 @@ int64_t RateSource::TimestampFor(int partition, int64_t offset) const {
   return start_micros_ + global * 1000000 / rows_per_second_;
 }
 
+int64_t RateSource::OldestIngestMicros(int partition, int64_t start,
+                                       int64_t end) const {
+  if (partition < 0 || partition >= num_partitions_ || start >= end) return 0;
+  return TimestampFor(partition, start);
+}
+
 Result<RecordBatchPtr> RateSource::ReadPartition(int partition, int64_t start,
                                                  int64_t end) const {
   if (partition < 0 || partition >= num_partitions_) {

@@ -26,6 +26,12 @@ class RateSource : public Source {
   Result<RecordBatchPtr> ReadPartition(int partition, int64_t start,
                                        int64_t end) const override;
 
+  /// Records are "ingested" the moment the rate schedule produces them, so
+  /// the oldest ingest time of a range is simply the first record's
+  /// timestamp (deterministic under ManualClock).
+  int64_t OldestIngestMicros(int partition, int64_t start,
+                             int64_t end) const override;
+
   /// The event time assigned to offset `offset` of `partition`.
   int64_t TimestampFor(int partition, int64_t offset) const;
 

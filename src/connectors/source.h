@@ -46,6 +46,19 @@ class Source {
                         ReadPartition(partition, start, end));
     return batch->SelectColumns(columns);
   }
+
+  /// Ingest timestamp (clock micros) of the oldest record in [start, end) of
+  /// one partition, or 0 when the source cannot date its records. Feeds the
+  /// e2e-latency stamp on freshly read batches and the backlog-age gauge for
+  /// deferred ranges; must be deterministic for committed ranges, like
+  /// ReadPartition.
+  virtual int64_t OldestIngestMicros(int partition, int64_t start,
+                                     int64_t end) const {
+    (void)partition;
+    (void)start;
+    (void)end;
+    return 0;
+  }
 };
 
 using SourcePtr = std::shared_ptr<Source>;

@@ -89,6 +89,16 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Start(
                         WriteAheadLog::Open(options.checkpoint_dir + "/wal"));
     query->wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
     query->wal_->set_metrics(query->metrics_.get());
+    // Open history before recovery so replayed epochs append their progress
+    // lines too; the "started" line leads the run's events, with
+    // recovered=true when the checkpoint already held planned epochs.
+    SS_ASSIGN_OR_RETURN(
+        query->history_,
+        QueryHistoryLog::Open(options.checkpoint_dir, query->clock_));
+    SS_ASSIGN_OR_RETURN(std::optional<int64_t> prior,
+                        query->wal_->LatestPlannedEpoch());
+    (void)query->history_->AppendStarted(
+        options.query_name, prior.has_value(), query->plan_warnings_);
     SS_RETURN_IF_ERROR(query->Recover());
   } else {
     query->state_ = std::make_unique<StateManager>("", 0,
@@ -211,6 +221,7 @@ Result<EpochPlan> StreamingQuery::PlanNextEpoch() {
   int64_t budget = options_.max_records_per_epoch;
   bool any_new = false;
   pending_backlog_rows_.clear();
+  pending_backlog_age_.clear();
   for (const SourcePtr& source : plan_.sources) {
     SS_ASSIGN_OR_RETURN(std::vector<int64_t> latest,
                         source->LatestOffsets());
@@ -230,6 +241,7 @@ Result<EpochPlan> StreamingQuery::PlanNextEpoch() {
       }
     }
     int64_t backlog = 0;
+    int64_t oldest_deferred = 0;
     for (size_t p = 0; p < end.size(); ++p) {
       if (end[p] < start[p]) {
         return Status::Internal("source offsets moved backwards: " +
@@ -237,8 +249,19 @@ Result<EpochPlan> StreamingQuery::PlanNextEpoch() {
       }
       if (end[p] > start[p]) any_new = true;
       backlog += latest[p] - end[p];  // deferred by max_records_per_epoch
+      if (latest[p] > end[p]) {
+        int64_t ingest = source->OldestIngestMicros(static_cast<int>(p),
+                                                    end[p], latest[p]);
+        if (ingest > 0 && (oldest_deferred == 0 || ingest < oldest_deferred)) {
+          oldest_deferred = ingest;
+        }
+      }
     }
     pending_backlog_rows_[source->name()] = backlog;
+    pending_backlog_age_[source->name()] =
+        oldest_deferred > 0
+            ? std::max<int64_t>(0, clock_->NowMicros() - oldest_deferred)
+            : 0;
     plan.sources.push_back(SourceOffsets{source->name(), start, end});
   }
   if (!any_new) plan.epoch = -1;  // sentinel: nothing to do
@@ -253,11 +276,16 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
                                                : MonotonicNanos();
   int64_t plan_nanos = pending_plan_nanos_;
   int64_t trigger_wait = pending_trigger_wait_nanos_;
+  int64_t trigger_drift = pending_trigger_drift_nanos_;
   std::map<std::string, int64_t> backlog = std::move(pending_backlog_rows_);
+  std::map<std::string, int64_t> backlog_age =
+      std::move(pending_backlog_age_);
   pending_epoch_start_nanos_ = 0;
   pending_plan_nanos_ = 0;
   pending_trigger_wait_nanos_ = 0;
+  pending_trigger_drift_nanos_ = 0;
   pending_backlog_rows_.clear();
+  pending_backlog_age_.clear();
   LogContext log_ctx(options_.query_name, plan.epoch);
 
   ExecContext ctx;
@@ -351,6 +379,31 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   }
   int64_t commit_end = MonotonicNanos();
 
+  // End-to-end latency (sink commit time minus source ingest time),
+  // row-weighted per output batch. Batches that lost their stamp in a
+  // materializing operator fall back to the epoch's oldest source ingest —
+  // conservative (never under-reports) and exact for single-source epochs.
+  LogHistogram e2e_hist;
+  {
+    int64_t commit_micros = clock_->NowMicros();
+    int64_t epoch_min_ingest = ctx.MinIngestMicros();
+    LogHistogram* lifetime =
+        metrics_ != nullptr
+            ? metrics_->GetHistogram("sstreaming_e2e_latency_micros")
+            : nullptr;
+    for (const RecordBatchPtr& b : output) {
+      if (b->num_rows() == 0) continue;
+      int64_t ingest = b->ingest_micros() > 0 ? b->ingest_micros()
+                                              : epoch_min_ingest;
+      if (ingest <= 0) continue;  // undated: nothing to measure
+      int64_t delta = std::max<int64_t>(0, commit_micros - ingest);
+      e2e_hist.RecordN(delta, b->num_rows());
+      // Same (value, weight) stream into the lifetime series, so merging
+      // the per-epoch summaries reproduces it bucket-for-bucket (tested).
+      if (lifetime != nullptr) lifetime->RecordN(delta, b->num_rows());
+    }
+  }
+
   // Memory accounting (§7.4): live state size per stateful operator, read
   // once per epoch (not per row) so the cost is one map walk.
   std::map<int, StateManager::OpStateSize> state_sizes =
@@ -361,6 +414,12 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   progress.rows_read = ctx.rows_read;
   for (const RecordBatchPtr& b : output) progress.rows_written += b->num_rows();
   progress.watermark_micros = watermark_micros_;
+  if (watermark_micros_ != INT64_MIN) {
+    progress.watermark_lag_micros =
+        std::max<int64_t>(0, clock_->NowMicros() - watermark_micros_);
+  }
+  progress.trigger_drift_nanos = trigger_drift;
+  progress.e2e_latency = LatencySummary::FromHistogram(e2e_hist);
   progress.state_entries = state_->TotalEntries();
   for (const auto& [op_id, size] : state_sizes) {
     (void)op_id;
@@ -408,6 +467,8 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
           secs > 0 ? static_cast<double>(sp.rows) / secs : 0;
       auto bit = backlog.find(so.source_name);
       if (bit != backlog.end()) sp.backlog_rows = bit->second;
+      auto ait = backlog_age.find(so.source_name);
+      if (ait != backlog_age.end()) sp.backlog_age_micros = ait->second;
       progress.sources.push_back(std::move(sp));
     }
     // Per-operator summaries, in plan pre-order. rows_in is the children's
@@ -454,11 +515,23 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
     if (progress.watermark_micros != INT64_MIN) {
       metrics_->GetGauge("sstreaming_watermark_micros")
           ->Set(progress.watermark_micros);
+      metrics_->GetGauge("sstreaming_watermark_lag_micros")
+          ->Set(progress.watermark_lag_micros);
+    }
+    if (progress.trigger_drift_nanos > 0) {
+      metrics_->GetHistogram("sstreaming_trigger_drift_nanos")
+          ->Record(progress.trigger_drift_nanos);
     }
     for (const SourceProgress& sp : progress.sources) {
       metrics_->GetCounter("sstreaming_source_rows_total",
                            {{"source", sp.name}})
           ->Increment(sp.rows);
+      metrics_->GetGauge("sstreaming_source_backlog_rows",
+                         {{"source", sp.name}})
+          ->Set(sp.backlog_rows);
+      metrics_->GetGauge("sstreaming_source_backlog_age_micros",
+                         {{"source", sp.name}})
+          ->Set(sp.backlog_age_micros);
     }
     for (const OperatorProgress& op : progress.operators) {
       MetricLabels labels{{"op", op.name},
@@ -508,6 +581,11 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
       progress_.erase(progress_.begin(), progress_.begin() + 128);
     }
   }
+  // Telemetry, not state: a failed history append must not fail the epoch
+  // (the error is sticky in history_->status() and logged once).
+  if (history_ != nullptr) {
+    (void)history_->AppendProgress(options_.query_name, progress);
+  }
   if (progress_callback_) progress_callback_(progress);
   return Status::OK();
 }
@@ -528,6 +606,8 @@ Result<bool> StreamingQuery::ProcessOneTrigger() {
     // No new data: idle trigger, nothing to time.
     pending_epoch_start_nanos_ = 0;
     pending_trigger_wait_nanos_ = 0;
+    pending_trigger_drift_nanos_ = 0;
+    pending_backlog_age_.clear();
     last_trigger_end_nanos_ = MonotonicNanos();
     return false;
   }
@@ -563,8 +643,18 @@ Status StreamingQuery::StartBackground() {
   stop_requested_.store(false);
   background_active_.store(true);
   background_ = std::thread([this] {
+    // Scheduled fire time of the next trigger (0 = none): the interval is
+    // anchored to the previous trigger's start, so sustained drift means
+    // epochs are outrunning the interval, not just one slow sleep.
+    int64_t scheduled_nanos = 0;
     while (!stop_requested_.load()) {
       int64_t t0 = MonotonicNanos();
+      pending_trigger_drift_nanos_ =
+          scheduled_nanos != 0 ? std::max<int64_t>(0, t0 - scheduled_nanos)
+                               : 0;
+      scheduled_nanos = options_.trigger.interval_micros > 0
+                            ? t0 + options_.trigger.interval_micros * 1000
+                            : 0;
       auto ran = ProcessOneTrigger();
       if (!ran.ok()) break;  // error_ is set; operator restarts the query
       if (options_.trigger.type == Trigger::Type::kOnce) break;
@@ -592,6 +682,10 @@ void StreamingQuery::Stop() {
 void StreamingQuery::NotifyTerminated() {
   // Exactly once across Stop(), destruction and epoch failure.
   if (termination_notified_.exchange(true)) return;
+  if (history_ != nullptr) {
+    (void)history_->AppendTerminated(options_.query_name, GetError(),
+                                     last_epoch_, plan_profile_);
+  }
   if (termination_callback_) termination_callback_(GetError(), last_epoch_);
 }
 

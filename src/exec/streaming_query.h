@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/plan_profile.h"
 #include "obs/progress.h"
+#include "obs/query_history.h"
 #include "obs/tracer.h"
 #include "runtime/scheduler.h"
 #include "wal/write_ahead_log.h"
@@ -147,6 +148,15 @@ class StreamingQuery {
     return plan_warnings_;
   }
 
+  /// The checkpoint directory (empty for ephemeral queries).
+  const std::string& checkpoint_dir() const {
+    return options_.checkpoint_dir;
+  }
+
+  /// The durable history log (null for ephemeral queries). Sticky append
+  /// errors surface via history()->status(); they never fail epochs.
+  const QueryHistoryLog* history() const { return history_.get(); }
+
   /// The registry this query records into (never null after Start).
   const std::shared_ptr<MetricsRegistry>& metrics() const { return metrics_; }
   /// The epoch tracer (null when tracing is disabled).
@@ -199,6 +209,7 @@ class StreamingQuery {
   SinkPtr sink_;
   PhysicalPlan plan_;
   std::unique_ptr<WriteAheadLog> wal_;          // null when ephemeral
+  std::unique_ptr<QueryHistoryLog> history_;    // null when ephemeral
   std::unique_ptr<StateManager> state_;
   std::unique_ptr<TaskScheduler> owned_scheduler_;
   TaskScheduler* scheduler_ = nullptr;
@@ -231,8 +242,13 @@ class StreamingQuery {
   int64_t pending_epoch_start_nanos_ = 0;
   int64_t pending_plan_nanos_ = 0;
   int64_t pending_trigger_wait_nanos_ = 0;
+  // Lateness of this trigger against its scheduled fire time, measured by
+  // the background loop (0 for manual triggers and recovery replay).
+  int64_t pending_trigger_drift_nanos_ = 0;
   int64_t last_trigger_end_nanos_ = 0;
   std::map<std::string, int64_t> pending_backlog_rows_;
+  // Age (micros) of the oldest record each source deferred at plan time.
+  std::map<std::string, int64_t> pending_backlog_age_;
 
   std::thread background_;
   std::atomic<bool> background_active_{false};

@@ -25,6 +25,31 @@ class LogHistogram {
   /// Records one observation. Negative values are clamped to zero.
   void Record(int64_t value);
 
+  /// Records `n` identical observations in O(1) (used for batch-granular
+  /// latency samples weighted by row count). No-op when n <= 0.
+  void RecordN(int64_t value, int64_t n);
+
+  /// Adds another histogram's buckets/count/sum/max into this one. The merge
+  /// is exact at bucket granularity: quantiles of the merged histogram equal
+  /// quantiles of recording both value streams into one histogram. Not
+  /// linearizable against concurrent Record() on `other`.
+  void MergeFrom(const LogHistogram& other);
+
+  /// Raw count of bucket `index` (for serialization and merge tests).
+  int64_t bucket_count(int index) const {
+    return counts_[index].load(std::memory_order_relaxed);
+  }
+
+  /// Adds `n` observations directly into bucket `index` (counts only — the
+  /// deserialization path for sparse bucket dumps, see LatencySummary).
+  /// `sum` and `max`, which bucket counts alone cannot reconstruct, are
+  /// restored separately via RestoreSumMax.
+  void AddToBucket(int index, int64_t n);
+  /// Folds the exact sum/max that bucket quantization loses back in
+  /// (deserialization companion to AddToBucket): sum accumulates, max takes
+  /// the larger value.
+  void RestoreSumMax(int64_t sum, int64_t max);
+
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Exact maximum recorded value (0 when empty).

@@ -15,6 +15,8 @@
 #include "common/json.h"
 #include "exec/query_manager.h"
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "obs/query_history.h"
 #include "obs/tracer.h"
 
 namespace sstreaming {
@@ -278,6 +280,7 @@ HttpResponse ObservabilityServer::Handle(const HttpRequest& req) const {
     if (sub.empty()) return HandleQueryDetail(name);
     if (sub == "plan") return HandlePlan(name);
     if (sub == "trace") return HandleTrace(name);
+    if (sub == "history") return HandleHistory(name);
     return JsonError(404, "unknown query endpoint '" + sub + "'");
   }
   if (req.path == "/") {
@@ -289,7 +292,8 @@ HttpResponse ObservabilityServer::Handle(const HttpRequest& req) const {
         "  /queries              queries + last progress (JSON)\n"
         "  /queries/<id>         recent progress ring buffer (JSON)\n"
         "  /queries/<id>/plan    live EXPLAIN ANALYZE (JSON)\n"
-        "  /queries/<id>/trace   Chrome trace JSON\n");
+        "  /queries/<id>/trace   Chrome trace JSON\n"
+        "  /queries/<id>/history durable event log (JSON)\n");
   }
   return JsonError(404, "no route for '" + req.path + "'");
 }
@@ -313,6 +317,7 @@ HttpResponse ObservabilityServer::HandleMetrics() const {
   HttpResponse resp;
   resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
   resp.body = MetricsRegistry::RenderPrometheusText(registries);
+  resp.body += RenderProcessStatsPrometheus();
   return resp;
 }
 
@@ -383,6 +388,34 @@ HttpResponse ObservabilityServer::HandleTrace(const std::string& name) const {
   resp.content_type = "application/json";
   resp.body = std::move(body);
   return resp;
+}
+
+HttpResponse ObservabilityServer::HandleHistory(
+    const std::string& name) const {
+  // Resolve the checkpoint dir under the query lock, read the file outside
+  // it: appends are line-atomic (flushed whole lines), so a concurrent read
+  // sees at worst a torn tail, which ReadAll skips.
+  std::string checkpoint_dir;
+  bool found = WithNamedQuery(
+      name, [&checkpoint_dir](const StreamingQuery& query) {
+        checkpoint_dir = query.checkpoint_dir();
+      });
+  if (!found) return JsonError(404, "no query '" + name + "'");
+  if (checkpoint_dir.empty()) {
+    return JsonError(404, "query '" + name +
+                              "' is ephemeral (no checkpoint, no history)");
+  }
+  auto events = QueryHistoryLog::ReadAll(checkpoint_dir);
+  if (!events.ok()) {
+    return JsonError(events.status().IsNotFound() ? 404 : 500,
+                     events.status().ToString());
+  }
+  Json obj = Json::Object();
+  obj.Set("name", Json::Str(name));
+  Json arr = Json::Array();
+  for (Json& event : *events) arr.Append(std::move(event));
+  obj.Set("events", std::move(arr));
+  return JsonResponse(obj);
 }
 
 Result<HttpResponse> HttpGet(int port, const std::string& path,

@@ -130,6 +130,7 @@ class ObservabilityServer {
   HttpResponse HandleQueryDetail(const std::string& name) const;
   HttpResponse HandlePlan(const std::string& name) const;
   HttpResponse HandleTrace(const std::string& name) const;
+  HttpResponse HandleHistory(const std::string& name) const;
 
   mutable std::mutex mu_;
   QueryManager* manager_ SS_GUARDED_BY(mu_) = nullptr;

@@ -1,0 +1,55 @@
+#include "obs/process_stats.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+namespace sstreaming {
+
+namespace {
+
+// Process start approximated by static-init time: uptime is used to judge
+// "has this server been up long enough to trust its rates", where a few
+// milliseconds of init skew are irrelevant.
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+
+int64_t ReadRssBytes() {
+  // VmRSS from /proc/self/status (Linux). Other platforms: 0 = unknown.
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    int64_t kb = 0;
+    fields >> kb;
+    return kb * 1024;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ProcessStats SampleProcessStats() {
+  ProcessStats stats;
+  stats.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    kProcessStart)
+          .count();
+  stats.rss_bytes = ReadRssBytes();
+  return stats;
+}
+
+std::string RenderProcessStatsPrometheus() {
+  ProcessStats stats = SampleProcessStats();
+  std::ostringstream out;
+  out << "# TYPE sstreaming_process_uptime_seconds gauge\n"
+      << "sstreaming_process_uptime_seconds " << stats.uptime_seconds << "\n";
+  if (stats.rss_bytes > 0) {
+    out << "# TYPE sstreaming_process_rss_bytes gauge\n"
+        << "sstreaming_process_rss_bytes " << stats.rss_bytes << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sstreaming

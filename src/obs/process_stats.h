@@ -1,0 +1,28 @@
+#ifndef SSTREAMING_OBS_PROCESS_STATS_H_
+#define SSTREAMING_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sstreaming {
+
+/// Process-level stats for the /metrics endpoint. Sampled on demand (each
+/// scrape), not cached: a scrape is rare and the reads are one procfs file.
+struct ProcessStats {
+  /// Seconds since the process (static) initializer ran.
+  double uptime_seconds = 0;
+  /// Resident set size in bytes (0 where /proc is unavailable, e.g. macOS —
+  /// the gauge is then omitted from the rendering).
+  int64_t rss_bytes = 0;
+};
+
+ProcessStats SampleProcessStats();
+
+/// `sstreaming_process_uptime_seconds` / `sstreaming_process_rss_bytes` in
+/// Prometheus text format (appended to the /metrics payload after the
+/// registry dump).
+std::string RenderProcessStatsPrometheus();
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_OBS_PROCESS_STATS_H_

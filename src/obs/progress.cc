@@ -23,6 +23,71 @@ std::string GetStr(const Json& obj, const char* key) {
 
 }  // namespace
 
+LatencySummary LatencySummary::FromHistogram(const LogHistogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  s.sum_micros = h.sum();
+  s.max_micros = h.max();
+  s.p50_micros = h.ValueAtQuantile(0.50);
+  s.p95_micros = h.ValueAtQuantile(0.95);
+  s.p99_micros = h.ValueAtQuantile(0.99);
+  for (int i = 0; i < LogHistogram::kNumBuckets; ++i) {
+    int64_t n = h.bucket_count(i);
+    if (n != 0) s.buckets.emplace_back(i, n);
+  }
+  return s;
+}
+
+void LatencySummary::MergeInto(LogHistogram* h) const {
+  for (const auto& [index, n] : buckets) h->AddToBucket(index, n);
+  h->RestoreSumMax(sum_micros, max_micros);
+}
+
+Json LatencySummary::ToJson() const {
+  Json obj = Json::Object();
+  obj.Set("count", Json::Int(count));
+  obj.Set("sumMicros", Json::Int(sum_micros));
+  obj.Set("maxMicros", Json::Int(max_micros));
+  obj.Set("p50Micros", Json::Int(p50_micros));
+  obj.Set("p95Micros", Json::Int(p95_micros));
+  obj.Set("p99Micros", Json::Int(p99_micros));
+  Json bs = Json::Array();
+  for (const auto& [index, n] : buckets) {
+    Json pair = Json::Array();
+    pair.Append(Json::Int(index));
+    pair.Append(Json::Int(n));
+    bs.Append(std::move(pair));
+  }
+  obj.Set("buckets", std::move(bs));
+  return obj;
+}
+
+Result<LatencySummary> LatencySummary::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("latency summary must be an object");
+  }
+  LatencySummary s;
+  s.count = GetInt(json, "count");
+  s.sum_micros = GetInt(json, "sumMicros");
+  s.max_micros = GetInt(json, "maxMicros");
+  s.p50_micros = GetInt(json, "p50Micros");
+  s.p95_micros = GetInt(json, "p95Micros");
+  s.p99_micros = GetInt(json, "p99Micros");
+  const Json& bs = json.Get("buckets");
+  if (bs.is_array()) {
+    for (const Json& pair : bs.array_items()) {
+      if (!pair.is_array() || pair.array_items().size() != 2) {
+        return Status::InvalidArgument(
+            "latency summary bucket must be an [index, count] pair");
+      }
+      s.buckets.emplace_back(
+          static_cast<int>(pair.array_items()[0].int_value()),
+          pair.array_items()[1].int_value());
+    }
+  }
+  return s;
+}
+
 Json OperatorProgress::ToJson() const {
   Json obj = Json::Object();
   obj.Set("opId", Json::Int(op_id));
@@ -60,6 +125,7 @@ Json SourceProgress::ToJson() const {
   obj.Set("rows", Json::Int(rows));
   obj.Set("rowsPerSec", Json::Double(rows_per_sec));
   obj.Set("backlogRows", Json::Int(backlog_rows));
+  obj.Set("backlogAgeMicros", Json::Int(backlog_age_micros));
   return obj;
 }
 
@@ -72,6 +138,7 @@ Result<SourceProgress> SourceProgress::FromJson(const Json& json) {
   sp.rows = GetInt(json, "rows");
   sp.rows_per_sec = GetDouble(json, "rowsPerSec");
   sp.backlog_rows = GetInt(json, "backlogRows");
+  sp.backlog_age_micros = GetInt(json, "backlogAgeMicros");
   return sp;
 }
 
@@ -82,11 +149,14 @@ Json QueryProgress::ToJson() const {
   obj.Set("rowsWritten", Json::Int(rows_written));
   if (watermark_micros != INT64_MIN) {
     obj.Set("watermarkMicros", Json::Int(watermark_micros));
+    obj.Set("watermarkLagMicros", Json::Int(watermark_lag_micros));
   }
   obj.Set("stateEntries", Json::Int(state_entries));
   obj.Set("stateBytes", Json::Int(state_bytes));
   obj.Set("durationNanos", Json::Int(duration_nanos));
   obj.Set("triggerWaitNanos", Json::Int(trigger_wait_nanos));
+  obj.Set("triggerDriftNanos", Json::Int(trigger_drift_nanos));
+  obj.Set("e2eLatency", e2e_latency.ToJson());
   Json durations = Json::Object();
   durations.Set("planNanos", Json::Int(plan_nanos));
   durations.Set("sourceReadNanos", Json::Int(source_read_nanos));
@@ -119,6 +189,12 @@ Result<QueryProgress> QueryProgress::FromJson(const Json& json) {
   p.state_bytes = GetInt(json, "stateBytes");
   p.duration_nanos = GetInt(json, "durationNanos");
   p.trigger_wait_nanos = GetInt(json, "triggerWaitNanos");
+  p.trigger_drift_nanos = GetInt(json, "triggerDriftNanos");
+  p.watermark_lag_micros = GetInt(json, "watermarkLagMicros");
+  if (json.Has("e2eLatency")) {
+    SS_ASSIGN_OR_RETURN(p.e2e_latency,
+                        LatencySummary::FromJson(json.Get("e2eLatency")));
+  }
   const Json& durations = json.Get("durations");
   p.plan_nanos = GetInt(durations, "planNanos");
   p.source_read_nanos = GetInt(durations, "sourceReadNanos");

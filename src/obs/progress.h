@@ -3,11 +3,42 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
+#include "obs/histogram.h"
 
 namespace sstreaming {
+
+/// A serializable snapshot of one LogHistogram of latency samples: headline
+/// quantiles plus the sparse bucket counts, so per-epoch summaries can be
+/// merged back into a histogram without losing bucket-level precision.
+/// Merging every epoch's summary reproduces the query-lifetime
+/// `sstreaming_e2e_latency_micros` series exactly (same buckets, same
+/// quantile estimates — tested).
+struct LatencySummary {
+  int64_t count = 0;
+  int64_t sum_micros = 0;
+  int64_t max_micros = 0;
+  int64_t p50_micros = 0;
+  int64_t p95_micros = 0;
+  int64_t p99_micros = 0;
+  /// (LogHistogram bucket index, count), ascending by index, zero counts
+  /// omitted.
+  std::vector<std::pair<int, int64_t>> buckets;
+
+  bool empty() const { return count == 0; }
+
+  /// Snapshot of `h` (headline stats + sparse buckets).
+  static LatencySummary FromHistogram(const LogHistogram& h);
+  /// Adds this summary's samples into `h` at bucket granularity (exact sum
+  /// and max are restored too).
+  void MergeInto(LogHistogram* h) const;
+
+  Json ToJson() const;
+  static Result<LatencySummary> FromJson(const Json& json);
+};
 
 /// Per-operator summary for one epoch (rows through the operator, batches
 /// produced, and self CPU-ish wall time — the operator's inclusive time
@@ -38,6 +69,9 @@ struct SourceProgress {
   /// Records available at plan time but deferred to later epochs (>0 only
   /// when max_records_per_epoch caps the batch).
   int64_t backlog_rows = 0;
+  /// Age of the oldest deferred record at plan time (now minus its ingest
+  /// stamp). 0 when there is no backlog or the source cannot date it.
+  int64_t backlog_age_micros = 0;
 
   Json ToJson() const;
   static Result<SourceProgress> FromJson(const Json& json);
@@ -71,6 +105,22 @@ struct QueryProgress {
   /// Idle time between the previous trigger finishing and this one firing
   /// (0 for the first trigger and for recovery replay).
   int64_t trigger_wait_nanos = 0;
+
+  /// How late this epoch started relative to its scheduled trigger time
+  /// (actual minus scheduled; 0 for unscheduled triggers and recovery
+  /// replay). Sustained growth means the trigger interval is shorter than
+  /// the epochs it schedules.
+  int64_t trigger_drift_nanos = 0;
+
+  /// Wall-clock minus watermark at the end of the epoch — how far event-time
+  /// completeness trails real time. Only meaningful (and only serialized)
+  /// when a watermark exists.
+  int64_t watermark_lag_micros = 0;
+
+  /// End-to-end latency (sink commit time minus source ingest time) of the
+  /// rows written this epoch, row-weighted. Empty when the epoch wrote
+  /// nothing.
+  LatencySummary e2e_latency;
 
   std::vector<SourceProgress> sources;
   std::vector<OperatorProgress> operators;

@@ -1,0 +1,136 @@
+#include "obs/query_history.h"
+
+#include <filesystem>
+#include <string_view>
+
+#include "common/logging.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+
+std::string QueryHistoryLog::HistoryPath(const std::string& checkpoint_dir) {
+  return checkpoint_dir + "/_history/events.jsonl";
+}
+
+Result<std::unique_ptr<QueryHistoryLog>> QueryHistoryLog::Open(
+    const std::string& checkpoint_dir, const Clock* clock) {
+  if (checkpoint_dir.empty()) {
+    return Status::InvalidArgument("history log needs a checkpoint dir");
+  }
+  SS_RETURN_IF_ERROR(EnsureDir(checkpoint_dir + "/_history"));
+  std::string path = HistoryPath(checkpoint_dir);
+  // Torn-tail repair: a crash mid-append can leave a partial last line.
+  // Truncate to the last newline so the appender continues a well-formed
+  // log (the lost line's epoch is replayed and re-appended anyway).
+  if (FileExists(path)) {
+    SS_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+    size_t keep = text.rfind('\n');
+    keep = keep == std::string::npos ? 0 : keep + 1;
+    if (keep < text.size()) {
+      SS_LOG(Warn) << "history: truncating torn tail line of " << path << " ("
+                   << text.size() - keep << " bytes)";
+      std::error_code ec;
+      std::filesystem::resize_file(path, keep, ec);
+      if (ec) {
+        return Status::IOError("cannot repair history log " + path + ": " +
+                               ec.message());
+      }
+    }
+  }
+  std::unique_ptr<QueryHistoryLog> log(
+      new QueryHistoryLog(std::move(path), clock));
+  log->out_.open(log->path_, std::ios::app);
+  if (!log->out_.good()) {
+    return Status::IOError("cannot open history log " + log->path_);
+  }
+  return log;
+}
+
+Status QueryHistoryLog::AppendLine(Json event, const char* kind,
+                                   const std::string& query) {
+  event.Set("event", Json::Str(kind));
+  event.Set("query", Json::Str(query));
+  event.Set("timestampMicros", Json::Int(clock_->NowMicros()));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status_.ok()) return status_;
+  out_ << event.Dump() << "\n";
+  out_.flush();
+  if (!out_.good()) {
+    // Sticky: one bad write (full disk, revoked permission) poisons the log
+    // rather than silently dropping an unknown subset of events.
+    status_ = Status::IOError("history log write failed: " + path_);
+    SS_LOG(Error) << status_.ToString();
+    return status_;
+  }
+  return Status::OK();
+}
+
+Status QueryHistoryLog::AppendStarted(
+    const std::string& query_name, bool recovered,
+    const std::vector<Diagnostic>& plan_warnings) {
+  Json event = Json::Object();
+  event.Set("recovered", Json::Bool(recovered));
+  Json warnings = Json::Array();
+  for (const Diagnostic& w : plan_warnings) {
+    Json entry = Json::Object();
+    entry.Set("code", Json::Str(DiagCodeString(w.code)));
+    entry.Set("message", Json::Str(w.message));
+    warnings.Append(std::move(entry));
+  }
+  event.Set("planWarnings", std::move(warnings));
+  return AppendLine(std::move(event), "started", query_name);
+}
+
+Status QueryHistoryLog::AppendProgress(const std::string& query_name,
+                                       const QueryProgress& progress) {
+  Json event = Json::Object();
+  event.Set("progress", progress.ToJson());
+  return AppendLine(std::move(event), "progress", query_name);
+}
+
+Status QueryHistoryLog::AppendTerminated(const std::string& query_name,
+                                         const Status& error,
+                                         int64_t last_epoch,
+                                         const PlanProfile& profile) {
+  Json event = Json::Object();
+  event.Set("lastEpoch", Json::Int(last_epoch));
+  event.Set("error", Json::Str(error.ok() ? "" : error.ToString()));
+  event.Set("planProfile", profile.ToJson());
+  return AppendLine(std::move(event), "terminated", query_name);
+}
+
+Status QueryHistoryLog::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+Result<std::vector<Json>> QueryHistoryLog::ReadAll(
+    const std::string& checkpoint_dir) {
+  std::string path = HistoryPath(checkpoint_dir);
+  if (!FileExists(path)) {
+    return Status::NotFound("no query history under " + checkpoint_dir);
+  }
+  SS_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  std::vector<Json> events;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line(text.data() + pos,
+                          (nl == std::string::npos ? text.size() : nl) - pos);
+    bool is_tail = nl == std::string::npos;
+    pos = is_tail ? text.size() : nl + 1;
+    if (line.empty()) continue;
+    auto json = Json::Parse(std::string(line));
+    if (!json.ok()) {
+      // A torn final line is the crash the append discipline anticipates;
+      // mid-file corruption is not and must surface.
+      if (is_tail) break;
+      return Status::IOError("corrupt history line in " + path + ": " +
+                             json.status().ToString());
+    }
+    events.push_back(std::move(*json));
+  }
+  return events;
+}
+
+}  // namespace sstreaming

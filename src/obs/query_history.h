@@ -1,0 +1,82 @@
+#ifndef SSTREAMING_OBS_QUERY_HISTORY_H_
+#define SSTREAMING_OBS_QUERY_HISTORY_H_
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/plan_profile.h"
+#include "obs/progress.h"
+
+namespace sstreaming {
+
+/// Durable per-checkpoint query history: a JSONL event log at
+/// `<checkpoint_dir>/_history/events.jsonl` recording the query's lifecycle
+/// across restarts — one object per line, each with an "event" kind:
+///
+///   started    {query, timestampMicros, recovered, planWarnings: [...]}
+///   progress   {query, timestampMicros, progress: <QueryProgress JSON>}
+///   terminated {query, timestampMicros, lastEpoch, error, planProfile}
+///
+/// Unlike the WAL, history is telemetry: append failures go sticky in
+/// status() and are logged, but never fail an epoch — losing a telemetry
+/// line must not cost exactly-once output. Crash safety mirrors the WAL's
+/// torn-tail discipline at line granularity: Open() truncates any partial
+/// line left by a crash (everything after the last '\n'), so a restart
+/// always appends to a well-formed log and replayed epochs simply append
+/// their lines again. Readers tolerate duplicate epochs (recovery replay)
+/// the same way they tolerate re-committed sink epochs.
+class QueryHistoryLog {
+ public:
+  /// Creates `<checkpoint_dir>/_history/` if needed, repairs a torn tail,
+  /// and opens the log for appending. `clock` stamps events (sim-time safe);
+  /// must outlive the log.
+  static Result<std::unique_ptr<QueryHistoryLog>> Open(
+      const std::string& checkpoint_dir, const Clock* clock);
+
+  /// `recovered`: true when the query resumed an existing checkpoint.
+  Status AppendStarted(const std::string& query_name, bool recovered,
+                       const std::vector<Diagnostic>& plan_warnings);
+  Status AppendProgress(const std::string& query_name,
+                        const QueryProgress& progress);
+  Status AppendTerminated(const std::string& query_name, const Status& error,
+                          int64_t last_epoch, const PlanProfile& profile);
+
+  /// Sticky first append error (OK while the log is healthy).
+  Status status() const;
+
+  const std::string& path() const { return path_; }
+
+  /// The log path a checkpoint dir implies (shared with offline readers).
+  static std::string HistoryPath(const std::string& checkpoint_dir);
+
+  /// Parses every event line of a checkpoint's history (offline: works on a
+  /// dir no query is using; a trailing torn line is skipped, interior
+  /// corruption is an error). NotFound when the dir has no history.
+  static Result<std::vector<Json>> ReadAll(const std::string& checkpoint_dir);
+
+ private:
+  QueryHistoryLog(std::string path, const Clock* clock)
+      : path_(std::move(path)), clock_(clock) {}
+
+  /// Writes one line, flushes, and verifies stream health before reporting
+  /// success; failures go sticky in status_.
+  Status AppendLine(Json event, const char* kind, const std::string& query);
+
+  std::string path_;
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  std::ofstream out_ SS_GUARDED_BY(mu_);
+  Status status_ SS_GUARDED_BY(mu_);
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_OBS_QUERY_HISTORY_H_

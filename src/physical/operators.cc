@@ -43,6 +43,18 @@ Result<std::vector<RecordBatchPtr>> SourceExec::ExecuteImpl(ExecContext* ctx) {
                                        columns_));
       }
       ctx->CountSourceRows(source_->name(), batch->num_rows());
+      if (batch->num_rows() > 0) {
+        // Stamp e2e-latency provenance: when the source can't date its
+        // records, the read time is the best (conservative, deterministic
+        // under ManualClock) ingest approximation.
+        int64_t ingest = source_->OldestIngestMicros(
+            p, starts[static_cast<size_t>(p)], ends[static_cast<size_t>(p)]);
+        if (ingest <= 0 && ctx->clock != nullptr) {
+          ingest = ctx->clock->NowMicros();
+        }
+        batch->set_ingest_micros(ingest);
+        ctx->ObserveIngest(ingest);
+      }
       out[static_cast<size_t>(p)] = std::move(batch);
       return Status::OK();
     });

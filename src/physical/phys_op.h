@@ -149,6 +149,23 @@ struct ExecContext {
     rows_read += n;
     source_rows[source] += n;
   }
+
+  /// Oldest ingest stamp among all source records read this epoch (0 = no
+  /// dated records). Recorded by source scans; the sink-side latency
+  /// measurement falls back to it for output batches whose own stamp was
+  /// dropped by a materializing operator (aggregation, state flush).
+  int64_t min_ingest_micros SS_GUARDED_BY(metrics_mu) = 0;
+  void ObserveIngest(int64_t micros) {
+    if (micros <= 0) return;
+    std::lock_guard<std::mutex> lock(metrics_mu);
+    if (min_ingest_micros == 0 || micros < min_ingest_micros) {
+      min_ingest_micros = micros;
+    }
+  }
+  int64_t MinIngestMicros() {
+    std::lock_guard<std::mutex> lock(metrics_mu);
+    return min_ingest_micros;
+  }
 };
 
 /// A physical operator: executes one epoch across all partitions, returning

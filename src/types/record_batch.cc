@@ -112,7 +112,9 @@ std::shared_ptr<RecordBatch> RecordBatch::Filter(
     }
     out_columns.push_back(std::move(out));
   }
-  return Make(schema_, std::move(out_columns));
+  auto out = Make(schema_, std::move(out_columns));
+  out->set_ingest_micros(ingest_micros_);
+  return out;
 }
 
 std::shared_ptr<RecordBatch> RecordBatch::SelectColumns(
@@ -126,7 +128,9 @@ std::shared_ptr<RecordBatch> RecordBatch::SelectColumns(
     fields.push_back(schema_->field(idx));
     cols.push_back(columns_[static_cast<size_t>(idx)]);
   }
-  return Make(Schema::Make(std::move(fields)), std::move(cols));
+  auto out = Make(Schema::Make(std::move(fields)), std::move(cols));
+  out->set_ingest_micros(ingest_micros_);
+  return out;
 }
 
 std::shared_ptr<RecordBatch> RecordBatch::Slice(int64_t start,
@@ -149,7 +153,9 @@ std::shared_ptr<RecordBatch> RecordBatch::Gather(
     for (int32_t i : indices) out->AppendFrom(*in, i);
     out_columns.push_back(std::move(out));
   }
-  return Make(schema_, std::move(out_columns));
+  auto gathered = Make(schema_, std::move(out_columns));
+  gathered->set_ingest_micros(ingest_micros_);
+  return gathered;
 }
 
 std::shared_ptr<RecordBatch> RecordBatch::Concat(
@@ -187,7 +193,15 @@ std::shared_ptr<RecordBatch> RecordBatch::Concat(
     }
     columns.push_back(std::move(out));
   }
-  return Make(std::move(schema), std::move(columns));
+  auto merged = Make(std::move(schema), std::move(columns));
+  // Oldest contributing record wins: latency must not shrink by merging.
+  int64_t oldest = 0;
+  for (const auto& batch : batches) {
+    int64_t m = batch->ingest_micros();
+    if (m > 0 && (oldest == 0 || m < oldest)) oldest = m;
+  }
+  merged->set_ingest_micros(oldest);
+  return merged;
 }
 
 int64_t RecordBatch::ApproxBytes() const {

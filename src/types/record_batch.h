@@ -69,6 +69,15 @@ class RecordBatch {
   /// the memory-accounting gauges.
   int64_t ApproxBytes() const;
 
+  /// Ingest timestamp (clock micros) of the oldest source record that
+  /// contributed to this batch, or 0 when unknown. Stamped once by the
+  /// source scan and carried through row-shape transformations (filter,
+  /// project, slice, gather, concat); operators that materialize entirely
+  /// new batches (aggregation, state flush) drop the stamp and the epoch's
+  /// minimum is used as a fallback for sink-side latency measurement.
+  int64_t ingest_micros() const { return ingest_micros_; }
+  void set_ingest_micros(int64_t micros) { ingest_micros_ = micros; }
+
   /// Debug table rendering (header + all rows).
   std::string ToString() const;
 
@@ -76,6 +85,9 @@ class RecordBatch {
   SchemaPtr schema_;
   std::vector<ColumnPtr> columns_;
   int64_t num_rows_;
+  /// Latency provenance, not data: excluded from equality/rendering. The one
+  /// mutable-after-construction field, set only before a batch is shared.
+  int64_t ingest_micros_ = 0;
 };
 
 using RecordBatchPtr = std::shared_ptr<RecordBatch>;

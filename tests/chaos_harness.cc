@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "common/random.h"
+#include "obs/query_history.h"
 #include "state/state_store.h"
 #include "storage/fs.h"
 #include "wal/write_ahead_log.h"
@@ -105,6 +106,44 @@ Status CheckDurableAgreement(const std::string& checkpoint_dir,
         }
       }
     }
+  }
+  return Status::OK();
+}
+
+/// History is telemetry, but it must be *readable* telemetry after any
+/// number of crashes: ReadAll must parse the entire log (torn tails are
+/// repaired on reopen; interior corruption is a bug), every event must name
+/// this query, each crash-restart must land a fresh "started" line, and the
+/// progress lines must reach the engine's final epoch.
+Status CheckHistoryIntegrity(const std::string& checkpoint_dir,
+                             int64_t last_epoch) {
+  SS_ASSIGN_OR_RETURN(std::vector<Json> events,
+                      QueryHistoryLog::ReadAll(checkpoint_dir));
+  int64_t starts = 0;
+  int64_t max_epoch = 0;
+  for (const Json& event : events) {
+    if (event.Get("query").string_value() != "chaos") {
+      return Status::Internal("history event for wrong query: " +
+                              event.Dump());
+    }
+    const std::string& kind = event.Get("event").string_value();
+    if (kind == "started") {
+      ++starts;
+    } else if (kind == "progress") {
+      max_epoch = std::max(
+          max_epoch, event.Get("progress").Get("epoch").int_value());
+    }
+  }
+  // At least the last successful incarnation logged its start. (No exact
+  // count: a crash injected before the started line — e.g. inside
+  // WriteAheadLog::Open — legitimately leaves no trace of that attempt.)
+  if (starts < 1) {
+    return Status::Internal("history has no started event");
+  }
+  if (max_epoch != last_epoch) {
+    return Status::Internal("history progress stops at epoch " +
+                            std::to_string(max_epoch) + ", engine reached " +
+                            std::to_string(last_epoch));
   }
   return Status::OK();
 }
@@ -225,6 +264,10 @@ ChaosHarness::RunResult ChaosHarness::Run(const std::string& failpoint,
     result.status = CheckDurableAgreement(result.checkpoint_dir,
                                           result.last_epoch,
                                           options_.state_checkpoint_interval);
+  }
+  if (result.status.ok()) {
+    result.status = CheckHistoryIntegrity(result.checkpoint_dir,
+                                          result.last_epoch);
   }
   RemoveDirRecursive(result.checkpoint_dir).ok();
   return result;

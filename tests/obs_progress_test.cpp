@@ -37,11 +37,18 @@ QueryProgress MakeFullProgress() {
   p.commit_nanos = 75;
   p.other_nanos = 25;
   p.trigger_wait_nanos = 999;
+  p.trigger_drift_nanos = 1234;
+  p.watermark_lag_micros = 3 * kSec;
+  LogHistogram e2e;
+  e2e.RecordN(2500, 40);
+  e2e.RecordN(90000, 2);
+  p.e2e_latency = LatencySummary::FromHistogram(e2e);
   SourceProgress src;
   src.name = "clicks";
   src.rows = 1000;
   src.rows_per_sec = 123456.789;
   src.backlog_rows = 17;
+  src.backlog_age_micros = 250000;
   p.sources.push_back(src);
   OperatorProgress op;
   op.op_id = 3;
@@ -91,6 +98,55 @@ TEST(ProgressJsonTest, FromJsonToleratesMissingNewFields) {
   EXPECT_EQ(back->epoch, 3);
   EXPECT_EQ(back->state_bytes, 0);
   EXPECT_TRUE(back->operators.empty());
+}
+
+// Merging every per-epoch LatencySummary must reproduce the histogram that
+// recorded the full value stream — same count/sum/max, same buckets, and
+// therefore the same quantile estimates. This is the contract that lets the
+// lifetime Prometheus series and the per-epoch QueryProgress summaries tie
+// out exactly.
+TEST(LatencySummaryTest, MergedEpochSummariesReproduceLifetimeHistogram) {
+  LogHistogram lifetime;
+  LogHistogram merged;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    LogHistogram per_epoch;
+    for (int i = 0; i < 100; ++i) {
+      // Spread samples over several powers of two, different mix per epoch.
+      int64_t value = (epoch + 1) * 1000 + i * i * 7;
+      per_epoch.Record(value);
+      lifetime.Record(value);
+    }
+    LatencySummary summary = LatencySummary::FromHistogram(per_epoch);
+    // The summary survives JSON too — merge what a reader would parse back.
+    auto parsed = LatencySummary::FromJson(summary.ToJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    parsed->MergeInto(&merged);
+  }
+  EXPECT_EQ(merged.count(), lifetime.count());
+  EXPECT_EQ(merged.sum(), lifetime.sum());
+  EXPECT_EQ(merged.max(), lifetime.max());
+  for (int i = 0; i < LogHistogram::kNumBuckets; ++i) {
+    ASSERT_EQ(merged.bucket_count(i), lifetime.bucket_count(i))
+        << "bucket " << i;
+  }
+  EXPECT_EQ(merged.ValueAtQuantile(0.50), lifetime.ValueAtQuantile(0.50));
+  EXPECT_EQ(merged.ValueAtQuantile(0.99), lifetime.ValueAtQuantile(0.99));
+}
+
+TEST(LatencySummaryTest, JsonRoundTripIsByteIdentical) {
+  LogHistogram h;
+  h.RecordN(100, 3);
+  h.RecordN(5000, 10);
+  h.RecordN(123456, 1);
+  LatencySummary s = LatencySummary::FromHistogram(h);
+  std::string dump = s.ToJson().Dump();
+  auto parsed = Json::Parse(dump);
+  ASSERT_TRUE(parsed.ok());
+  auto back = LatencySummary::FromJson(*parsed);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ToJson().Dump(), dump);
+  EXPECT_EQ(back->count, 14);
+  EXPECT_EQ(back->max_micros, 123456);
 }
 
 // The documented invariant on a real stateful query: stage durations sum to

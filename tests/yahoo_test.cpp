@@ -4,9 +4,11 @@
 
 #include "baselines/flinksim.h"
 #include "baselines/kstreamssim.h"
+#include "common/clock.h"
 #include "connectors/bus_connectors.h"
 #include "connectors/memory.h"
 #include "exec/streaming_query.h"
+#include "obs/metrics.h"
 
 namespace sstreaming {
 namespace {
@@ -78,6 +80,67 @@ TEST(YahooWorkloadTest, StructuredStreamingMatchesReference) {
         row[3].int64_value();
   }
   EXPECT_EQ(got, g.reference);
+}
+
+// The tie-out contract on the full Yahoo pipeline: every epoch's
+// QueryProgress carries an e2e-latency summary, and merging those summaries
+// reproduces the lifetime `sstreaming_e2e_latency_micros` Prometheus
+// histogram exactly — same count, same buckets, same p99. A dashboard built
+// on either surface reports the same latency.
+TEST(YahooWorkloadTest, EndToEndLatencyTiesOutWithPrometheus) {
+  constexpr int64_t kSec = 1000000;
+  ManualClock clock(1000 * kSec);
+  Generated g;
+  g.bus.set_ingest_clock(&clock);  // events are ingest-stamped at append
+  Generate(SmallConfig(), &g);
+  clock.AdvanceMicros(2 * kSec);  // the backlog ages before we consume it
+
+  auto source =
+      std::make_shared<BusSource>(&g.bus, "events", YahooEventSchema());
+  auto sink = std::make_shared<MemorySink>();
+  auto metrics = std::make_shared<MetricsRegistry>();
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  opts.num_partitions = 4;
+  opts.clock = &clock;
+  opts.metrics = metrics;
+  opts.max_records_per_epoch = 4000;  // several epochs over 20000 events
+  auto query = StreamingQuery::Start(YahooQuery(source, g.campaigns), sink,
+                                     opts);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  int epochs = 0;
+  while (true) {
+    auto ran = (*query)->ProcessOneTrigger();
+    ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+    if (!*ran) break;
+    ++epochs;
+    clock.AdvanceMicros(kSec / 2);  // spread commit times across buckets
+  }
+  ASSERT_GE(epochs, 5);
+
+  LogHistogram merged;
+  int64_t rows_written = 0;
+  for (const QueryProgress& p : (*query)->recent_progress()) {
+    EXPECT_FALSE(p.e2e_latency.empty()) << "epoch " << p.epoch;
+    p.e2e_latency.MergeInto(&merged);
+    rows_written += p.rows_written;
+  }
+  LogHistogram* lifetime =
+      metrics->GetHistogram("sstreaming_e2e_latency_micros");
+  ASSERT_NE(lifetime, nullptr);
+  ASSERT_GT(lifetime->count(), 0);
+  EXPECT_EQ(lifetime->count(), rows_written)
+      << "every written row contributes one latency sample";
+  EXPECT_EQ(merged.count(), lifetime->count());
+  EXPECT_EQ(merged.sum(), lifetime->sum());
+  EXPECT_EQ(merged.max(), lifetime->max());
+  for (int i = 0; i < LogHistogram::kNumBuckets; ++i) {
+    ASSERT_EQ(merged.bucket_count(i), lifetime->bucket_count(i))
+        << "bucket " << i;
+  }
+  EXPECT_EQ(merged.ValueAtQuantile(0.99), lifetime->ValueAtQuantile(0.99));
+  // Latency is bounded below by the 2s the backlog aged before processing.
+  EXPECT_GE(merged.ValueAtQuantile(0.50), 2 * kSec);
 }
 
 TEST(YahooWorkloadTest, FlinkSimMatchesReference) {

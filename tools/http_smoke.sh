@@ -13,14 +13,16 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 LOG="$(mktemp)"
+CKPT="$(mktemp -d)"
 cleanup() {
   kill "$PID" 2>/dev/null || true
   wait "$PID" 2>/dev/null || true
   rm -f "$LOG"
+  rm -rf "$CKPT"
 }
 trap cleanup EXIT
 
-"$BIN" --port 0 --serve-seconds 30 >"$LOG" 2>&1 &
+"$BIN" --port 0 --serve-seconds 30 --checkpoint "$CKPT" >"$LOG" 2>&1 &
 PID=$!
 
 # The example prints "serving http://127.0.0.1:PORT" once the socket is up.
@@ -49,6 +51,12 @@ grep -q '^# TYPE sstreaming_epochs_total counter' <<<"$METRICS" \
   || fail "/metrics missing TYPE line"
 grep -q '^sstreaming_state_bytes{' <<<"$METRICS" \
   || fail "/metrics missing state_bytes gauge"
+grep -q '^sstreaming_e2e_latency_micros_count' <<<"$METRICS" \
+  || fail "/metrics missing e2e latency histogram"
+grep -Eq '^sstreaming_process_uptime_seconds [0-9.]+' <<<"$METRICS" \
+  || fail "/metrics missing process uptime gauge"
+grep -Eq '^sstreaming_process_rss_bytes [0-9]+' <<<"$METRICS" \
+  || fail "/metrics missing process RSS gauge"
 echo "ok /metrics"
 
 get /queries | json_ok || fail "/queries is not JSON"
@@ -66,8 +74,19 @@ detail = json.load(sys.stdin)
 assert detail["progress"], detail
 epoch = detail["progress"][-1]
 assert epoch["durationNanos"] > 0, epoch
+assert "e2eLatency" in epoch, epoch
 ' || fail "/queries/dashboard content"
 echo "ok /queries/dashboard"
+
+get /queries/dashboard/history | python3 -c '
+import json, sys
+history = json.load(sys.stdin)
+assert history["name"] == "dashboard", history
+kinds = [event["event"] for event in history["events"]]
+assert kinds[0] == "started", kinds
+assert "progress" in kinds, kinds
+' || fail "/queries/dashboard/history content"
+echo "ok /queries/dashboard/history"
 
 get /queries/dashboard/plan | python3 -c '
 import json, sys

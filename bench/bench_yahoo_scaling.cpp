@@ -17,7 +17,87 @@
 namespace sstreaming {
 namespace {
 
-void Run(const char* json_path) {
+// Shard scaling: one 8-core simulated node, a single input partition, and
+// the keyed state hash-sharded {1, 2, 4, 8} ways. With partition parallelism
+// pinned to 1, the per-shard fold tasks are the only way the stateful stage
+// can use the other cores, so the stateful-stage speedup isolates what
+// sharding buys (docs/STATE_SHARDING.md). These points intentionally omit
+// "nodes": ssctl bench-diff matches points by node count, and shard points
+// are a separate axis with their own history.
+Json RunShardSweep() {
+  std::printf("\n=== Keyed-state shard scaling (1 node, 1 partition) ===\n");
+  std::printf("%7s %18s %22s %10s\n", "shards", "total (M rec/s)",
+              "stateful stage (M/s)", "speedup");
+
+  Json points = Json::Array();
+  const int shard_counts[] = {1, 2, 4, 8};
+  YahooConfig config;
+  config.num_partitions = 1;
+  config.num_events = 480000;
+  config.event_time_span_seconds = 100;
+  MessageBus bus;
+  auto campaigns = GenerateYahooData(&bus, "shard_events", config);
+  SS_CHECK(campaigns.ok()) << campaigns.status().ToString();
+
+  double base_stateful = 0;
+  for (int shards : shard_counts) {
+    SimClusterScheduler::Options cluster;
+    cluster.num_nodes = 1;
+    cluster.cores_per_node = 8;
+    cluster.denoise_outliers = true;
+    double throughput = 0;
+    bench::StructuredRunStats best_stats;
+    for (int run = 0; run < 3; ++run) {
+      SimClusterScheduler scheduler(cluster);
+      bench::StructuredRunStats stats;
+      double t = bench::RunStructured(&bus, "shard_events", *campaigns,
+                                      config.num_partitions, &scheduler,
+                                      config.num_events, &stats, shards);
+      if (t > throughput) {
+        throughput = t;
+        best_stats = stats;
+      }
+    }
+    SS_CHECK(best_stats.stateful_stage_nanos > 0)
+        << "stateful stage ledger empty — stage names changed?";
+    double stateful_rate =
+        static_cast<double>(config.num_events) /
+        (static_cast<double>(best_stats.stateful_stage_nanos) / 1e9);
+    if (shards == 1) base_stateful = stateful_rate;
+    std::printf("%7d %18.2f %22.2f %9.1fx\n", shards, throughput / 1e6,
+                stateful_rate / 1e6, stateful_rate / base_stateful);
+
+    Json point = Json::Object();
+    point.Set("shards", Json::Int(shards));
+    point.Set("numPartitions", Json::Int(config.num_partitions));
+    point.Set("numEvents", Json::Int(config.num_events));
+    point.Set("throughputRecsPerSec", Json::Double(throughput));
+    point.Set("statefulThroughputRecsPerSec", Json::Double(stateful_rate));
+    point.Set("statefulStageNanos", Json::Int(best_stats.stateful_stage_nanos));
+    point.Set("epochs", Json::Int(best_stats.epochs));
+    points.Append(std::move(point));
+  }
+  return points;
+}
+
+void Run(const char* json_path, bool shards_only) {
+  Json shard_points = Json::Array();
+  if (shards_only) {
+    shard_points = RunShardSweep();
+    if (json_path != nullptr) {
+      Json doc = Json::Object();
+      doc.Set("benchmark", Json::Str("yahoo_scaling"));
+      doc.Set("figure", Json::Str("6b"));
+      doc.Set("runsPerPoint", Json::Int(3));
+      doc.Set("points", std::move(shard_points));
+      std::string text = doc.Dump();
+      text += "\n";
+      Status s = WriteFileAtomic(json_path, text);
+      SS_CHECK(s.ok()) << s.ToString();
+      std::printf("wrote %s\n", json_path);
+    }
+    return;
+  }
   std::printf("=== Figure 6b: Structured Streaming scaling ===\n");
   std::printf("%6s %10s %18s %18s %10s\n", "nodes", "cores",
               "paper (M rec/s)", "measured (M rec/s)", "speedup");
@@ -77,6 +157,13 @@ void Run(const char* json_path) {
   }
   std::printf("\npaper speedup at 20 nodes: 19.6x (near-linear)\n");
 
+  // The shard sweep rides along in the same ledger; its points have a
+  // "shards" field instead of "nodes".
+  shard_points = RunShardSweep();
+  for (const Json& p : shard_points.array_items()) {
+    points.Append(p);
+  }
+
   if (json_path != nullptr) {
     Json doc = Json::Object();
     doc.Set("benchmark", Json::Str("yahoo_scaling"));
@@ -96,14 +183,17 @@ void Run(const char* json_path) {
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
+  bool shards_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards_only = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--shards] [--json <path>]\n", argv[0]);
       return 2;
     }
   }
-  sstreaming::Run(json_path);
+  sstreaming::Run(json_path, shards_only);
   return 0;
 }

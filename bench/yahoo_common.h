@@ -24,17 +24,23 @@ struct StructuredRunStats {
   int64_t epochs = 0;
   int64_t p50_epoch_nanos = 0;
   int64_t p99_epoch_nanos = 0;
+  /// Simulated nanos spent in the stateful aggregation's stages (eval,
+  /// shard split, per-shard fold) — the denominator of the shard-scaling
+  /// benchmark's stateful-stage throughput.
+  int64_t stateful_stage_nanos = 0;
 };
 
 // Runs the Structured Streaming Yahoo query over all data in `bus`'s
 // `topic`, charging task durations to `scheduler`. Returns records/second
-// of simulated cluster time; fills `stats` when non-null.
+// of simulated cluster time; fills `stats` when non-null. `num_state_shards`
+// <= 0 keeps the engine default.
 inline double RunStructured(MessageBus* bus, const std::string& topic,
                             const std::vector<Row>& campaigns,
                             int num_partitions,
                             SimClusterScheduler* scheduler,
                             int64_t num_events,
-                            StructuredRunStats* stats = nullptr) {
+                            StructuredRunStats* stats = nullptr,
+                            int num_state_shards = 0) {
   auto source = std::make_shared<BusSource>(bus, topic, YahooEventSchema());
   auto sink = std::make_shared<MemorySink>();
   DataFrame df = YahooQuery(source, campaigns);
@@ -42,6 +48,7 @@ inline double RunStructured(MessageBus* bus, const std::string& topic,
   opts.mode = OutputMode::kUpdate;
   opts.num_partitions = num_partitions;
   opts.scheduler = scheduler;
+  if (num_state_shards > 0) opts.num_state_shards = num_state_shards;
   scheduler->reset_virtual_time();
   auto query = StreamingQuery::Start(df, sink, opts);
   SS_CHECK(query.ok()) << query.status().ToString();
@@ -51,6 +58,8 @@ inline double RunStructured(MessageBus* bus, const std::string& topic,
   double records_per_sec = static_cast<double>(num_events) / seconds;
   if (stats != nullptr) {
     stats->records_per_sec = records_per_sec;
+    stats->stateful_stage_nanos =
+        scheduler->StageVirtualNanos("StatefulAggregate");
     std::vector<int64_t> durations;
     for (const QueryProgress& p : (*query)->recent_progress()) {
       durations.push_back(p.duration_nanos);

@@ -101,11 +101,18 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Start(
         options.query_name, prior.has_value(), query->plan_warnings_);
     SS_RETURN_IF_ERROR(query->Recover());
   } else {
-    query->state_ = std::make_unique<StateManager>("", 0,
-                                                   options.state_options);
+    query->state_ = std::make_unique<StateManager>(
+        "", 0, query->StateOptions());
     query->state_->set_metrics(query->metrics_.get());
   }
   return query;
+}
+
+ShardedStateStore::Options StreamingQuery::StateOptions() const {
+  ShardedStateStore::Options opts;
+  opts.num_shards = options_.num_state_shards;
+  opts.shard_options = options_.state_options;
+  return opts;
 }
 
 void StreamingQuery::BuildOpIndex() {
@@ -168,7 +175,7 @@ Status StreamingQuery::Recover() {
   int64_t committed = latest_committed.value_or(0);
 
   state_ = std::make_unique<StateManager>(options_.checkpoint_dir + "/state",
-                                          committed, options_.state_options);
+                                          committed, StateOptions());
   state_->set_metrics(metrics_.get());
   if (!latest_planned.has_value()) return Status::OK();
 
@@ -408,6 +415,8 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   // once per epoch (not per row) so the cost is one map walk.
   std::map<int, StateManager::OpStateSize> state_sizes =
       state_->PerOpSizes();
+  std::map<int, std::vector<StateManager::OpStateSize>> shard_sizes =
+      state_->PerOpShardSizes();
 
   QueryProgress progress;
   progress.epoch = plan.epoch;
@@ -490,6 +499,12 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
       if (sit != state_sizes.end()) {
         op.state_rows = sit->second.rows;
         op.state_bytes = sit->second.bytes;
+        auto shit = shard_sizes.find(entry.op_id);
+        if (shit != shard_sizes.end()) {
+          for (const StateManager::OpStateSize& ss : shit->second) {
+            op.shard_state.emplace_back(ss.rows, ss.bytes);
+          }
+        }
       }
       int64_t children_wall = 0;
       for (int child_id : entry.child_ids) {
@@ -545,11 +560,22 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
       metrics_->GetCounter("sstreaming_operator_cpu_nanos_total", labels)
           ->Increment(op.cpu_nanos);
     }
-    // Memory-accounting gauges: live state size per stateful operator.
+    // Memory-accounting gauges: live state size per stateful operator,
+    // totals plus the per-shard breakdown (summed over partitions).
     for (const auto& [op_id, size] : state_sizes) {
       MetricLabels labels{{"op_id", std::to_string(op_id)}};
       metrics_->GetGauge("sstreaming_state_rows", labels)->Set(size.rows);
       metrics_->GetGauge("sstreaming_state_bytes", labels)->Set(size.bytes);
+    }
+    for (const auto& [op_id, sizes] : shard_sizes) {
+      for (size_t s = 0; s < sizes.size(); ++s) {
+        MetricLabels labels{{"op_id", std::to_string(op_id)},
+                            {"shard", std::to_string(s)}};
+        metrics_->GetGauge("sstreaming_state_shard_rows", labels)
+            ->Set(sizes[s].rows);
+        metrics_->GetGauge("sstreaming_state_shard_bytes", labels)
+            ->Set(sizes[s].bytes);
+      }
     }
   }
 
@@ -694,7 +720,8 @@ Status StreamingQuery::Rollback(const std::string& checkpoint_dir,
   SS_ASSIGN_OR_RETURN(WriteAheadLog wal,
                       WriteAheadLog::Open(checkpoint_dir + "/wal"));
   SS_RETURN_IF_ERROR(wal.TruncateAfter(epoch));
-  // State stores live under state/op<N>/p<M>; truncate each.
+  // State stores live under state/op<N>/p<M> (with shard subdirs s<K>);
+  // truncate each.
   std::string state_root = checkpoint_dir + "/state";
   if (!FileExists(state_root)) return Status::OK();
   std::error_code ec;
@@ -705,7 +732,7 @@ Status StreamingQuery::Rollback(const std::string& checkpoint_dir,
          std::filesystem::directory_iterator(op_entry.path(), ec)) {
       if (!part_entry.is_directory()) continue;
       SS_RETURN_IF_ERROR(
-          StateStore::TruncateAfter(part_entry.path().string(), epoch));
+          ShardedStateStore::TruncateAfter(part_entry.path().string(), epoch));
     }
   }
   return Status::OK();

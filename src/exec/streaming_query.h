@@ -66,6 +66,12 @@ struct QueryOptions {
   /// manual rollback over that horizon (§7.2).
   int64_t retain_epochs = 0;
   StateStore::Options state_options;
+  /// Keyed state within each (operator, partition) store is hash-sharded
+  /// across this many independent shards; stateful operators process shards
+  /// as parallel scheduler tasks and checkpoint/restore them independently
+  /// (docs/STATE_SHARDING.md). Results are byte-identical for any count.
+  /// Existing on-disk layouts keep the count they were created with.
+  int num_state_shards = 4;
   const Clock* clock = nullptr;           // default: SystemClock
   TaskScheduler* scheduler = nullptr;     // default: InlineScheduler
   bool run_optimizer = true;
@@ -189,6 +195,7 @@ class StreamingQuery {
   StreamingQuery() = default;
 
   Status Recover();
+  ShardedStateStore::Options StateOptions() const;
   /// Executes `plan` and commits sink+WAL. Used for both new epochs and
   /// recovery replay.
   Status RunPlannedEpoch(const EpochPlan& plan);

@@ -285,7 +285,7 @@ Result<std::vector<Row>> RunStaticPlan(const PlanPtr& analyzed,
   SS_ASSIGN_OR_RETURN(PhysicalPlan plan,
                       Incrementalize(analyzed, num_partitions));
   InlineScheduler scheduler;
-  StateManager state("", 0, StateStore::Options());
+  StateManager state("", 0, ShardedStateStore::Options());
   SystemClock clock;
   ExecContext ctx;
   ctx.epoch = 1;

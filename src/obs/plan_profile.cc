@@ -32,6 +32,7 @@ void PlanProfile::RecordEpoch(const QueryProgress& progress) {
     node.output_bytes += op.output_bytes;
     node.state_rows = op.state_rows;
     node.state_bytes = op.state_bytes;
+    node.shard_state = op.shard_state;
     node.peak_state_rows = std::max(node.peak_state_rows, op.state_rows);
     node.peak_state_bytes = std::max(node.peak_state_bytes, op.state_bytes);
   }
@@ -74,6 +75,17 @@ void PlanProfile::RenderNodeLocked(const Node& node, int depth,
                   static_cast<long long>(node.peak_state_rows),
                   static_cast<long long>(node.peak_state_bytes));
     *out += buf;
+    if (!node.shard_state.empty()) {
+      *out += " shards=[";
+      for (size_t s = 0; s < node.shard_state.size(); ++s) {
+        if (s > 0) *out += " ";
+        std::snprintf(buf, sizeof(buf), "%lld/%lld",
+                      static_cast<long long>(node.shard_state[s].first),
+                      static_cast<long long>(node.shard_state[s].second));
+        *out += buf;
+      }
+      *out += "]";
+    }
   }
   *out += "\n";
   for (int child_id : node.children) {
@@ -104,6 +116,16 @@ Json PlanProfile::NodeJsonLocked(const Node& node) const {
   obj.Set("stateBytes", Json::Int(node.state_bytes));
   obj.Set("peakStateRows", Json::Int(node.peak_state_rows));
   obj.Set("peakStateBytes", Json::Int(node.peak_state_bytes));
+  if (!node.shard_state.empty()) {
+    Json shards = Json::Array();
+    for (const auto& [rows, bytes] : node.shard_state) {
+      Json pair = Json::Array();
+      pair.Append(Json::Int(rows));
+      pair.Append(Json::Int(bytes));
+      shards.Append(std::move(pair));
+    }
+    obj.Set("shardState", std::move(shards));
+  }
   Json children = Json::Array();
   for (int child_id : node.children) {
     const Node* child = FindLocked(child_id);

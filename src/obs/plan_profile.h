@@ -46,6 +46,9 @@ class PlanProfile {
     int64_t state_bytes = 0;
     int64_t peak_state_rows = 0;
     int64_t peak_state_bytes = 0;
+    // Per-shard (rows, bytes) breakdown of the live state, indexed by
+    // shard. Empty for stateless operators.
+    std::vector<std::pair<int64_t, int64_t>> shard_state;
   };
 
   PlanProfile() = default;

@@ -99,6 +99,16 @@ Json OperatorProgress::ToJson() const {
   obj.Set("outputBytes", Json::Int(output_bytes));
   obj.Set("stateRows", Json::Int(state_rows));
   obj.Set("stateBytes", Json::Int(state_bytes));
+  if (!shard_state.empty()) {
+    Json shards = Json::Array();
+    for (const auto& [rows, bytes] : shard_state) {
+      Json pair = Json::Array();
+      pair.Append(Json::Int(rows));
+      pair.Append(Json::Int(bytes));
+      shards.Append(std::move(pair));
+    }
+    obj.Set("shardState", std::move(shards));
+  }
   return obj;
 }
 
@@ -116,6 +126,17 @@ Result<OperatorProgress> OperatorProgress::FromJson(const Json& json) {
   op.output_bytes = GetInt(json, "outputBytes");
   op.state_rows = GetInt(json, "stateRows");
   op.state_bytes = GetInt(json, "stateBytes");
+  const Json& shards = json.Get("shardState");
+  if (shards.is_array()) {
+    for (const Json& pair : shards.array_items()) {
+      if (!pair.is_array() || pair.array_items().size() != 2) {
+        return Status::InvalidArgument(
+            "operator shardState must hold [rows, bytes] pairs");
+      }
+      op.shard_state.emplace_back(pair.array_items()[0].int_value(),
+                                  pair.array_items()[1].int_value());
+    }
+  }
   return op;
 }
 

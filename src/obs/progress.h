@@ -55,6 +55,9 @@ struct OperatorProgress {
   /// Live state-store size after the epoch (0 for stateless operators).
   int64_t state_rows = 0;
   int64_t state_bytes = 0;
+  /// Per-shard breakdown of (state_rows, state_bytes), indexed by shard.
+  /// Empty for stateless operators (and omitted from the JSON then).
+  std::vector<std::pair<int64_t, int64_t>> shard_state;
 
   Json ToJson() const;
   static Result<OperatorProgress> FromJson(const Json& json);

@@ -11,7 +11,7 @@
 namespace sstreaming {
 
 StateManager::StateManager(std::string dir, int64_t version,
-                           StateStore::Options options)
+                           ShardedStateStore::Options options)
     : dir_(std::move(dir)), version_(version), options_(options),
       durable_(!dir_.empty()) {
   if (!durable_) {
@@ -33,16 +33,16 @@ std::string StateManager::StoreDir(int op_id, int partition) const {
          std::to_string(partition);
 }
 
-Result<StateStore*> StateManager::GetStore(int op_id, int partition) {
+Result<ShardedStateStore*> StateManager::GetStore(int op_id, int partition) {
   std::lock_guard<std::mutex> lock(mu_);
   auto key = std::make_pair(op_id, partition);
   auto it = stores_.find(key);
   if (it != stores_.end()) return it->second.get();
   int64_t restore = durable_ ? version_ : 0;
   SS_ASSIGN_OR_RETURN(
-      std::unique_ptr<StateStore> store,
-      StateStore::Open(StoreDir(op_id, partition), restore, options_));
-  StateStore* raw = store.get();
+      std::unique_ptr<ShardedStateStore> store,
+      ShardedStateStore::Open(StoreDir(op_id, partition), restore, options_));
+  ShardedStateStore* raw = store.get();
   stores_[key] = std::move(store);
   return raw;
 }
@@ -101,8 +101,8 @@ Status StateManager::PurgeBefore(int64_t keep) {
   if (!durable_) return Status::OK();
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, store] : stores_) {
-    SS_RETURN_IF_ERROR(
-        StateStore::PurgeBefore(StoreDir(key.first, key.second), keep));
+    SS_RETURN_IF_ERROR(ShardedStateStore::PurgeBefore(
+        StoreDir(key.first, key.second), keep));
   }
   return Status::OK();
 }
@@ -136,6 +136,23 @@ std::map<int, StateManager::OpStateSize> StateManager::PerOpSizes() const {
     OpStateSize& size = out[key.first];
     size.rows += store->size();
     size.bytes += store->ApproxBytes();
+  }
+  return out;
+}
+
+std::map<int, std::vector<StateManager::OpStateSize>>
+StateManager::PerOpShardSizes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<int, std::vector<OpStateSize>> out;
+  for (const auto& [key, store] : stores_) {
+    std::vector<OpStateSize>& sizes = out[key.first];
+    std::vector<ShardedStateStore::ShardSize> shard_sizes =
+        store->PerShardSizes();
+    if (sizes.size() < shard_sizes.size()) sizes.resize(shard_sizes.size());
+    for (size_t s = 0; s < shard_sizes.size(); ++s) {
+      sizes[s].rows += shard_sizes[s].rows;
+      sizes[s].bytes += shard_sizes[s].bytes;
+    }
   }
   return out;
 }

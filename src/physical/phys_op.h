@@ -12,7 +12,7 @@
 #include "common/thread_annotations.h"
 #include "logical/output_mode.h"
 #include "runtime/scheduler.h"
-#include "state/state_store.h"
+#include "state/sharded_state_store.h"
 #include "types/record_batch.h"
 
 namespace sstreaming {
@@ -20,18 +20,24 @@ namespace sstreaming {
 class EpochTracer;
 class MetricsRegistry;
 
-/// Creates and caches one StateStore per (stateful operator, partition),
-/// and commits them together at epoch boundaries (paper §6.1 step 2).
+/// Creates and caches one ShardedStateStore per (stateful operator,
+/// partition), and commits them together at epoch boundaries (paper §6.1
+/// step 2) — each store checkpointing its shards independently.
 /// When `durable` is false (batch runs, tests without recovery), stores live
 /// in a throwaway temp directory and commits are skipped.
 class StateManager {
  public:
   /// `dir`: checkpoint state root. `version`: epoch whose state to restore
   /// (0 = fresh). Empty dir = ephemeral (non-durable) state.
-  StateManager(std::string dir, int64_t version, StateStore::Options options);
+  StateManager(std::string dir, int64_t version,
+               ShardedStateStore::Options options);
   ~StateManager();
 
-  Result<StateStore*> GetStore(int op_id, int partition);
+  Result<ShardedStateStore*> GetStore(int op_id, int partition);
+
+  /// Shard count every store is opened with (existing on-disk layouts keep
+  /// their own count; see ShardedStateStore::Open).
+  int num_shards() const { return options_.num_shards; }
 
   /// Opens every store that already exists on disk (stores are otherwise
   /// opened lazily). Recovery calls this so MinLoadedVersion() reflects how
@@ -64,6 +70,10 @@ class StateManager {
   /// accounting behind `sstreaming_state_rows{op_id=}` /
   /// `sstreaming_state_bytes{op_id=}` and the EXPLAIN ANALYZE state columns.
   std::map<int, OpStateSize> PerOpSizes() const;
+  /// Per-operator, per-shard live state sizes (summed over partitions;
+  /// indexed by shard) — behind the `shard=`-labelled gauges and the
+  /// per-shard EXPLAIN ANALYZE columns.
+  std::map<int, std::vector<OpStateSize>> PerOpShardSizes() const;
   /// Sum of ApproxBytes over all opened stores.
   int64_t TotalApproxBytes() const;
   bool durable() const { return durable_; }
@@ -77,12 +87,12 @@ class StateManager {
 
   std::string dir_;
   int64_t version_;
-  StateStore::Options options_;
+  ShardedStateStore::Options options_;
   bool durable_;
   std::string ephemeral_dir_;
   MetricsRegistry* metrics_ = nullptr;
   mutable std::mutex mu_;
-  std::map<std::pair<int, int>, std::unique_ptr<StateStore>> stores_
+  std::map<std::pair<int, int>, std::unique_ptr<ShardedStateStore>> stores_
       SS_GUARDED_BY(mu_);
 };
 

@@ -1,6 +1,8 @@
 #include "physical/stateful_ops.h"
 
+#include <algorithm>
 #include <cstring>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -48,6 +50,110 @@ bool GetFixed64(const std::string& data, size_t* pos, uint64_t* v) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Shard routing (docs/STATE_SHARDING.md)
+//
+// Stateful operators run in up to three scheduler stages per epoch:
+//   [eval]  per partition: vectorized evaluation of key/argument columns;
+//   [split] per (partition, chunk): encode each row's state key and route it
+//           to a shard bucket by StableHashKey(key) % num_shards;
+//   <name>  per (partition, shard): fold the bucketed rows into that shard's
+//           state and emit output rows.
+// Buckets preserve input order (chunks are contiguous row ranges, visited in
+// chunk order by the fold), so everything an operator emits is a
+// deterministic function of the input regardless of shard count; shard
+// outputs are merged in shard-index order.
+// ---------------------------------------------------------------------------
+
+/// One (chunk, shard) bucket of pre-routed rows: parallel vectors of the
+/// row's index in the partition batch, an operator-specific auxiliary value,
+/// and the row's encoded state key (concatenated, delimited by key_len).
+struct KeyedEntries {
+  std::vector<int32_t> rows;
+  std::vector<int64_t> aux;
+  std::vector<uint32_t> key_len;
+  std::string keys;
+
+  void Add(int64_t row, int64_t aux_value, const std::string& key) {
+    rows.push_back(static_cast<int32_t>(row));
+    aux.push_back(aux_value);
+    key_len.push_back(static_cast<uint32_t>(key.size()));
+    keys.append(key);
+  }
+};
+
+/// Calls fn(row_index, aux, key_view) for each bucketed entry, in order.
+template <typename Fn>
+Status ForEachEntry(const KeyedEntries& e, Fn&& fn) {
+  size_t off = 0;
+  for (size_t j = 0; j < e.rows.size(); ++j) {
+    std::string_view key(e.keys.data() + off, e.key_len[j]);
+    off += e.key_len[j];
+    SS_RETURN_IF_ERROR(fn(e.rows[j], e.aux[j], key));
+  }
+  return Status::OK();
+}
+
+/// Heterogeneous-lookup hash so fold loops can probe string-keyed maps with
+/// string_views into the bucket's key arena (no per-probe allocation).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Split-stage chunk count: enough chunks to split big partitions in
+/// parallel without paying per-task overhead on small ones.
+int SplitChunks(int64_t rows, int num_shards) {
+  return rows >= 4096 ? num_shards : 1;
+}
+
+int ShardOfKey(const std::string& key, int num_shards) {
+  return static_cast<int>(ShardedStateStore::StableHashKey(key) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+/// Packs fine-grained (partition, shard) tasks into at most `max_tasks`
+/// scheduler tasks, round-robin. Sharding multiplies the stateful stages'
+/// task count by the shard count; when partition parallelism alone already
+/// covers the scheduler's cores, the extra tasks buy no parallelism and
+/// only pay per-task launch overhead. Grouping is purely a scheduling
+/// change: each inner task still owns its shard and output slot, so results
+/// are byte-identical to the unpacked run.
+std::vector<std::function<Status()>> CoalesceTasks(
+    std::vector<std::function<Status()>> tasks, int max_tasks) {
+  if (max_tasks <= 0 || tasks.size() <= static_cast<size_t>(max_tasks)) {
+    return tasks;
+  }
+  std::vector<std::vector<std::function<Status()>>> groups(
+      static_cast<size_t>(max_tasks));
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    groups[i % static_cast<size_t>(max_tasks)].push_back(
+        std::move(tasks[i]));
+  }
+  std::vector<std::function<Status()>> out;
+  out.reserve(groups.size());
+  for (auto& group : groups) {
+    out.push_back([group = std::move(group)]() -> Status {
+      for (const auto& task : group) SS_RETURN_IF_ERROR(task());
+      return Status::OK();
+    });
+  }
+  return out;
+}
+
+/// Task cap for a sharded stage over `num_partitions` partitions: never
+/// fewer tasks than the unsharded operator had, never more than can run at
+/// once.
+int ShardStageTaskCap(ExecContext* ctx, size_t num_partitions) {
+  return std::max(ctx->scheduler->parallelism(),
+                  static_cast<int>(num_partitions));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -81,117 +187,66 @@ Result<std::vector<RecordBatchPtr>> StatefulAggExec::ExecuteImpl(
     ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
-  std::vector<RecordBatchPtr> out(in.size());
-  std::vector<std::function<Status()>> tasks;
-  for (size_t p = 0; p < in.size(); ++p) {
-    tasks.push_back([this, ctx, &in, &out, p]() -> Status {
-      SS_ASSIGN_OR_RETURN(
-          RecordBatchPtr batch,
-          ExecutePartition(ctx, static_cast<int>(p), *in[p]));
-      out[p] = std::move(batch);
-      return Status::OK();
-    });
-  }
-  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
-  return out;
-}
-
-Result<RecordBatchPtr> StatefulAggExec::ExecutePartition(
-    ExecContext* ctx, int partition, const RecordBatch& input) {
-  SS_ASSIGN_OR_RETURN(StateStore * store,
-                      ctx->state->GetStore(op_id_, partition));
-  const int64_t n = input.num_rows();
+  const size_t P = in.size();
   const bool windowed = window_expr_ != nullptr;
   const int64_t watermark = ctx->watermark_micros;
   const int64_t window_size = windowed ? window_expr_->size_micros() : 0;
-
-  // Evaluate group-key inputs: the window's time column for the window key,
-  // the expression itself for scalar keys.
-  std::vector<ColumnPtr> key_cols(group_exprs_.size());
-  for (size_t g = 0; g < group_exprs_.size(); ++g) {
-    const ExprPtr& e = group_exprs_[g].expr;
-    if (static_cast<int>(g) == window_key_index_) {
-      SS_ASSIGN_OR_RETURN(key_cols[g], window_expr_->time()->EvalBatch(input));
-    } else {
-      SS_ASSIGN_OR_RETURN(key_cols[g], e->EvalBatch(input));
-    }
-  }
-  // Evaluate aggregate arguments.
-  std::vector<ColumnPtr> arg_cols(aggregates_.size());
-  for (size_t a = 0; a < aggregates_.size(); ++a) {
-    if (aggregates_[a].func == AggFunc::kCountAll) continue;
-    SS_ASSIGN_OR_RETURN(arg_cols[a], aggregates_[a].arg->EvalBatch(input));
-  }
-
-  // Fold rows into per-key running state (cache writes, flush once). The
-  // key is serialized directly from the key columns (byte-identical to
-  // EncodeRow but without boxing) — this loop is the engine's hot path.
-  std::unordered_map<std::string, Row> changed;
   const bool needs_args = [&] {
     for (const AggSpec& a : aggregates_) {
       if (a.func != AggFunc::kCountAll) return true;
     }
     return false;
   }();
-  Row args(aggregates_.size());  // all-null is correct for count(*)
-  std::vector<int64_t> window_starts;
-  std::string enc;
-  for (int64_t i = 0; i < n; ++i) {
-    if (needs_args) {
-      for (size_t a = 0; a < aggregates_.size(); ++a) {
-        if (aggregates_[a].func != AggFunc::kCountAll) {
-          args[a] = arg_cols[a]->ValueAt(i);
-        }
-      }
-    }
-    window_starts.clear();
-    if (windowed) {
-      const Column& time_col = *key_cols[static_cast<size_t>(
-          window_key_index_)];
-      if (time_col.IsNull(i)) continue;  // no event time -> no window
-      window_expr_->EnumerateWindowStarts(time_col.Int64At(i),
-                                          &window_starts);
-    } else {
-      window_starts.push_back(0);  // one dummy iteration
-    }
-    for (int64_t wstart : window_starts) {
-      if (windowed && watermark != INT64_MIN &&
-          wstart + window_size <= watermark) {
-        continue;  // late data for an already-closed window: dropped
-      }
-      enc.clear();
-      enc.push_back(static_cast<char>(group_exprs_.size()));
-      for (size_t g = 0; g < group_exprs_.size(); ++g) {
-        if (static_cast<int>(g) == window_key_index_) {
-          enc.push_back(static_cast<char>(TypeId::kTimestamp));
-          char buf[8];
-          std::memcpy(buf, &wstart, 8);
-          enc.append(buf, 8);
-        } else {
-          key_cols[g]->EncodeValueTo(i, &enc);
-        }
-      }
-      auto it = changed.find(enc);
-      if (it == changed.end()) {
-        Row state;
-        std::optional<std::string> stored = store->Get(enc);
-        if (stored.has_value()) {
-          SS_ASSIGN_OR_RETURN(state, DecodeRow(*stored));
-        } else {
-          state = InitAggState(aggregates_);
-        }
-        it = changed.emplace(enc, std::move(state)).first;
-      }
-      UpdateAggState(aggregates_, args, &it->second);
-    }
-  }
-  for (const auto& [enc, state] : changed) {
-    std::string buf;
-    EncodeRow(state, &buf);
-    store->Put(enc, std::move(buf));
+
+  // Stores open serially (lazy open does recovery I/O under the manager
+  // lock); the shard tasks below then touch disjoint shards lock-free.
+  std::vector<ShardedStateStore*> stores(P);
+  for (size_t p = 0; p < P; ++p) {
+    SS_ASSIGN_OR_RETURN(stores[p],
+                        ctx->state->GetStore(op_id_, static_cast<int>(p)));
   }
 
-  // Build output per sink mode.
+  struct PartitionWork {
+    std::vector<ColumnPtr> key_cols;
+    std::vector<ColumnPtr> arg_cols;
+    int chunks = 1;
+    std::vector<KeyedEntries> buckets;         // chunks x shards
+    std::vector<std::vector<Row>> shard_rows;  // per-shard output rows
+  };
+  std::vector<PartitionWork> work(P);
+
+  // Stage 1 [eval]: vectorized evaluation of group keys and agg arguments.
+  {
+    std::vector<std::function<Status()>> tasks;
+    for (size_t p = 0; p < P; ++p) {
+      tasks.push_back([this, &in, &work, p]() -> Status {
+        const RecordBatch& input = *in[p];
+        PartitionWork& w = work[p];
+        w.key_cols.resize(group_exprs_.size());
+        for (size_t g = 0; g < group_exprs_.size(); ++g) {
+          if (static_cast<int>(g) == window_key_index_) {
+            SS_ASSIGN_OR_RETURN(w.key_cols[g],
+                                window_expr_->time()->EvalBatch(input));
+          } else {
+            SS_ASSIGN_OR_RETURN(w.key_cols[g],
+                                group_exprs_[g].expr->EvalBatch(input));
+          }
+        }
+        w.arg_cols.resize(aggregates_.size());
+        for (size_t a = 0; a < aggregates_.size(); ++a) {
+          if (aggregates_[a].func == AggFunc::kCountAll) continue;
+          SS_ASSIGN_OR_RETURN(w.arg_cols[a],
+                              aggregates_[a].arg->EvalBatch(input));
+        }
+        return Status::OK();
+      });
+    }
+    SS_RETURN_IF_ERROR(
+        ctx->scheduler->RunStage(name() + "[eval]", std::move(tasks)));
+  }
+
+  // Finalizer shared by the shard tasks (pure: decode key, append window
+  // end, finalize aggregates).
   auto finalize = [&](const std::string& enc_key,
                       const Row& state) -> Result<Row> {
     SS_ASSIGN_OR_RETURN(Row key, DecodeRow(enc_key));
@@ -210,85 +265,324 @@ Result<RecordBatchPtr> StatefulAggExec::ExecutePartition(
     return out_row;
   };
 
-  std::vector<Row> out_rows;
-  if (ctx->is_batch) {
-    // One-shot batch run: emit everything, no eviction needed.
-    Status iter_status;
-    store->ForEach([&](const std::string& k, const std::string& v) {
-      auto state = DecodeRow(v);
-      if (!state.ok()) {
-        iter_status = state.status();
-        return;
-      }
-      auto row = finalize(k, *state);
-      if (!row.ok()) {
-        iter_status = row.status();
-        return;
-      }
-      out_rows.push_back(std::move(*row));
-    });
-    SS_RETURN_IF_ERROR(iter_status);
-    return RecordBatch::FromRows(schema_, out_rows);
-  }
+  // Keys touched this batch -> updated state, one map per shard. In both
+  // execution paths below a shard's insertion order is the input-row order
+  // restricted to that shard (the staged path iterates chunk buckets in
+  // chunk order, and chunks are contiguous in-order row ranges), so with
+  // the same map type and key sequence the iteration order — and therefore
+  // update-mode emission order — is identical between the paths.
+  using ChangedMap = std::unordered_map<std::string, Row,
+                                        TransparentStringHash,
+                                        std::equal_to<>>;
 
-  // Eviction of closed windows (and append-mode emission of their finals).
-  std::vector<std::string> evict;
-  if (windowed && watermark != INT64_MIN) {
-    Status iter_status;
-    store->ForEach([&](const std::string& k, const std::string& v) {
-      auto key = DecodeRow(k);
-      if (!key.ok()) {
-        iter_status = key.status();
-        return;
-      }
-      int64_t wstart =
-          (*key)[static_cast<size_t>(window_key_index_)].int64_value();
-      if (wstart + window_size <= watermark) {
-        if (ctx->mode == OutputMode::kAppend) {
-          auto state = DecodeRow(v);
-          if (!state.ok()) {
-            iter_status = state.status();
-            return;
-          }
-          auto row = finalize(k, *state);
-          if (!row.ok()) {
-            iter_status = row.status();
-            return;
-          }
-          out_rows.push_back(std::move(*row));
-        }
-        evict.push_back(k);
-      }
-    });
-    SS_RETURN_IF_ERROR(iter_status);
-    for (const std::string& k : evict) store->Remove(k);
-  }
-
-  if (ctx->mode == OutputMode::kUpdate) {
-    std::unordered_set<std::string> evicted(evict.begin(), evict.end());
+  // Flush + emit for one shard, shared by both paths: write back the
+  // changed states, then emit per output mode (batch/complete: everything;
+  // append: finals of windows closed by the watermark; update: changed
+  // minus evicted), evicting closed windows along the way.
+  auto apply_shard = [&](StateShardProtocol* shard, const ChangedMap& changed,
+                         std::vector<Row>& out_rows) -> Status {
     for (const auto& [enc, state] : changed) {
-      if (evicted.count(enc)) continue;  // closed this epoch; never re-emit
-      SS_ASSIGN_OR_RETURN(Row row, finalize(enc, state));
-      out_rows.push_back(std::move(row));
+      std::string buf;
+      EncodeRow(state, &buf);
+      shard->Put(enc, std::move(buf));
     }
-  } else if (ctx->mode == OutputMode::kComplete) {
-    Status iter_status;
-    store->ForEach([&](const std::string& k, const std::string& v) {
-      auto state = DecodeRow(v);
-      if (!state.ok()) {
-        iter_status = state.status();
-        return;
+
+    if (ctx->is_batch) {
+      // One-shot batch run: emit everything, no eviction needed.
+      Status iter_status;
+      shard->ForEach([&](const std::string& k, const std::string& v) {
+        auto state = DecodeRow(v);
+        if (!state.ok()) {
+          iter_status = state.status();
+          return;
+        }
+        auto row = finalize(k, *state);
+        if (!row.ok()) {
+          iter_status = row.status();
+          return;
+        }
+        out_rows.push_back(std::move(*row));
+      });
+      return iter_status;
+    }
+
+    // Eviction of closed windows (and append-mode emission of their
+    // finals), shard-local.
+    std::vector<std::string> evict;
+    if (windowed && watermark != INT64_MIN) {
+      Status iter_status;
+      shard->ForEach([&](const std::string& k, const std::string& v) {
+        auto key = DecodeRow(k);
+        if (!key.ok()) {
+          iter_status = key.status();
+          return;
+        }
+        int64_t wstart =
+            (*key)[static_cast<size_t>(window_key_index_)].int64_value();
+        if (wstart + window_size <= watermark) {
+          if (ctx->mode == OutputMode::kAppend) {
+            auto state = DecodeRow(v);
+            if (!state.ok()) {
+              iter_status = state.status();
+              return;
+            }
+            auto row = finalize(k, *state);
+            if (!row.ok()) {
+              iter_status = row.status();
+              return;
+            }
+            out_rows.push_back(std::move(*row));
+          }
+          evict.push_back(k);
+        }
+      });
+      SS_RETURN_IF_ERROR(iter_status);
+      for (const std::string& k : evict) shard->Remove(k);
+    }
+
+    if (ctx->mode == OutputMode::kUpdate) {
+      std::unordered_set<std::string> evicted(evict.begin(), evict.end());
+      for (const auto& [enc, state] : changed) {
+        if (evicted.count(enc)) continue;  // closed; never re-emit
+        SS_ASSIGN_OR_RETURN(Row row, finalize(enc, state));
+        out_rows.push_back(std::move(row));
       }
-      auto row = finalize(k, *state);
-      if (!row.ok()) {
-        iter_status = row.status();
-        return;
-      }
-      out_rows.push_back(std::move(*row));
-    });
-    SS_RETURN_IF_ERROR(iter_status);
+    } else if (ctx->mode == OutputMode::kComplete) {
+      Status iter_status;
+      shard->ForEach([&](const std::string& k, const std::string& v) {
+        auto state = DecodeRow(v);
+        if (!state.ok()) {
+          iter_status = state.status();
+          return;
+        }
+        auto row = finalize(k, *state);
+        if (!row.ok()) {
+          iter_status = row.status();
+          return;
+        }
+        out_rows.push_back(std::move(*row));
+      });
+      SS_RETURN_IF_ERROR(iter_status);
+    }
+    return Status::OK();
+  };
+
+  // When partition parallelism alone saturates the scheduler, per-shard
+  // tasks buy no extra concurrency and the staged split's key
+  // materialization is an extra full pass over the data for nothing. Fuse
+  // instead: one task per partition routes rows straight into per-shard
+  // changed maps and applies each shard in index order — byte-identical to
+  // the staged path (see the ChangedMap note above).
+  const bool fused = ctx->scheduler->parallelism() <= static_cast<int>(P);
+  if (fused) {
+    std::vector<std::function<Status()>> tasks;
+    for (size_t p = 0; p < P; ++p) {
+      const int S = stores[p]->num_shards();
+      const int64_t n = in[p]->num_rows();
+      work[p].shard_rows.resize(static_cast<size_t>(S));
+      tasks.push_back([this, &work, &stores, &apply_shard, p, S, n, windowed,
+                       watermark, window_size, needs_args]() -> Status {
+        PartitionWork& w = work[p];
+        std::vector<ChangedMap> changed(static_cast<size_t>(S));
+        Row args(aggregates_.size());  // all-null is correct for count(*)
+        std::vector<int64_t> window_starts;
+        std::string enc;
+        for (int64_t i = 0; i < n; ++i) {
+          window_starts.clear();
+          if (windowed) {
+            const Column& time_col =
+                *w.key_cols[static_cast<size_t>(window_key_index_)];
+            if (time_col.IsNull(i)) continue;  // no event time -> no window
+            window_expr_->EnumerateWindowStarts(time_col.Int64At(i),
+                                                &window_starts);
+          } else {
+            window_starts.push_back(0);  // one dummy iteration
+          }
+          if (needs_args) {
+            for (size_t a = 0; a < aggregates_.size(); ++a) {
+              if (aggregates_[a].func != AggFunc::kCountAll) {
+                args[a] = w.arg_cols[a]->ValueAt(i);
+              }
+            }
+          }
+          for (int64_t wstart : window_starts) {
+            if (windowed && watermark != INT64_MIN &&
+                wstart + window_size <= watermark) {
+              continue;  // late data for an already-closed window: dropped
+            }
+            enc.clear();
+            enc.push_back(static_cast<char>(group_exprs_.size()));
+            for (size_t g = 0; g < group_exprs_.size(); ++g) {
+              if (static_cast<int>(g) == window_key_index_) {
+                enc.push_back(static_cast<char>(TypeId::kTimestamp));
+                char buf[8];
+                std::memcpy(buf, &wstart, 8);
+                enc.append(buf, 8);
+              } else {
+                w.key_cols[g]->EncodeValueTo(i, &enc);
+              }
+            }
+            const int s = ShardOfKey(enc, S);
+            ChangedMap& cm = changed[static_cast<size_t>(s)];
+            auto it = cm.find(enc);
+            if (it == cm.end()) {
+              Row state;
+              std::optional<std::string> stored =
+                  stores[p]->shard(s)->Get(enc);
+              if (stored.has_value()) {
+                SS_ASSIGN_OR_RETURN(state, DecodeRow(*stored));
+              } else {
+                state = InitAggState(aggregates_);
+              }
+              it = cm.emplace(enc, std::move(state)).first;
+            }
+            UpdateAggState(aggregates_, args, &it->second);
+          }
+        }
+        for (int s = 0; s < S; ++s) {
+          SS_RETURN_IF_ERROR(
+              apply_shard(stores[p]->shard(s), changed[static_cast<size_t>(s)],
+                          w.shard_rows[static_cast<size_t>(s)]));
+        }
+        return Status::OK();
+      });
+    }
+    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
   }
-  return RecordBatch::FromRows(schema_, out_rows);
+
+  // Stage 2 [split]: enumerate window starts, drop late rows, serialize
+  // each row's group key (byte-identical to EncodeRow but without boxing),
+  // and route it to a shard bucket by key hash. Chunked so one big
+  // partition still splits in parallel. Skipped on the fused path.
+  if (!fused) {
+    std::vector<std::function<Status()>> tasks;
+    for (size_t p = 0; p < P; ++p) {
+      const int S = stores[p]->num_shards();
+      const int64_t n = in[p]->num_rows();
+      work[p].chunks = SplitChunks(n, S);
+      work[p].buckets.resize(static_cast<size_t>(work[p].chunks) *
+                             static_cast<size_t>(S));
+      work[p].shard_rows.resize(static_cast<size_t>(S));
+      const int C = work[p].chunks;
+      const int64_t per = (n + C - 1) / C;
+      for (int c = 0; c < C; ++c) {
+        const int64_t lo = c * per;
+        const int64_t hi = std::min(n, lo + per);
+        tasks.push_back([this, &work, p, c, lo, hi, S, windowed, watermark,
+                         window_size]() -> Status {
+          PartitionWork& w = work[p];
+          KeyedEntries* buckets =
+              &w.buckets[static_cast<size_t>(c) * static_cast<size_t>(S)];
+          std::vector<int64_t> window_starts;
+          std::string enc;
+          for (int64_t i = lo; i < hi; ++i) {
+            window_starts.clear();
+            if (windowed) {
+              const Column& time_col =
+                  *w.key_cols[static_cast<size_t>(window_key_index_)];
+              if (time_col.IsNull(i)) continue;  // no event time -> no window
+              window_expr_->EnumerateWindowStarts(time_col.Int64At(i),
+                                                  &window_starts);
+            } else {
+              window_starts.push_back(0);  // one dummy iteration
+            }
+            for (int64_t wstart : window_starts) {
+              if (windowed && watermark != INT64_MIN &&
+                  wstart + window_size <= watermark) {
+                continue;  // late data for an already-closed window: dropped
+              }
+              enc.clear();
+              enc.push_back(static_cast<char>(group_exprs_.size()));
+              for (size_t g = 0; g < group_exprs_.size(); ++g) {
+                if (static_cast<int>(g) == window_key_index_) {
+                  enc.push_back(static_cast<char>(TypeId::kTimestamp));
+                  char buf[8];
+                  std::memcpy(buf, &wstart, 8);
+                  enc.append(buf, 8);
+                } else {
+                  w.key_cols[g]->EncodeValueTo(i, &enc);
+                }
+              }
+              buckets[ShardOfKey(enc, S)].Add(i, wstart, enc);
+            }
+          }
+          return Status::OK();
+        });
+      }
+    }
+    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+        name() + "[split]",
+        CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
+  }
+
+  // Stage 3: fold each shard's bucketed rows into its state and emit. One
+  // task per (partition, shard); a shard is only touched by its own task.
+  // Skipped on the fused path.
+  if (!fused) {
+    std::vector<std::function<Status()>> tasks;
+    for (size_t p = 0; p < P; ++p) {
+      const int S = stores[p]->num_shards();
+      for (int s = 0; s < S; ++s) {
+        tasks.push_back([this, &work, &stores, &apply_shard, p, s, S,
+                         needs_args]() -> Status {
+          PartitionWork& w = work[p];
+          StateShardProtocol* shard = stores[p]->shard(s);
+          ChangedMap changed;
+          Row args(aggregates_.size());  // all-null is correct for count(*)
+          for (int c = 0; c < w.chunks; ++c) {
+            const KeyedEntries& bucket =
+                w.buckets[static_cast<size_t>(c) * static_cast<size_t>(S) +
+                          static_cast<size_t>(s)];
+            SS_RETURN_IF_ERROR(ForEachEntry(
+                bucket,
+                [&](int32_t i, int64_t, std::string_view enc) -> Status {
+                  if (needs_args) {
+                    for (size_t a = 0; a < aggregates_.size(); ++a) {
+                      if (aggregates_[a].func != AggFunc::kCountAll) {
+                        args[a] = w.arg_cols[a]->ValueAt(i);
+                      }
+                    }
+                  }
+                  auto it = changed.find(enc);
+                  if (it == changed.end()) {
+                    std::string key(enc);
+                    Row state;
+                    std::optional<std::string> stored = shard->Get(key);
+                    if (stored.has_value()) {
+                      SS_ASSIGN_OR_RETURN(state, DecodeRow(*stored));
+                    } else {
+                      state = InitAggState(aggregates_);
+                    }
+                    it = changed.emplace(std::move(key), std::move(state))
+                             .first;
+                  }
+                  UpdateAggState(aggregates_, args, &it->second);
+                  return Status::OK();
+                }));
+          }
+          return apply_shard(shard, changed,
+                             w.shard_rows[static_cast<size_t>(s)]);
+        });
+      }
+    }
+    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+        name(), CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
+  }
+
+  // Deterministic merge: shard outputs concatenated in shard-index order.
+  std::vector<RecordBatchPtr> out(P);
+  for (size_t p = 0; p < P; ++p) {
+    std::vector<Row> merged;
+    size_t total = 0;
+    for (const auto& sr : work[p].shard_rows) total += sr.size();
+    merged.reserve(total);
+    for (auto& sr : work[p].shard_rows) {
+      merged.insert(merged.end(), std::make_move_iterator(sr.begin()),
+                    std::make_move_iterator(sr.end()));
+    }
+    SS_ASSIGN_OR_RETURN(out[p], RecordBatch::FromRows(schema_, merged));
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -301,27 +595,90 @@ DedupExec::DedupExec(int op_id, PhysOpPtr child)
 Result<std::vector<RecordBatchPtr>> DedupExec::ExecuteImpl(ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
-  std::vector<RecordBatchPtr> out(in.size());
-  std::vector<std::function<Status()>> tasks;
-  for (size_t p = 0; p < in.size(); ++p) {
-    tasks.push_back([this, ctx, &in, &out, p]() -> Status {
-      SS_ASSIGN_OR_RETURN(StateStore * store,
-                          ctx->state->GetStore(op_id_, static_cast<int>(p)));
-      const RecordBatchPtr& batch = in[p];
-      std::vector<uint8_t> mask(static_cast<size_t>(batch->num_rows()), 0);
-      for (int64_t i = 0; i < batch->num_rows(); ++i) {
-        std::string enc;
-        EncodeRow(batch->RowAt(i), &enc);
-        if (!store->Contains(enc)) {
-          store->Put(enc, "");
-          mask[static_cast<size_t>(i)] = 1;
-        }
-      }
-      out[p] = batch->Filter(mask);
-      return Status::OK();
-    });
+  const size_t P = in.size();
+  std::vector<ShardedStateStore*> stores(P);
+  for (size_t p = 0; p < P; ++p) {
+    SS_ASSIGN_OR_RETURN(stores[p],
+                        ctx->state->GetStore(op_id_, static_cast<int>(p)));
   }
-  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+
+  struct PartitionWork {
+    int chunks = 1;
+    std::vector<KeyedEntries> buckets;  // chunks x shards
+    std::vector<uint8_t> mask;
+  };
+  std::vector<PartitionWork> work(P);
+
+  // Split: encode each row (the dedup key is the whole row) and route it to
+  // a shard bucket.
+  {
+    std::vector<std::function<Status()>> tasks;
+    for (size_t p = 0; p < P; ++p) {
+      const int S = stores[p]->num_shards();
+      const int64_t n = in[p]->num_rows();
+      work[p].chunks = SplitChunks(n, S);
+      work[p].buckets.resize(static_cast<size_t>(work[p].chunks) *
+                             static_cast<size_t>(S));
+      work[p].mask.assign(static_cast<size_t>(n), 0);
+      const int C = work[p].chunks;
+      const int64_t per = (n + C - 1) / C;
+      for (int c = 0; c < C; ++c) {
+        const int64_t lo = c * per;
+        const int64_t hi = std::min(n, lo + per);
+        tasks.push_back([&in, &work, p, c, lo, hi, S]() -> Status {
+          KeyedEntries* buckets =
+              &work[p].buckets[static_cast<size_t>(c) *
+                               static_cast<size_t>(S)];
+          std::string enc;
+          for (int64_t i = lo; i < hi; ++i) {
+            enc.clear();
+            EncodeRow(in[p]->RowAt(i), &enc);
+            buckets[ShardOfKey(enc, S)].Add(i, 0, enc);
+          }
+          return Status::OK();
+        });
+      }
+    }
+    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+        name() + "[split]",
+        CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
+  }
+
+  // Probe: each shard task marks its first-seen rows in the partition's
+  // shared mask. Writes land on disjoint bytes (a row routes to exactly one
+  // shard), and the mask preserves input order, so the output is
+  // byte-identical whatever the shard count.
+  {
+    std::vector<std::function<Status()>> tasks;
+    for (size_t p = 0; p < P; ++p) {
+      const int S = stores[p]->num_shards();
+      for (int s = 0; s < S; ++s) {
+        tasks.push_back([&work, &stores, p, s, S]() -> Status {
+          StateShardProtocol* shard = stores[p]->shard(s);
+          PartitionWork& w = work[p];
+          for (int c = 0; c < w.chunks; ++c) {
+            SS_RETURN_IF_ERROR(ForEachEntry(
+                w.buckets[static_cast<size_t>(c) * static_cast<size_t>(S) +
+                          static_cast<size_t>(s)],
+                [&](int32_t i, int64_t, std::string_view enc) -> Status {
+                  std::string key(enc);
+                  if (!shard->Contains(key)) {
+                    shard->Put(key, "");
+                    w.mask[static_cast<size_t>(i)] = 1;
+                  }
+                  return Status::OK();
+                }));
+          }
+          return Status::OK();
+        });
+      }
+    }
+    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+        name(), CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
+  }
+
+  std::vector<RecordBatchPtr> out(P);
+  for (size_t p = 0; p < P; ++p) out[p] = in[p]->Filter(work[p].mask);
   return out;
 }
 
@@ -568,148 +925,243 @@ Result<std::vector<RecordBatchPtr>> StreamStreamJoinExec::ExecuteImpl(
   if (left_in.size() != right_in.size()) {
     return Status::Internal("stream-stream join sides not co-partitioned");
   }
-  std::vector<RecordBatchPtr> out(left_in.size());
-  std::vector<std::function<Status()>> tasks;
-  for (size_t p = 0; p < left_in.size(); ++p) {
-    tasks.push_back([this, ctx, &left_in, &right_in, &out, p]() -> Status {
-      SS_ASSIGN_OR_RETURN(RecordBatchPtr batch,
-                          ExecutePartition(ctx, static_cast<int>(p),
-                                           *left_in[p], *right_in[p]));
-      out[p] = std::move(batch);
-      return Status::OK();
-    });
+  const size_t P = left_in.size();
+  std::vector<ShardedStateStore*> stores(P);
+  for (size_t p = 0; p < P; ++p) {
+    SS_ASSIGN_OR_RETURN(stores[p],
+                        ctx->state->GetStore(op_id_, static_cast<int>(p)));
   }
-  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
-  return out;
-}
 
-Result<RecordBatchPtr> StreamStreamJoinExec::ExecutePartition(
-    ExecContext* ctx, int partition, const RecordBatch& left_input,
-    const RecordBatch& right_input) {
-  SS_ASSIGN_OR_RETURN(StateStore * store,
-                      ctx->state->GetStore(op_id_, partition));
-  std::vector<Row> out_rows;
-
-  // Working cache of decoded side-state, flushed at the end.
-  std::unordered_map<std::string, std::vector<std::pair<bool, Row>>> cache;
-  auto load = [&](const std::string& store_key)
-      -> Result<std::vector<std::pair<bool, Row>>*> {
-    auto it = cache.find(store_key);
-    if (it == cache.end()) {
-      std::vector<std::pair<bool, Row>> rows;
-      std::optional<std::string> stored = store->Get(store_key);
-      if (stored.has_value()) {
-        SS_ASSIGN_OR_RETURN(rows, DecodeSideRows(*stored));
-      }
-      it = cache.emplace(store_key, std::move(rows)).first;
-    }
-    return &it->second;
+  struct PartitionWork {
+    // Per-shard buckets for each side. The shard is chosen by the hash of
+    // the join key *without* the 'L'/'R' side byte, so both sides of a key
+    // land in the same shard (the join needs them together); store keys
+    // keep the side prefix within the shard.
+    std::vector<KeyedEntries> left_buckets;
+    std::vector<KeyedEntries> right_buckets;
+    std::vector<std::vector<Row>> shard_rows;
   };
+  std::vector<PartitionWork> work(P);
 
-  auto key_of = [](const std::vector<ExprPtr>& keys, const Row& row,
-                   char side) -> Result<std::string> {
-    Row key;
-    key.reserve(keys.size());
-    for (const ExprPtr& e : keys) {
-      SS_ASSIGN_OR_RETURN(Value v, e->EvalRow(row));
-      key.push_back(std::move(v));
-    }
-    std::string enc(1, side);
-    EncodeRow(key, &enc);
-    return enc;
-  };
-
-  // Pass 1: probe new left rows against the stored right side (prior
-  // epochs), appending them to left state.
-  const int64_t nl = left_input.num_rows();
-  for (int64_t i = 0; i < nl; ++i) {
-    Row lrow = left_input.RowAt(i);
-    SS_ASSIGN_OR_RETURN(std::string lkey, key_of(left_keys_, lrow, 'L'));
-    std::string rkey = lkey;
-    rkey[0] = 'R';
-    SS_ASSIGN_OR_RETURN(auto* right_rows, load(rkey));
-    bool matched = false;
-    for (auto& [rmatched, rrow] : *right_rows) {
-      out_rows.push_back(JoinedRow(&lrow, &rrow));
-      rmatched = true;
-      matched = true;
-    }
-    SS_ASSIGN_OR_RETURN(auto* left_rows, load(lkey));
-    left_rows->emplace_back(matched, std::move(lrow));
-  }
-  // Pass 2: probe new right rows against left state (which now includes
-  // this epoch's left rows, covering intra-epoch matches exactly once).
-  const int64_t nr = right_input.num_rows();
-  for (int64_t i = 0; i < nr; ++i) {
-    Row rrow = right_input.RowAt(i);
-    SS_ASSIGN_OR_RETURN(std::string rkey, key_of(right_keys_, rrow, 'R'));
-    std::string lkey = rkey;
-    lkey[0] = 'L';
-    SS_ASSIGN_OR_RETURN(auto* left_rows, load(lkey));
-    bool matched = false;
-    for (auto& [lmatched, lrow] : *left_rows) {
-      out_rows.push_back(JoinedRow(&lrow, &rrow));
-      lmatched = true;
-      matched = true;
-    }
-    SS_ASSIGN_OR_RETURN(auto* right_rows, load(rkey));
-    right_rows->emplace_back(matched, std::move(rrow));
-  }
-
-  // Watermark-driven eviction: rows whose event time has fallen below the
-  // watermark can no longer match. Unmatched rows on a preserved outer side
-  // are emitted null-padded exactly once, here.
-  const int64_t watermark = ctx->watermark_micros;
-  const bool evicting = watermark != INT64_MIN &&
-                        (left_time_index_ >= 0 || right_time_index_ >= 0);
-  if (evicting || ctx->is_batch) {
-    // Ensure every stored key is in the cache so eviction sees all state.
-    std::vector<std::string> all_keys;
-    store->ForEach([&](const std::string& k, const std::string&) {
-      all_keys.push_back(k);
-    });
-    for (const std::string& k : all_keys) {
-      SS_RETURN_IF_ERROR(load(k).status());
-    }
-    for (auto& [store_key, rows] : cache) {
-      const bool is_left = store_key[0] == 'L';
-      const int time_index = is_left ? left_time_index_ : right_time_index_;
-      const bool preserved =
-          (is_left && join_type_ == JoinType::kLeftOuter) ||
-          (!is_left && join_type_ == JoinType::kRightOuter);
-      std::vector<std::pair<bool, Row>> kept;
-      for (auto& [matched, row] : rows) {
-        bool expire;
-        if (ctx->is_batch) {
-          expire = true;  // batch run: finalize everything at the end
-        } else {
-          expire = time_index >= 0 &&
-                   !row[static_cast<size_t>(time_index)].is_null() &&
-                   row[static_cast<size_t>(time_index)].int64_value() <
-                       watermark;
-        }
-        if (expire) {
-          if (preserved && !matched) {
-            out_rows.push_back(is_left ? JoinedRow(&row, nullptr)
-                                       : JoinedRow(nullptr, &row));
+  // Split stage: evaluate join keys (vectorized) and route each side's rows
+  // to shard buckets. One task per (partition, side).
+  {
+    std::vector<std::function<Status()>> tasks;
+    for (size_t p = 0; p < P; ++p) {
+      const int S = stores[p]->num_shards();
+      work[p].left_buckets.resize(static_cast<size_t>(S));
+      work[p].right_buckets.resize(static_cast<size_t>(S));
+      work[p].shard_rows.resize(static_cast<size_t>(S));
+      for (int side = 0; side < 2; ++side) {
+        tasks.push_back([this, &left_in, &right_in, &work, p, side,
+                         S]() -> Status {
+          const RecordBatch& input =
+              side == 0 ? *left_in[p] : *right_in[p];
+          const std::vector<ExprPtr>& keys =
+              side == 0 ? left_keys_ : right_keys_;
+          std::vector<KeyedEntries>& buckets =
+              side == 0 ? work[p].left_buckets : work[p].right_buckets;
+          std::vector<ColumnPtr> key_cols(keys.size());
+          for (size_t k = 0; k < keys.size(); ++k) {
+            SS_ASSIGN_OR_RETURN(key_cols[k], keys[k]->EvalBatch(input));
           }
-        } else {
-          kept.emplace_back(matched, std::move(row));
-        }
+          std::string enc;
+          const int64_t n = input.num_rows();
+          for (int64_t i = 0; i < n; ++i) {
+            enc.clear();
+            enc.push_back(static_cast<char>(keys.size()));
+            for (size_t k = 0; k < key_cols.size(); ++k) {
+              key_cols[k]->EncodeValueTo(i, &enc);
+            }
+            buckets[static_cast<size_t>(ShardOfKey(enc, S))].Add(i, 0, enc);
+          }
+          return Status::OK();
+        });
       }
-      rows = std::move(kept);
     }
+    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+        name() + "[split]",
+        CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
   }
 
-  // Flush cache to the store.
-  for (const auto& [store_key, rows] : cache) {
-    if (rows.empty()) {
-      store->Remove(store_key);
-    } else {
-      store->Put(store_key, EncodeSideRows(rows));
+  // Shard stage: the symmetric-hash passes, restricted to each shard's
+  // bucketed rows, in input order — so the joined multiset per shard is
+  // shard-count-invariant.
+  {
+    std::vector<std::function<Status()>> tasks;
+    for (size_t p = 0; p < P; ++p) {
+      const int S = stores[p]->num_shards();
+      for (int s = 0; s < S; ++s) {
+        tasks.push_back([this, ctx, &left_in, &right_in, &work, &stores, p,
+                         s]() -> Status {
+          StateShardProtocol* shard = stores[p]->shard(s);
+          PartitionWork& w = work[p];
+          std::vector<Row>& out_rows = w.shard_rows[static_cast<size_t>(s)];
+
+          // Working cache of decoded side-state. Tracks how many rows were
+          // already stored (`base_n`) and whether stored rows changed
+          // (`dirty`), so the flush can append just the new suffix for
+          // grow-only keys instead of rewriting the value.
+          struct CacheEntry {
+            std::vector<std::pair<bool, Row>> rows;
+            size_t base_n = 0;
+            bool dirty = false;
+          };
+          std::unordered_map<std::string, CacheEntry> cache;
+          auto load = [&](const std::string& store_key)
+              -> Result<CacheEntry*> {
+            auto it = cache.find(store_key);
+            if (it == cache.end()) {
+              CacheEntry entry;
+              std::optional<std::string> stored = shard->Get(store_key);
+              if (stored.has_value()) {
+                SS_ASSIGN_OR_RETURN(entry.rows, DecodeSideRows(*stored));
+                entry.base_n = entry.rows.size();
+              }
+              it = cache.emplace(store_key, std::move(entry)).first;
+            }
+            return &it->second;
+          };
+
+          // Pass 1: probe new left rows against the stored right side
+          // (prior epochs), appending them to left state.
+          SS_RETURN_IF_ERROR(ForEachEntry(
+              w.left_buckets[static_cast<size_t>(s)],
+              [&](int32_t i, int64_t, std::string_view enc) -> Status {
+                Row lrow = left_in[p]->RowAt(i);
+                std::string lkey = "L";
+                lkey.append(enc);
+                std::string rkey = lkey;
+                rkey[0] = 'R';
+                SS_ASSIGN_OR_RETURN(CacheEntry * right_entry, load(rkey));
+                bool matched = false;
+                for (size_t k = 0; k < right_entry->rows.size(); ++k) {
+                  auto& [rmatched, rrow] = right_entry->rows[k];
+                  out_rows.push_back(JoinedRow(&lrow, &rrow));
+                  if (!rmatched && k < right_entry->base_n) {
+                    right_entry->dirty = true;  // stored flag flips
+                  }
+                  rmatched = true;
+                  matched = true;
+                }
+                SS_ASSIGN_OR_RETURN(CacheEntry * left_entry, load(lkey));
+                left_entry->rows.emplace_back(matched, std::move(lrow));
+                return Status::OK();
+              }));
+          // Pass 2: probe new right rows against left state (which now
+          // includes this epoch's left rows, covering intra-epoch matches
+          // exactly once).
+          SS_RETURN_IF_ERROR(ForEachEntry(
+              w.right_buckets[static_cast<size_t>(s)],
+              [&](int32_t i, int64_t, std::string_view enc) -> Status {
+                Row rrow = right_in[p]->RowAt(i);
+                std::string rkey = "R";
+                rkey.append(enc);
+                std::string lkey = rkey;
+                lkey[0] = 'L';
+                SS_ASSIGN_OR_RETURN(CacheEntry * left_entry, load(lkey));
+                bool matched = false;
+                for (size_t k = 0; k < left_entry->rows.size(); ++k) {
+                  auto& [lmatched, lrow] = left_entry->rows[k];
+                  out_rows.push_back(JoinedRow(&lrow, &rrow));
+                  if (!lmatched && k < left_entry->base_n) {
+                    left_entry->dirty = true;
+                  }
+                  lmatched = true;
+                  matched = true;
+                }
+                SS_ASSIGN_OR_RETURN(CacheEntry * right_entry, load(rkey));
+                right_entry->rows.emplace_back(matched, std::move(rrow));
+                return Status::OK();
+              }));
+
+          // Watermark-driven eviction: rows whose event time has fallen
+          // below the watermark can no longer match. Unmatched rows on a
+          // preserved outer side are emitted null-padded exactly once.
+          const int64_t watermark = ctx->watermark_micros;
+          const bool evicting =
+              watermark != INT64_MIN &&
+              (left_time_index_ >= 0 || right_time_index_ >= 0);
+          if (evicting || ctx->is_batch) {
+            // Pull every stored key of this shard into the cache so
+            // eviction sees all state.
+            std::vector<std::string> all_keys;
+            shard->ForEach([&](const std::string& k, const std::string&) {
+              all_keys.push_back(k);
+            });
+            for (const std::string& k : all_keys) {
+              SS_RETURN_IF_ERROR(load(k).status());
+            }
+            for (auto& [store_key, entry] : cache) {
+              const bool is_left = store_key[0] == 'L';
+              const int time_index =
+                  is_left ? left_time_index_ : right_time_index_;
+              const bool preserved =
+                  (is_left && join_type_ == JoinType::kLeftOuter) ||
+                  (!is_left && join_type_ == JoinType::kRightOuter);
+              std::vector<std::pair<bool, Row>> kept;
+              for (auto& [matched, row] : entry.rows) {
+                bool expire;
+                if (ctx->is_batch) {
+                  expire = true;  // batch run: finalize everything
+                } else {
+                  expire = time_index >= 0 &&
+                           !row[static_cast<size_t>(time_index)].is_null() &&
+                           row[static_cast<size_t>(time_index)]
+                                   .int64_value() < watermark;
+                }
+                if (expire) {
+                  if (preserved && !matched) {
+                    out_rows.push_back(is_left ? JoinedRow(&row, nullptr)
+                                               : JoinedRow(nullptr, &row));
+                  }
+                } else {
+                  kept.emplace_back(matched, std::move(row));
+                }
+              }
+              if (kept.size() != entry.rows.size()) entry.dirty = true;
+              entry.rows = std::move(kept);
+            }
+          }
+
+          // Flush: untouched entries are skipped, grow-only entries append
+          // their new suffix, everything else is rewritten.
+          for (const auto& [store_key, entry] : cache) {
+            if (entry.rows.empty()) {
+              if (entry.base_n > 0) shard->Remove(store_key);
+            } else if (entry.dirty) {
+              shard->Put(store_key, EncodeSideRows(entry.rows));
+            } else if (entry.rows.size() > entry.base_n) {
+              std::string tail;
+              for (size_t k = entry.base_n; k < entry.rows.size(); ++k) {
+                tail.push_back(entry.rows[k].first ? 1 : 0);
+                EncodeRow(entry.rows[k].second, &tail);
+              }
+              SS_RETURN_IF_ERROR(shard->Append(store_key, tail));
+            }
+          }
+          return Status::OK();
+        });
+      }
     }
+    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+        name(), CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
   }
-  return RecordBatch::FromRows(schema_, out_rows);
+
+  // Deterministic merge in shard-index order.
+  std::vector<RecordBatchPtr> out(P);
+  for (size_t p = 0; p < P; ++p) {
+    std::vector<Row> merged;
+    size_t total = 0;
+    for (const auto& sr : work[p].shard_rows) total += sr.size();
+    merged.reserve(total);
+    for (auto& sr : work[p].shard_rows) {
+      merged.insert(merged.end(), std::make_move_iterator(sr.begin()),
+                    std::make_move_iterator(sr.end()));
+    }
+    SS_ASSIGN_OR_RETURN(out[p], RecordBatch::FromRows(schema_, merged));
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -747,7 +1199,7 @@ Result<std::vector<RecordBatchPtr>> FlatMapGroupsWithStateExec::ExecuteImpl(
 
 Result<RecordBatchPtr> FlatMapGroupsWithStateExec::ExecutePartition(
     ExecContext* ctx, int partition, const RecordBatch& input) {
-  SS_ASSIGN_OR_RETURN(StateStore * store,
+  SS_ASSIGN_OR_RETURN(ShardedStateStore * store,
                       ctx->state->GetStore(op_id_, partition));
   const int64_t now = ctx->clock != nullptr ? ctx->clock->NowMicros() : 0;
   const int64_t watermark = ctx->watermark_micros;

@@ -37,9 +37,6 @@ class StatefulAggExec : public PhysOp {
   int num_output_key_columns() const;
 
  private:
-  Result<RecordBatchPtr> ExecutePartition(ExecContext* ctx, int partition,
-                                          const RecordBatch& input);
-
   std::vector<NamedExpr> group_exprs_;
   std::vector<AggSpec> aggregates_;
   // Set when one group key is a window() expression.
@@ -118,10 +115,6 @@ class StreamStreamJoinExec : public PhysOp {
   Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
  private:
-  Result<RecordBatchPtr> ExecutePartition(ExecContext* ctx, int partition,
-                                          const RecordBatch& left_input,
-                                          const RecordBatch& right_input);
-
   Row JoinedRow(const Row* left, const Row* right) const;
 
   std::vector<ExprPtr> left_keys_;

@@ -106,8 +106,17 @@ Status PoolScheduler::RunStage(const std::string& /*stage_name*/,
 SimClusterScheduler::SimClusterScheduler(Options options)
     : options_(options), rng_(options.seed) {}
 
+int64_t SimClusterScheduler::StageVirtualNanos(
+    const std::string& prefix) const {
+  int64_t total = 0;
+  for (const auto& [name, nanos] : stage_virtual_nanos_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) total += nanos;
+  }
+  return total;
+}
+
 Status SimClusterScheduler::RunStage(
-    const std::string& /*stage_name*/,
+    const std::string& stage_name,
     std::vector<std::function<Status()>> tasks) {
   const int cores = parallelism();
   StageMetrics m(metrics_);
@@ -186,6 +195,7 @@ Status SimClusterScheduler::RunStage(
   int64_t stage_finish =
       *std::max_element(core_free_at.begin(), core_free_at.end());
   virtual_nanos_ += stage_finish;
+  stage_virtual_nanos_[stage_name] += stage_finish;
   if (m.enabled()) m.stage_nanos->Record(stage_finish);
   return Status::OK();
 }

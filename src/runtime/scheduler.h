@@ -2,6 +2,7 @@
 #define SSTREAMING_RUNTIME_SCHEDULER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -123,7 +124,16 @@ class SimClusterScheduler : public TaskScheduler {
 
   /// Total simulated wall-clock time consumed by all stages so far.
   int64_t virtual_nanos() const { return virtual_nanos_; }
-  void reset_virtual_time() { virtual_nanos_ = 0; }
+  void reset_virtual_time() {
+    virtual_nanos_ = 0;
+    stage_virtual_nanos_.clear();
+  }
+
+  /// Simulated time consumed by stages whose name starts with `prefix` —
+  /// e.g. "StatefulAggregate" covers the operator's [eval]/[split]/fold
+  /// sub-stages. The per-stage ledger behind the shard-scaling benchmark's
+  /// stateful-stage throughput.
+  int64_t StageVirtualNanos(const std::string& prefix) const;
 
   void ChargeVirtualNanos(int64_t nanos) override {
     // Tasks execute serially here, so a plain member is race-free.
@@ -139,6 +149,7 @@ class SimClusterScheduler : public TaskScheduler {
   Options options_;
   Random rng_;
   int64_t virtual_nanos_ = 0;
+  std::map<std::string, int64_t> stage_virtual_nanos_;
   int64_t pending_charge_ = 0;
   int64_t stragglers_ = 0;
   int64_t failures_ = 0;

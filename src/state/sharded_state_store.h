@@ -1,0 +1,121 @@
+#ifndef SSTREAMING_STATE_SHARDED_STATE_STORE_H_
+#define SSTREAMING_STATE_SHARDED_STATE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "state/state_shard.h"
+#include "state/state_store.h"
+
+namespace sstreaming {
+
+/// One stateful operator-partition's keyed state, hash-partitioned into N
+/// independent shards (docs/STATE_SHARDING.md). Each shard is a
+/// StateShardProtocol with its own directory, checkpoint files, and memory
+/// accounting, so a stateful stage can process shards as parallel scheduler
+/// tasks and checkpoint/restore them independently.
+///
+/// Layout under `dir`:
+///   SHARDS        - decimal shard count, written once at creation
+///   s<K>/         - shard K's StateStore (K in [0, N))
+///
+/// The shard count is sticky: reopening adopts the on-disk count even if the
+/// query now asks for a different one, because durable keys are already
+/// routed by `hash % N`. (Operator output is shard-count-invariant, so this
+/// only pins the layout, not the results.)
+///
+/// Routing: StableHashKey (FNV-1a, fixed across platforms and std::hash
+/// implementations) of the encoded key, mod N. The routed facade
+/// (Get/Put/...) serves single-threaded callers; parallel operators instead
+/// partition their input with ShardOf and hand each shard() to its own task
+/// — shards are single-writer and unsynchronized.
+class ShardedStateStore {
+ public:
+  struct Options {
+    Options() {}
+    /// Number of independent key-hash shards (>= 1).
+    int num_shards = 4;
+    StateStore::Options shard_options;
+  };
+
+  /// Opens (creating if needed) the shard group and restores every shard to
+  /// the newest durable version <= `version`.
+  static Result<std::unique_ptr<ShardedStateStore>> Open(
+      const std::string& dir, int64_t version, Options options = Options());
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Stable 64-bit FNV-1a of the encoded key; shard = hash % num_shards.
+  static uint64_t StableHashKey(const std::string& key);
+  int ShardOf(const std::string& key) const {
+    return static_cast<int>(StableHashKey(key) %
+                            static_cast<uint64_t>(shards_.size()));
+  }
+  StateShardProtocol* shard(int i) { return shards_[static_cast<size_t>(i)].get(); }
+  const StateShardProtocol* shard(int i) const {
+    return shards_[static_cast<size_t>(i)].get();
+  }
+
+  // Routed facade over the shards (single-threaded use).
+  std::optional<std::string> Get(const std::string& key) const {
+    return shards_[static_cast<size_t>(ShardOf(key))]->Get(key);
+  }
+  void Put(const std::string& key, std::string value) {
+    shards_[static_cast<size_t>(ShardOf(key))]->Put(key, std::move(value));
+  }
+  Status Append(const std::string& key, const std::string& tail) {
+    return shards_[static_cast<size_t>(ShardOf(key))]->Append(key, tail);
+  }
+  void Remove(const std::string& key) {
+    shards_[static_cast<size_t>(ShardOf(key))]->Remove(key);
+  }
+  bool Contains(const std::string& key) const {
+    return shards_[static_cast<size_t>(ShardOf(key))]->Contains(key);
+  }
+  /// Visits every entry, shard 0 first — a fixed iteration grouping, though
+  /// order within a shard follows the backing hash map.
+  void ForEach(const std::function<void(const std::string& key,
+                                        const std::string& value)>& fn) const;
+
+  /// Oldest version any shard restored (shards checkpoint independently; a
+  /// crash between shard snapshots is healed by replaying from the min).
+  int64_t loaded_version() const;
+
+  /// Snapshots every shard at `version`, in shard order.
+  Status Commit(int64_t version);
+
+  // Aggregated accounting across shards.
+  int64_t size() const;
+  int64_t ApproxBytes() const;
+  int64_t bytes_written() const;
+
+  /// Per-shard live state sizes, indexed by shard.
+  struct ShardSize {
+    int64_t rows = 0;
+    int64_t bytes = 0;
+  };
+  std::vector<ShardSize> PerShardSizes() const;
+
+  /// Removes durable versions > `version` in every shard under `dir`
+  /// (rollback). Also handles a pre-sharding flat layout, where the version
+  /// files sit directly in `dir`.
+  static Status TruncateAfter(const std::string& dir, int64_t version);
+
+  /// Drops durable files not needed to restore versions >= `keep`, per
+  /// shard.
+  static Status PurgeBefore(const std::string& dir, int64_t keep);
+
+ private:
+  explicit ShardedStateStore(
+      std::vector<std::unique_ptr<LocalStateShard>> shards)
+      : shards_(std::move(shards)) {}
+
+  std::vector<std::unique_ptr<LocalStateShard>> shards_;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_STATE_SHARDED_STATE_STORE_H_

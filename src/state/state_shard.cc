@@ -1,0 +1,28 @@
+#include "state/state_shard.h"
+
+#include "testing/failpoints.h"
+
+namespace sstreaming {
+
+Result<std::unique_ptr<LocalStateShard>> LocalStateShard::Open(
+    const std::string& dir, int64_t version, StateStore::Options options) {
+  SS_FAILPOINT("state.shard.restore");
+  SS_ASSIGN_OR_RETURN(std::unique_ptr<StateStore> store,
+                      StateStore::Open(dir, version, options));
+  return std::unique_ptr<LocalStateShard>(
+      new LocalStateShard(std::move(store)));
+}
+
+Status LocalStateShard::Append(const std::string& key,
+                               const std::string& tail) {
+  SS_FAILPOINT("state.shard.append");
+  store_->Append(key, tail);
+  return Status::OK();
+}
+
+Status LocalStateShard::Snapshot(int64_t version) {
+  SS_FAILPOINT("state.shard.checkpoint");
+  return store_->Commit(version);
+}
+
+}  // namespace sstreaming

@@ -1,0 +1,106 @@
+#ifndef SSTREAMING_STATE_STATE_SHARD_H_
+#define SSTREAMING_STATE_STATE_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "state/state_store.h"
+
+namespace sstreaming {
+
+/// The narrow per-shard state protocol: everything a stateful operator (or
+/// the checkpoint machinery) may ask of one shard of keyed state. The split
+/// mirrors faabric's StateServer verbs — pull (Get/Contains/ForEach), push
+/// (Put/Append/Remove), and snapshot/restore — so a shard's backing can
+/// later move out of process without touching the operators.
+///
+/// A shard is single-writer: within one epoch exactly one scheduler task
+/// touches a given shard, so implementations need no internal locking.
+class StateShardProtocol {
+ public:
+  virtual ~StateShardProtocol() = default;
+
+  // -- pull --
+  virtual std::optional<std::string> Get(const std::string& key) const = 0;
+  virtual bool Contains(const std::string& key) const = 0;
+  /// Visits every live entry. Do not mutate during iteration.
+  virtual void ForEach(
+      const std::function<void(const std::string& key,
+                               const std::string& value)>& fn) const = 0;
+
+  // -- push --
+  virtual void Put(const std::string& key, std::string value) = 0;
+  /// Appends bytes to the value under `key` (creates the entry if absent).
+  /// Returns a Status — unlike Put/Remove this verb ships deltas and is the
+  /// one most likely to fail partially once shards go remote.
+  virtual Status Append(const std::string& key, const std::string& tail) = 0;
+  virtual void Remove(const std::string& key) = 0;
+
+  // -- snapshot / restore --
+  /// Durably checkpoints all changes since the last snapshot as `version`.
+  virtual Status Snapshot(int64_t version) = 0;
+  /// The version this shard actually restored when it was opened.
+  virtual int64_t restored_version() const = 0;
+
+  // -- accounting --
+  virtual int64_t rows() const = 0;
+  virtual int64_t ApproxBytes() const = 0;
+  virtual int64_t bytes_written() const = 0;
+};
+
+/// In-process shard backed by a versioned StateStore in its own directory.
+/// Carries the per-shard chaos seams: `state.shard.restore` fires before the
+/// backing store is opened, `state.shard.checkpoint` before each durable
+/// snapshot, and `state.shard.append` before each append — so fault
+/// injection can strike one shard of a group independently.
+class LocalStateShard : public StateShardProtocol {
+ public:
+  static Result<std::unique_ptr<LocalStateShard>> Open(
+      const std::string& dir, int64_t version,
+      StateStore::Options options = StateStore::Options());
+
+  std::optional<std::string> Get(const std::string& key) const override {
+    return store_->Get(key);
+  }
+  bool Contains(const std::string& key) const override {
+    return store_->Contains(key);
+  }
+  void ForEach(const std::function<void(const std::string&,
+                                        const std::string&)>& fn)
+      const override {
+    store_->ForEach(fn);
+  }
+
+  void Put(const std::string& key, std::string value) override {
+    store_->Put(key, std::move(value));
+  }
+  Status Append(const std::string& key, const std::string& tail) override;
+  void Remove(const std::string& key) override { store_->Remove(key); }
+
+  Status Snapshot(int64_t version) override;
+  int64_t restored_version() const override {
+    return store_->loaded_version();
+  }
+
+  int64_t rows() const override { return store_->size(); }
+  int64_t ApproxBytes() const override { return store_->ApproxBytes(); }
+  int64_t bytes_written() const override { return store_->bytes_written(); }
+
+  /// Delta-vs-snapshot commit counters of the backing store (metrics).
+  int64_t delta_commits() const { return store_->delta_commits(); }
+  int64_t snapshot_commits() const { return store_->snapshot_commits(); }
+
+ private:
+  explicit LocalStateShard(std::unique_ptr<StateStore> store)
+      : store_(std::move(store)) {}
+
+  std::unique_ptr<StateStore> store_;
+};
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_STATE_STATE_SHARD_H_

@@ -169,6 +169,17 @@ void StateStore::Put(const std::string& key, std::string value) {
   pending_[key] = std::move(value);
 }
 
+void StateStore::Append(const std::string& key, const std::string& tail) {
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    Put(key, tail);
+    return;
+  }
+  approx_bytes_ += static_cast<int64_t>(tail.size());
+  it->second.append(tail);
+  pending_[key] = it->second;
+}
+
 void StateStore::Remove(const std::string& key) {
   auto it = data_.find(key);
   if (it != data_.end()) {

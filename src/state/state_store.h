@@ -44,6 +44,11 @@ class StateStore {
 
   std::optional<std::string> Get(const std::string& key) const;
   void Put(const std::string& key, std::string value);
+  /// Appends `tail` to the value under `key` (creating the entry when
+  /// absent) without copying the existing value out. The next commit
+  /// records the full appended value, so durability is unchanged; the win
+  /// is the in-memory path for grow-only values (e.g. join side state).
+  void Append(const std::string& key, const std::string& tail);
   void Remove(const std::string& key);
   bool Contains(const std::string& key) const;
   int64_t size() const { return static_cast<int64_t>(data_.size()); }

@@ -5,7 +5,7 @@
 
 #include "common/random.h"
 #include "obs/query_history.h"
-#include "state/state_store.h"
+#include "state/sharded_state_store.h"
 #include "storage/fs.h"
 #include "wal/write_ahead_log.h"
 
@@ -50,6 +50,24 @@ DataFrame ChaosQuery(const std::shared_ptr<MemoryStream>& stream) {
       .Count();
 }
 
+SchemaPtr ChaosRightSchema() {
+  return Schema::Make({{"country", TypeId::kString, false},
+                       {"rlatency", TypeId::kInt64, false},
+                       {"rtime", TypeId::kTimestamp, false}});
+}
+
+/// Stream-stream inner join on country; both sides watermarked so join state
+/// drains as event time advances. Keys recur across rounds, so stored side
+/// state regularly *grows* without its older rows changing — the condition
+/// for the shard Append fast path (and its failpoint) to run.
+DataFrame ChaosJoinQuery(const std::shared_ptr<MemoryStream>& left,
+                         const std::shared_ptr<MemoryStream>& right) {
+  return DataFrame::ReadStream(left)
+      .WithWatermark("time", 5 * kSec)
+      .Join(DataFrame::ReadStream(right).WithWatermark("rtime", 5 * kSec),
+            {"country"});
+}
+
 /// After a drained run the durable artifacts must agree: every planned
 /// epoch committed, the WAL tail matches the engine's last epoch, and each
 /// state-store partition restores to the expected checkpointed version.
@@ -82,8 +100,10 @@ Status CheckDurableAgreement(const std::string& checkpoint_dir,
                               " planned but never committed");
     }
   }
-  // Stateful stages checkpoint on multiples of the interval; every
-  // partition store must restore exactly that version.
+  // Stateful stages checkpoint on multiples of the interval; every shard of
+  // every partition store must restore exactly that version. Checking each
+  // shard independently (not just the store's min) pins down which shard a
+  // partial checkpoint corrupted.
   const int64_t interval = std::max(1, state_checkpoint_interval);
   const int64_t expected_version = (last_epoch / interval) * interval;
   std::string state_root = checkpoint_dir + "/state";
@@ -95,14 +115,17 @@ Status CheckDurableAgreement(const std::string& checkpoint_dir,
       for (const auto& part_entry :
            std::filesystem::directory_iterator(op_entry.path(), ec)) {
         if (!part_entry.is_directory()) continue;
-        SS_ASSIGN_OR_RETURN(
-            std::unique_ptr<StateStore> store,
-            StateStore::Open(part_entry.path().string(), last_epoch));
-        if (store->loaded_version() != expected_version) {
-          return Status::Internal(
-              "state store " + part_entry.path().string() + " restored v" +
-              std::to_string(store->loaded_version()) + ", expected v" +
-              std::to_string(expected_version));
+        SS_ASSIGN_OR_RETURN(std::unique_ptr<ShardedStateStore> store,
+                            ShardedStateStore::Open(
+                                part_entry.path().string(), last_epoch));
+        for (int s = 0; s < store->num_shards(); ++s) {
+          int64_t v = store->shard(s)->restored_version();
+          if (v != expected_version) {
+            return Status::Internal(
+                "state store " + part_entry.path().string() + " shard " +
+                std::to_string(s) + " restored v" + std::to_string(v) +
+                ", expected v" + std::to_string(expected_version));
+          }
         }
       }
     }
@@ -193,15 +216,25 @@ ChaosHarness::RunResult ChaosHarness::Run(const std::string& failpoint,
   }
   result.checkpoint_dir = *dir;
 
+  const bool join = options_.workload == Workload::kJoin;
   auto stream = std::make_shared<MemoryStream>("clicks", ChaosSchema(),
                                                options_.num_partitions);
+  std::shared_ptr<MemoryStream> right_stream;
   auto sink = std::make_shared<VerifyingSink>();
   DataFrame df = ChaosQuery(stream);
+  if (join) {
+    right_stream = std::make_shared<MemoryStream>(
+        "views", ChaosRightSchema(), options_.num_partitions);
+    df = ChaosJoinQuery(stream, right_stream);
+  }
   QueryOptions opts;
-  opts.mode = OutputMode::kUpdate;
+  // Stream-stream join output is append-only; the aggregation workload
+  // upserts per-window counts.
+  opts.mode = join ? OutputMode::kAppend : OutputMode::kUpdate;
   opts.num_partitions = options_.num_partitions;
   opts.checkpoint_dir = result.checkpoint_dir;
   opts.state_checkpoint_interval = options_.state_checkpoint_interval;
+  opts.num_state_shards = options_.num_state_shards;
   opts.enable_tracing = false;
   opts.query_name = "chaos";
 
@@ -242,9 +275,22 @@ ChaosHarness::RunResult ChaosHarness::Run(const std::string& failpoint,
   };
 
   auto rounds = GenerateRounds(options_);
+  // The join workload feeds a second deterministic stream (different seed,
+  // same cadence) so both sides grow and match across epochs.
+  std::vector<std::vector<Row>> right_rounds;
+  if (join) {
+    Options right_options = options_;
+    right_options.seed = options_.seed + 1;
+    right_rounds = GenerateRounds(right_options);
+  }
   for (int r = 0; r < options_.rounds; ++r) {
     result.status = stream->AddData(rounds[static_cast<size_t>(r)]);
     if (!result.status.ok()) break;
+    if (join) {
+      result.status =
+          right_stream->AddData(right_rounds[static_cast<size_t>(r)]);
+      if (!result.status.ok()) break;
+    }
     result.status = pump();
     if (!result.status.ok()) break;
     if (r + 1 == options_.planned_restart_after_round) {
@@ -289,11 +335,57 @@ Status ChaosHarness::CheckInvariants(const RunResult& golden,
   // Every delivered epoch matches the fault-free run's same epoch, and the
   // epoch sets are equal — so at any crash point the committed output was a
   // prefix of the golden sequence, with no duplicates and nothing lost.
+  // On divergence, name the first epoch and row that differ (not just a
+  // boolean) so a failed sweep scenario points at the broken epoch.
   if (chaos.epochs != golden.epochs) {
+    for (const auto& [epoch, golden_rows] : golden.epochs) {
+      auto it = chaos.epochs.find(epoch);
+      if (it == chaos.epochs.end()) {
+        return Status::Internal("epoch " + std::to_string(epoch) +
+                                " delivered in the fault-free run is missing "
+                                "from the chaos run");
+      }
+      const std::vector<Row>& chaos_rows = it->second;
+      if (chaos_rows == golden_rows) continue;
+      size_t n = std::min(chaos_rows.size(), golden_rows.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (chaos_rows[i] != golden_rows[i]) {
+          return Status::Internal(
+              "epoch " + std::to_string(epoch) + " diverged at sorted row " +
+              std::to_string(i) + ": chaos=" + RowToString(chaos_rows[i]) +
+              " golden=" + RowToString(golden_rows[i]));
+        }
+      }
+      return Status::Internal(
+          "epoch " + std::to_string(epoch) + " diverged: chaos delivered " +
+          std::to_string(chaos_rows.size()) + " rows, golden " +
+          std::to_string(golden_rows.size()) + " (first differ at row " +
+          std::to_string(n) + ")");
+    }
+    for (const auto& [epoch, rows] : chaos.epochs) {
+      (void)rows;
+      if (!golden.epochs.count(epoch)) {
+        return Status::Internal("chaos run delivered epoch " +
+                                std::to_string(epoch) +
+                                " that the fault-free run never produced");
+      }
+    }
     return Status::Internal("per-epoch output diverged from fault-free run");
   }
   if (chaos.final_rows != golden.final_rows) {
-    return Status::Internal("final table diverged from fault-free run");
+    size_t n = std::min(chaos.final_rows.size(), golden.final_rows.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (chaos.final_rows[i] != golden.final_rows[i]) {
+        return Status::Internal(
+            "final table diverged at sorted row " + std::to_string(i) +
+            ": chaos=" + RowToString(chaos.final_rows[i]) +
+            " golden=" + RowToString(golden.final_rows[i]));
+      }
+    }
+    return Status::Internal(
+        "final table diverged: chaos has " +
+        std::to_string(chaos.final_rows.size()) + " rows, golden " +
+        std::to_string(golden.final_rows.size()));
   }
   return Status::OK();
 }

@@ -56,6 +56,12 @@ class VerifyingSink : public Sink {
 /// is the golden run chaos scenarios are compared against.
 class ChaosHarness {
  public:
+  /// Which stateful pipeline the harness drives. The aggregation workload
+  /// rewrites per-key state every epoch; the stream-stream join workload
+  /// also exercises the shard Append fast path (grow-only join state), so
+  /// the state.shard.append failpoint only fires under kJoin.
+  enum class Workload { kAgg, kJoin };
+
   struct Options {
     Options() {}
     int rounds = 6;
@@ -63,6 +69,9 @@ class ChaosHarness {
     uint64_t seed = 42;         // workload generator seed
     int num_partitions = 2;     // shuffle fan-out and source partitions
     int state_checkpoint_interval = 1;
+    /// Keyed-state shards per (operator, partition) store.
+    int num_state_shards = 4;
+    Workload workload = Workload::kAgg;
     /// Clean stop + restart after this round (0 = never): exercises the
     /// recovery read path even in scenarios whose failpoint lives there.
     int planned_restart_after_round = 3;

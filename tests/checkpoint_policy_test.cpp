@@ -98,12 +98,17 @@ TEST_F(CheckpointPolicyTest, IntervalCheckpointingWritesFewerFiles) {
           auto names = ListDir(path);
           if (names.ok()) files += static_cast<int64_t>(names->size());
         };
-    // state/op<N>/p<M> two levels down; count leaf files.
+    // state/op<N>/p<M>/s<K> three levels down; count leaf files in every
+    // shard directory.
     for (int op = 0; op < 8; ++op) {
       for (int p = 0; p < 4; ++p) {
         std::string leaf = dir_ + "/state/op" + std::to_string(op) + "/p" +
                            std::to_string(p);
-        if (FileExists(leaf)) walk(leaf);
+        if (!FileExists(leaf)) continue;
+        for (int s = 0; s < 16; ++s) {
+          std::string shard = leaf + "/s" + std::to_string(s);
+          if (FileExists(shard)) walk(shard);
+        }
       }
     }
     return files;

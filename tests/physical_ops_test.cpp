@@ -109,7 +109,7 @@ TEST_P(ShuffleTest, PartitionsAreConsistentAndComplete) {
       99, scan.root, std::vector<ExprPtr>{key}, out_parts);
 
   InlineScheduler scheduler;
-  StateManager state("", 0, StateStore::Options());
+  StateManager state("", 0, ShardedStateStore::Options());
   ExecContext ctx;
   ctx.epoch = 1;
   ctx.scheduler = &scheduler;
@@ -200,7 +200,7 @@ TEST(PhysOpTest, SortAndLimitOverPartitions) {
   auto limit = std::make_shared<LimitExec>(91, PhysOpPtr(sort), 5);
 
   InlineScheduler scheduler;
-  StateManager state("", 0, StateStore::Options());
+  StateManager state("", 0, ShardedStateStore::Options());
   ExecContext ctx;
   ctx.epoch = 1;
   ctx.scheduler = &scheduler;

@@ -1,0 +1,435 @@
+// Sharded keyed state: unit tests for ShardedStateStore's routing, sticky
+// layout, and per-shard checkpointing, plus the differential equivalence
+// battery — randomized stateful pipelines (windowed aggregation, dedup,
+// stream-stream join) swept across shard counts {1, 2, 4, 7}, asserting the
+// sink output is byte-identical to the 1-shard golden run per epoch, that
+// merged state accounting agrees, and that both survive a crash-restart
+// mid-run (docs/STATE_SHARDING.md).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "connectors/memory.h"
+#include "exec/streaming_query.h"
+#include "runtime/scheduler.h"
+#include "state/sharded_state_store.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+namespace {
+
+constexpr int64_t kSec = 1000000;
+
+class ShardedStateStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("sharded_state_test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { RemoveDirRecursive(dir_).ok(); }
+
+  std::string dir_;
+};
+
+TEST_F(ShardedStateStoreTest, StableHashIsFixedForever) {
+  // The hash routes durable keys to shard directories; changing it would
+  // orphan existing checkpoints. These are the published FNV-1a 64 vectors.
+  EXPECT_EQ(ShardedStateStore::StableHashKey(""), 14695981039346656037ull);
+  EXPECT_EQ(ShardedStateStore::StableHashKey("abc"), 0xe71fa2190541574bull);
+}
+
+TEST_F(ShardedStateStoreTest, RoutesAcrossShardsAndAggregatesAccounting) {
+  ShardedStateStore::Options opts;
+  opts.num_shards = 4;
+  auto store = ShardedStateStore::Open(dir_, 0, opts).TakeValue();
+  ASSERT_EQ(store->num_shards(), 4);
+  for (int i = 0; i < 100; ++i) {
+    store->Put("key" + std::to_string(i), "value" + std::to_string(i));
+  }
+  EXPECT_EQ(store->size(), 100);
+  for (int i = 0; i < 100; ++i) {
+    auto v = store->Get("key" + std::to_string(i));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, "value" + std::to_string(i));
+  }
+  // 100 uniform keys should spread over all 4 shards, and the per-shard
+  // sizes must sum to the aggregate accounting exactly.
+  auto sizes = store->PerShardSizes();
+  ASSERT_EQ(sizes.size(), 4u);
+  int64_t rows = 0, bytes = 0;
+  for (const auto& s : sizes) {
+    EXPECT_GT(s.rows, 0);
+    rows += s.rows;
+    bytes += s.bytes;
+  }
+  EXPECT_EQ(rows, store->size());
+  EXPECT_EQ(bytes, store->ApproxBytes());
+  // ForEach visits every entry exactly once.
+  int64_t visited = 0;
+  store->ForEach([&](const std::string&, const std::string&) { ++visited; });
+  EXPECT_EQ(visited, 100);
+}
+
+TEST_F(ShardedStateStoreTest, AppendRoutesToTheSameShardAsPut) {
+  ShardedStateStore::Options opts;
+  opts.num_shards = 7;
+  auto store = ShardedStateStore::Open(dir_, 0, opts).TakeValue();
+  store->Put("k", "head");
+  ASSERT_TRUE(store->Append("k", "+tail").ok());
+  auto v = store->Get("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "head+tail");
+  EXPECT_EQ(store->size(), 1);
+}
+
+TEST_F(ShardedStateStoreTest, ShardCountIsStickyAcrossReopen) {
+  ShardedStateStore::Options two;
+  two.num_shards = 2;
+  {
+    auto store = ShardedStateStore::Open(dir_, 0, two).TakeValue();
+    for (int i = 0; i < 20; ++i) {
+      store->Put("k" + std::to_string(i), "v");
+    }
+    ASSERT_TRUE(store->Commit(1).ok());
+  }
+  // Asking for 8 shards on an existing 2-shard layout keeps 2: keys are
+  // already routed by hash % 2 on disk.
+  ShardedStateStore::Options eight;
+  eight.num_shards = 8;
+  auto store = ShardedStateStore::Open(dir_, 1, eight).TakeValue();
+  EXPECT_EQ(store->num_shards(), 2);
+  EXPECT_EQ(store->size(), 20);
+  EXPECT_EQ(store->loaded_version(), 1);
+}
+
+TEST_F(ShardedStateStoreTest, ShardsCheckpointAndRestoreIndependently) {
+  ShardedStateStore::Options opts;
+  opts.num_shards = 3;
+  {
+    auto store = ShardedStateStore::Open(dir_, 0, opts).TakeValue();
+    store->Put("a", "1");
+    store->Put("b", "2");
+    store->Put("c", "3");
+    ASSERT_TRUE(store->Commit(5).ok());
+    store->Put("d", "4");
+    ASSERT_TRUE(store->Commit(6).ok());
+  }
+  // Each shard has its own directory with its own version files.
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_TRUE(FileExists(dir_ + "/s" + std::to_string(s)));
+  }
+  // Restoring at 5 must not see the v6 write in any shard.
+  auto v5 = ShardedStateStore::Open(dir_, 5, opts).TakeValue();
+  EXPECT_EQ(v5->size(), 3);
+  EXPECT_FALSE(v5->Get("d").has_value());
+  EXPECT_EQ(v5->loaded_version(), 5);
+  for (int s = 0; s < v5->num_shards(); ++s) {
+    EXPECT_EQ(v5->shard(s)->restored_version(), 5);
+  }
+  auto v6 = ShardedStateStore::Open(dir_, 6, opts).TakeValue();
+  EXPECT_EQ(v6->size(), 4);
+  EXPECT_TRUE(v6->Get("d").has_value());
+}
+
+TEST_F(ShardedStateStoreTest, TruncateAfterWalksShardDirs) {
+  ShardedStateStore::Options opts;
+  opts.num_shards = 2;
+  {
+    auto store = ShardedStateStore::Open(dir_, 0, opts).TakeValue();
+    store->Put("a", "1");
+    ASSERT_TRUE(store->Commit(1).ok());
+    store->Put("b", "2");
+    ASSERT_TRUE(store->Commit(2).ok());
+    store->Put("c", "3");
+    ASSERT_TRUE(store->Commit(3).ok());
+  }
+  ASSERT_TRUE(ShardedStateStore::TruncateAfter(dir_, 2).ok());
+  auto store = ShardedStateStore::Open(dir_, 3, opts).TakeValue();
+  EXPECT_EQ(store->loaded_version(), 2) << "v3 files must be gone";
+  EXPECT_EQ(store->size(), 2);
+}
+
+TEST_F(ShardedStateStoreTest, TruncateAfterFallsBackToFlatLayout) {
+  // A pre-sharding checkpoint has version files directly in the partition
+  // dir; TruncateAfter must still prune it.
+  {
+    auto flat = StateStore::Open(dir_, 0).TakeValue();
+    flat->Put("a", "1");
+    ASSERT_TRUE(flat->Commit(1).ok());
+    flat->Put("b", "2");
+    ASSERT_TRUE(flat->Commit(2).ok());
+  }
+  ASSERT_TRUE(ShardedStateStore::TruncateAfter(dir_, 1).ok());
+  auto flat = StateStore::Open(dir_, 2).TakeValue();
+  EXPECT_EQ(flat->loaded_version(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Differential equivalence battery.
+// ---------------------------------------------------------------------------
+
+/// Records each epoch's first delivery (sorted) while delegating table
+/// semantics to MemorySink, so runs at different shard counts can be
+/// compared epoch by epoch, byte for byte.
+class EpochRecordingSink : public Sink {
+ public:
+  bool SupportsMode(OutputMode mode) const override {
+    return inner_.SupportsMode(mode);
+  }
+  Status CommitEpoch(int64_t epoch, OutputMode mode, int num_key_columns,
+                     const std::vector<RecordBatchPtr>& batches) override {
+    SS_RETURN_IF_ERROR(
+        inner_.CommitEpoch(epoch, mode, num_key_columns, batches));
+    std::vector<Row> rows;
+    for (const auto& b : batches) {
+      auto brows = b->ToRows();
+      rows.insert(rows.end(), brows.begin(), brows.end());
+    }
+    std::sort(rows.begin(), rows.end(), RowLess());
+    auto it = epochs_.find(epoch);
+    if (it != epochs_.end() && it->second != rows) {
+      // Recovery replay re-committed this epoch with different rows —
+      // re-commits must be byte-identical for idempotent sinks to work.
+      ++redelivery_mismatches_;
+    }
+    epochs_[epoch] = std::move(rows);
+    return Status::OK();
+  }
+  std::vector<Row> SortedSnapshot() const { return inner_.SortedSnapshot(); }
+  const std::map<int64_t, std::vector<Row>>& epochs() const { return epochs_; }
+  int64_t redelivery_mismatches() const { return redelivery_mismatches_; }
+
+ private:
+  MemorySink inner_;
+  std::map<int64_t, std::vector<Row>> epochs_;
+  int64_t redelivery_mismatches_ = 0;
+};
+
+enum class Pipeline { kWindowedAgg, kDedup, kJoin };
+
+struct DifferentialRun {
+  std::map<int64_t, std::vector<Row>> epochs;
+  std::vector<Row> final_rows;
+  int64_t state_rows = 0;   // summed over stateful operators
+  int64_t state_bytes = 0;
+};
+
+SchemaPtr LeftSchema() {
+  return Schema::Make({{"k", TypeId::kString, false},
+                       {"v", TypeId::kInt64, false},
+                       {"time", TypeId::kTimestamp, false}});
+}
+
+SchemaPtr RightSchema() {
+  return Schema::Make({{"k", TypeId::kString, false},
+                       {"rv", TypeId::kInt64, false},
+                       {"rtime", TypeId::kTimestamp, false}});
+}
+
+/// Deterministic per-round workload, identical across shard counts. Small
+/// key domain so keys recur (state updates + dedup hits + join matches);
+/// event time advances so windows close and join state evicts.
+std::vector<Row> MakeRound(Random* rng, int round, int rows) {
+  static const char* kKeys[] = {"alpha", "beta", "gamma", "delta", "epsilon",
+                                "zeta", "eta", "theta"};
+  std::vector<Row> out;
+  out.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    int64_t sec = round * 6 + static_cast<int64_t>(rng->Uniform(8));
+    out.push_back({Value::Str(kKeys[rng->Uniform(8)]),
+                   Value::Int64(static_cast<int64_t>(rng->Uniform(50))),
+                   Value::Timestamp(sec * kSec)});
+  }
+  return out;
+}
+
+DifferentialRun RunPipeline(Pipeline pipeline, int num_shards, uint64_t seed,
+                            bool restart_midway,
+                            TaskScheduler* scheduler = nullptr) {
+  DifferentialRun result;
+  auto dir = MakeTempDir("sharded_diff");
+  EXPECT_TRUE(dir.ok());
+
+  auto left = std::make_shared<MemoryStream>("left", LeftSchema(), 2);
+  std::shared_ptr<MemoryStream> right;
+  DataFrame df = DataFrame::ReadStream(left);
+  OutputMode mode = OutputMode::kAppend;
+  switch (pipeline) {
+    case Pipeline::kWindowedAgg:
+      df = df.WithWatermark("time", 5 * kSec)
+               .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec), "w"),
+                         NamedExpr{Col("k"), "k"}})
+               .Agg({SumOf(Col("v"), "total")});
+      mode = OutputMode::kUpdate;
+      break;
+    case Pipeline::kDedup:
+      df = df.SelectColumns({"k", "v"}).Distinct();
+      mode = OutputMode::kAppend;
+      break;
+    case Pipeline::kJoin:
+      right = std::make_shared<MemoryStream>("right", RightSchema(), 2);
+      df = df.WithWatermark("time", 5 * kSec)
+               .Join(DataFrame::ReadStream(right).WithWatermark("rtime",
+                                                                5 * kSec),
+                     {"k"});
+      mode = OutputMode::kAppend;
+      break;
+  }
+
+  auto sink = std::make_shared<EpochRecordingSink>();
+  QueryOptions opts;
+  opts.mode = mode;
+  opts.num_partitions = 2;
+  opts.checkpoint_dir = *dir;
+  opts.num_state_shards = num_shards;
+  // Sparse checkpoints force the restart below to restore shards AND replay
+  // the tail epochs from the WAL — recovery goes through both paths.
+  opts.state_checkpoint_interval = 2;
+  opts.enable_tracing = false;
+  if (scheduler != nullptr) opts.scheduler = scheduler;
+
+  auto query = StreamingQuery::Start(df, sink, opts);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  if (!query.ok()) return result;
+
+  Random left_rng(seed);
+  Random right_rng(seed + 1);
+  const int kRounds = 6;
+  for (int r = 0; r < kRounds; ++r) {
+    EXPECT_TRUE(left->AddData(MakeRound(&left_rng, r, 10)).ok());
+    if (right != nullptr) {
+      // The right stream reuses the 3-column generator; rename is free
+      // because MemoryStream only checks arity/types.
+      EXPECT_TRUE(right->AddData(MakeRound(&right_rng, r, 10)).ok());
+    }
+    EXPECT_TRUE((*query)->ProcessAllAvailable().ok());
+    if (restart_midway && r == 2) {
+      // Simulated crash after three rounds: drop the query, recover from
+      // the checkpoint (shards restore independently; epochs past the last
+      // interval checkpoint replay from the WAL).
+      query->reset();
+      query = StreamingQuery::Start(df, sink, opts);
+      EXPECT_TRUE(query.ok()) << query.status().ToString();
+      if (!query.ok()) return result;
+    }
+  }
+
+  QueryProgress last;
+  EXPECT_TRUE((*query)->GetLastProgress(&last));
+  for (const OperatorProgress& op : last.operators) {
+    result.state_rows += op.state_rows;
+    result.state_bytes += op.state_bytes;
+    // Merged accounting: per-shard sizes must sum to the operator totals,
+    // and the shard vector must match the configured shard count.
+    if (!op.shard_state.empty()) {
+      EXPECT_EQ(op.shard_state.size(), static_cast<size_t>(num_shards));
+      int64_t rows = 0, bytes = 0;
+      for (const auto& [r, b] : op.shard_state) {
+        rows += r;
+        bytes += b;
+      }
+      EXPECT_EQ(rows, op.state_rows) << op.name;
+      EXPECT_EQ(bytes, op.state_bytes) << op.name;
+    }
+  }
+  EXPECT_EQ(sink->redelivery_mismatches(), 0)
+      << "recovery replay re-committed an epoch with different rows";
+  result.epochs = sink->epochs();
+  result.final_rows = sink->SortedSnapshot();
+  query->reset();
+  RemoveDirRecursive(*dir).ok();
+  return result;
+}
+
+void ExpectEquivalent(const DifferentialRun& golden,
+                      const DifferentialRun& sharded, int num_shards) {
+  SCOPED_TRACE("shards=" + std::to_string(num_shards));
+  ASSERT_EQ(sharded.epochs.size(), golden.epochs.size());
+  for (const auto& [epoch, golden_rows] : golden.epochs) {
+    auto it = sharded.epochs.find(epoch);
+    ASSERT_NE(it, sharded.epochs.end()) << "missing epoch " << epoch;
+    EXPECT_EQ(it->second, golden_rows) << "epoch " << epoch << " diverged";
+  }
+  EXPECT_EQ(sharded.final_rows, golden.final_rows);
+  // Merged state accounting equals the single-shard run's.
+  EXPECT_EQ(sharded.state_rows, golden.state_rows);
+  EXPECT_EQ(sharded.state_bytes, golden.state_bytes);
+}
+
+class ShardedDifferentialTest
+    : public ::testing::TestWithParam<Pipeline> {};
+
+TEST_P(ShardedDifferentialTest, OutputIsByteIdenticalAcrossShardCounts) {
+  DifferentialRun golden = RunPipeline(GetParam(), 1, 20260808, false);
+  ASSERT_FALSE(golden.epochs.empty());
+  for (int shards : {2, 4, 7}) {
+    DifferentialRun run = RunPipeline(GetParam(), shards, 20260808, false);
+    ExpectEquivalent(golden, run, shards);
+  }
+}
+
+TEST_P(ShardedDifferentialTest, StagedPathMatchesFusedGolden) {
+  // The stateful aggregate has two execution strategies: a fused single
+  // pass when partition parallelism saturates the scheduler (the inline
+  // golden below), and a staged split/fold when spare cores make per-shard
+  // tasks worthwhile. A pool scheduler wider than the partition count
+  // forces the staged path — with real cross-thread execution — and the
+  // output must still be byte-identical to the fused golden.
+  DifferentialRun golden = RunPipeline(GetParam(), 4, 20260810, false);
+  ASSERT_FALSE(golden.epochs.empty());
+  for (int shards : {1, 4, 7}) {
+    PoolScheduler pool(8);  // parallelism 8 > 2 partitions -> staged
+    DifferentialRun run = RunPipeline(GetParam(), shards, 20260810, false,
+                                      &pool);
+    if (shards == 4) {
+      ExpectEquivalent(golden, run, shards);
+    } else {
+      // Different shard counts change the accounting vector but never the
+      // rows.
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      ASSERT_EQ(run.epochs.size(), golden.epochs.size());
+      for (const auto& [epoch, rows] : golden.epochs) {
+        auto it = run.epochs.find(epoch);
+        ASSERT_NE(it, run.epochs.end()) << "missing epoch " << epoch;
+        EXPECT_EQ(it->second, rows) << "epoch " << epoch << " diverged";
+      }
+      EXPECT_EQ(run.final_rows, golden.final_rows);
+      EXPECT_EQ(run.state_rows, golden.state_rows);
+      EXPECT_EQ(run.state_bytes, golden.state_bytes);
+    }
+  }
+}
+
+TEST_P(ShardedDifferentialTest, EquivalenceHoldsAcrossRestartRecovery) {
+  // Golden run has no restart; sharded runs crash after round 3 and recover
+  // (restoring shards independently, replaying the interval tail) — the
+  // outputs must still match epoch for epoch.
+  DifferentialRun golden = RunPipeline(GetParam(), 1, 20260809, false);
+  ASSERT_FALSE(golden.epochs.empty());
+  for (int shards : {1, 2, 4, 7}) {
+    DifferentialRun run = RunPipeline(GetParam(), shards, 20260809, true);
+    ExpectEquivalent(golden, run, shards);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPipelines, ShardedDifferentialTest,
+                         ::testing::Values(Pipeline::kWindowedAgg,
+                                           Pipeline::kDedup,
+                                           Pipeline::kJoin),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Pipeline::kWindowedAgg: return "WindowedAgg";
+                             case Pipeline::kDedup: return "Dedup";
+                             case Pipeline::kJoin: return "Join";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,74 @@
+#ifndef SSTREAMING_ANALYSIS_CHECKPOINT_COMPAT_H_
+#define SSTREAMING_ANALYSIS_CHECKPOINT_COMPAT_H_
+
+#include <optional>
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "analysis/plan_fingerprint.h"
+#include "common/status.h"
+
+namespace sstreaming {
+
+/// Checkpoint↔plan compatibility: before a restarted query recovers, its
+/// freshly computed PlanFingerprint is diffed against the plan manifest the
+/// previous run persisted into the checkpoint directory. Divergences come
+/// back as SS3xxx diagnostics (docs/PLAN_DIAGNOSTICS.md), errors blocking
+/// the start unless QueryOptions::allow_checkpoint_incompatibility is set
+/// (docs/UPGRADES.md describes the workflow).
+
+/// Path of the manifest inside a checkpoint directory.
+std::string PlanManifestPath(const std::string& checkpoint_dir);
+
+struct ManifestLoadResult {
+  /// The parsed manifest; nullopt when the directory has none (first start,
+  /// or a torn write was truncated away — see torn_repaired).
+  std::optional<PlanFingerprint> fingerprint;
+  /// True when an unparseable manifest file was found and removed. A
+  /// WriteFileAtomic publishes complete bytes or nothing, so an unparseable
+  /// file is the torn-write crash artifact (same discipline as the history
+  /// log's torn-tail truncation); callers surface SS3011 and rewrite.
+  bool torn_repaired = false;
+};
+
+/// Loads (and, for torn files, repairs) the manifest. A file that parses as
+/// JSON but is semantically invalid — unsupported formatVersion, missing
+/// fields, hash mismatch — is NOT torn: it returns the error for callers to
+/// surface as SS3007.
+Result<ManifestLoadResult> LoadPlanManifest(const std::string& checkpoint_dir);
+
+/// Persists `fingerprint` as the checkpoint's manifest via WriteFileAtomic
+/// (failpoint seam "manifest.write").
+Status StorePlanManifest(const std::string& checkpoint_dir,
+                         const PlanFingerprint& fingerprint);
+
+/// Diffs a proposed (restarting) plan against the on-disk manifest's
+/// fingerprint: every divergence appends one SS3xxx diagnostic with the
+/// operator provenance recorded in whichever side still has the operator.
+PlanAnalysis DiffFingerprints(const PlanFingerprint& on_disk,
+                              const PlanFingerprint& proposed);
+
+struct CompatCheck {
+  PlanAnalysis analysis;
+  /// False on a fresh checkpoint (nothing to diff against).
+  bool had_manifest = false;
+};
+
+/// The pre-recovery gate StreamingQuery::Start runs: load (repairing a torn
+/// manifest into an SS3011 warning), then diff against `proposed`. A
+/// semantically corrupt manifest becomes an SS3007 error instead of failing
+/// the load, so the override flag can force past it too.
+Result<CompatCheck> CheckCheckpointCompatibility(
+    const std::string& checkpoint_dir, const PlanFingerprint& proposed);
+
+/// Offline checkpoint linting (ssctl lint-checkpoint): validates manifest
+/// integrity, cross-checks its shard count against every on-disk SHARDS
+/// meta file under <dir>/state, and — when `against` is non-null — diffs the
+/// manifest against that candidate fingerprint, reporting the same SS3xxx
+/// codes Start would. Returns NotFound when the directory has no manifest.
+Result<PlanAnalysis> LintCheckpoint(const std::string& checkpoint_dir,
+                                    const PlanFingerprint* against);
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_ANALYSIS_CHECKPOINT_COMPAT_H_

@@ -18,6 +18,44 @@ std::string DiagCodeString(DiagCode code) {
   return "SS" + std::to_string(static_cast<int>(code));
 }
 
+const std::vector<DiagCode>& AllDiagCodes() {
+  static const std::vector<DiagCode> kCodes = {
+      DiagCode::kNotStreaming,
+      DiagCode::kMultipleAggregations,
+      DiagCode::kAppendAggregateNoWatermark,
+      DiagCode::kStreamStreamOuterNoWatermark,
+      DiagCode::kStaticSidePreserved,
+      DiagCode::kSortNotComplete,
+      DiagCode::kSortBeforeAggregation,
+      DiagCode::kLimitNotComplete,
+      DiagCode::kEventTimeTimeoutNoWatermark,
+      DiagCode::kCompleteNoAggregation,
+      DiagCode::kUnboundedAggregationState,
+      DiagCode::kUnboundedDistinctState,
+      DiagCode::kUnboundedJoinState,
+      DiagCode::kWatermarkDroppedByProjection,
+      DiagCode::kCompleteModeMemory,
+      DiagCode::kStateWithoutTimeout,
+      DiagCode::kCheckpointKeySchemaChanged,
+      DiagCode::kCheckpointStatefulOpRemoved,
+      DiagCode::kCheckpointOutputModeChanged,
+      DiagCode::kCheckpointShardCountChanged,
+      DiagCode::kCheckpointPartitionCountChanged,
+      DiagCode::kCheckpointStateDetailChanged,
+      DiagCode::kCheckpointManifestCorrupt,
+      DiagCode::kCheckpointStatefulOpAdded,
+      DiagCode::kCheckpointPlanShapeChanged,
+      DiagCode::kCheckpointWatermarkChanged,
+      DiagCode::kCheckpointManifestTorn,
+  };
+  return kCodes;
+}
+
+bool IsCheckpointCode(DiagCode code) {
+  int value = static_cast<int>(code);
+  return value >= 3000 && value < 4000;
+}
+
 std::string Diagnostic::Render() const {
   std::string out = DiagCodeString(code);
   out += " ";
@@ -93,7 +131,12 @@ Status PlanAnalysis::FirstErrorStatus() const {
       case DiagCode::kLimitNotComplete:
         return Status::UnsupportedOperation(std::move(msg));
       default:
-        // Watermark/output-mode semantics violations are analysis errors.
+        // Checkpoint-compatibility violations are preconditions on the
+        // durable state the query is being restarted against; watermark/
+        // output-mode semantics violations are analysis errors.
+        if (IsCheckpointCode(d.code)) {
+          return Status::FailedPrecondition(std::move(msg));
+        }
         return Status::AnalysisError(std::move(msg));
     }
   }

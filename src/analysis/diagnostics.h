@@ -14,6 +14,11 @@ namespace sstreaming {
 /// SS1xxx are errors: the query cannot run incrementally as written.
 /// SS2xxx are warnings: the query runs, but with a property the operator
 /// almost certainly wants to know about (unbounded state, lost watermark).
+/// SS3xxx are checkpoint-compatibility findings: the restarted plan's
+/// canonical fingerprint diverges from the manifest persisted in the
+/// checkpoint directory (see docs/UPGRADES.md). Errors in that family block
+/// recovery unless QueryOptions::allow_checkpoint_incompatibility is set,
+/// in which case they are downgraded to warnings with the same code.
 /// Codes are append-only — never renumber a shipped code.
 enum class DiagCode {
   // --- errors ---
@@ -38,7 +43,31 @@ enum class DiagCode {
                                          // column a stateful op needs
   kCompleteModeMemory = 2005,       // complete mode rewrites whole result
   kStateWithoutTimeout = 2006,      // mapGroupsWithState never expires state
+
+  // --- checkpoint compatibility (errors unless overridden) ---
+  kCheckpointKeySchemaChanged = 3001,   // stateful op's state key changed
+  kCheckpointStatefulOpRemoved = 3002,  // manifest op missing from new plan
+  kCheckpointOutputModeChanged = 3003,  // append/update/complete flipped
+  kCheckpointShardCountChanged = 3004,  // num_state_shards vs on-disk layout
+  kCheckpointPartitionCountChanged = 3005,  // state is laid out per partition
+  kCheckpointStateDetailChanged = 3006,  // agg funcs / join type / timeout
+  kCheckpointManifestCorrupt = 3007,    // parseable but semantically invalid
+
+  // --- checkpoint compatibility (always warnings) ---
+  kCheckpointStatefulOpAdded = 3008,    // new stateful op starts empty
+  kCheckpointPlanShapeChanged = 3009,   // stateless-only divergence
+  kCheckpointWatermarkChanged = 3010,   // watermark column/delay changed
+  kCheckpointManifestTorn = 3011,       // torn manifest truncated on open
 };
+
+/// Every shipped code, in numeric order — the doc↔code parity test walks
+/// this to keep docs/PLAN_DIAGNOSTICS.md from drifting. Extend it whenever
+/// a code is added to DiagCode (the parity test fails loudly if you don't,
+/// as the new code's doc heading will have no enum twin to match).
+const std::vector<DiagCode>& AllDiagCodes();
+
+/// True for the SS3xxx checkpoint-compatibility family.
+bool IsCheckpointCode(DiagCode code);
 
 enum class DiagSeverity { kError, kWarning };
 

@@ -1,0 +1,94 @@
+#ifndef SSTREAMING_ANALYSIS_PLAN_FINGERPRINT_H_
+#define SSTREAMING_ANALYSIS_PLAN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "logical/output_mode.h"
+#include "logical/plan.h"
+
+namespace sstreaming {
+
+/// Canonical identity of one plan operator, as far as durable state cares.
+/// Two operators with equal fingerprints can adopt each other's checkpointed
+/// state; anything that changes how state rows are keyed, encoded, or folded
+/// must change the fingerprint. Cosmetic properties (expression aliases on
+/// stateless nodes, filter predicates) deliberately do not contribute to the
+/// stateful identity — they only move `PlanFingerprint::plan_hash`.
+struct OperatorFingerprint {
+  /// Canonical operator kind ("Aggregate", "Join", ...).
+  std::string kind;
+  /// True when the operator holds keyed state across epochs (aggregations,
+  /// stream-stream joins, dedup, mapGroupsWithState).
+  bool stateful = false;
+  /// Canonical rendering of the state key: names + types in key order (the
+  /// encoded-key layout is order-sensitive). Empty for stateless operators.
+  std::string key_schema;
+  /// Operator-specific state encoding beyond the key: aggregate function
+  /// list (state slots concatenate in spec order), join type, group-state
+  /// timeout + output schema, window geometry.
+  std::string detail;
+  /// Event-time columns of the operator's *input* that carry a watermark —
+  /// what bounds this operator's state. Sorted (the set is order-free).
+  std::vector<std::string> watermark_columns;
+  /// Root-to-node provenance ("Aggregate > Project > StreamScan"). Not part
+  /// of the identity hash: an added stateless ancestor must not orphan
+  /// state.
+  std::string path;
+
+  /// FNV-1a over kind|stateful|key_schema|detail|watermark_columns.
+  uint64_t IdentityHash() const;
+  /// "Aggregate key=(w_start: timestamp, k: string) [sum(v) as total]".
+  std::string Render() const;
+  Json ToJson() const;
+  static Result<OperatorFingerprint> FromJson(const Json& json);
+};
+
+/// The versioned plan manifest persisted into the checkpoint directory at
+/// query start and diffed against the restarted plan before recovery
+/// (analysis/checkpoint_compat.h). Operators appear in pre-order; stateful
+/// identity is the ordered subsequence of stateful operators.
+struct PlanFingerprint {
+  /// Bump when the manifest encoding changes incompatibly. Readers reject
+  /// newer versions (SS3007) instead of guessing.
+  static constexpr int kFormatVersion = 1;
+
+  int format_version = kFormatVersion;
+  std::string output_mode;   // OutputModeName rendering
+  int num_partitions = 0;    // state layout is per (op, partition)
+  int num_state_shards = 0;  // keys are routed hash % shards on disk
+  /// Every withWatermark declaration in the plan as "column@delay_micros",
+  /// sorted. Changing a delay shifts eviction, not state layout: warning.
+  std::vector<std::string> watermarks;
+  std::vector<OperatorFingerprint> operators;
+
+  /// Hash over every operator (shape-sensitive): differs on any plan edit.
+  uint64_t PlanHash() const;
+  /// Hash over the stateful subsequence only (what recovery must preserve).
+  uint64_t StatefulHash() const;
+  /// The stateful operators, in plan order.
+  std::vector<const OperatorFingerprint*> StatefulOps() const;
+
+  /// Multi-line human rendering (EXPLAIN appends this).
+  std::string Render() const;
+  Json ToJson() const;
+  /// Rejects documents whose formatVersion is newer than kFormatVersion or
+  /// whose required fields are missing/mistyped (callers map that to
+  /// SS3007).
+  static Result<PlanFingerprint> FromJson(const Json& json);
+};
+
+/// Computes the canonical fingerprint of an *analyzed* logical plan
+/// (schemas resolved). `mode`/`num_partitions`/`num_state_shards` come from
+/// QueryOptions — they are part of the durable layout even though they are
+/// not plan nodes.
+PlanFingerprint ComputePlanFingerprint(const PlanPtr& analyzed,
+                                       OutputMode mode, int num_partitions,
+                                       int num_state_shards);
+
+}  // namespace sstreaming
+
+#endif  // SSTREAMING_ANALYSIS_PLAN_FINGERPRINT_H_

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "analysis/analyzer.h"
+#include "analysis/checkpoint_compat.h"
 #include "analysis/plan_analyzer.h"
 #include "common/logging.h"
 #include "optimizer/optimizer.h"
@@ -41,6 +42,32 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Start(
 
   std::unique_ptr<StreamingQuery> query(new StreamingQuery());
   query->plan_warnings_ = plan_analysis.warnings();
+  // Canonical plan identity (docs/UPGRADES.md): computed for every query so
+  // EXPLAIN and the /fingerprint endpoint can render it; for durable
+  // queries it is also the pre-recovery compatibility gate below.
+  query->fingerprint_ = ComputePlanFingerprint(
+      analyzed, options.mode, options.num_partitions,
+      options.num_state_shards);
+  if (!options.checkpoint_dir.empty()) {
+    // Diff against the manifest the previous run left behind BEFORE any
+    // recovery work: an incompatible plan must fail fast with provenance
+    // instead of replaying WAL epochs into mismatched state.
+    SS_ASSIGN_OR_RETURN(CompatCheck compat,
+                        CheckCheckpointCompatibility(options.checkpoint_dir,
+                                                     query->fingerprint_));
+    if (compat.analysis.has_errors() &&
+        !options.allow_checkpoint_incompatibility) {
+      return compat.analysis.FirstErrorStatus();
+    }
+    for (const Diagnostic& d : compat.analysis.diagnostics()) {
+      // With the override, errors ride along as warnings under their
+      // original SS3xxx code so the migration stays visible in listener
+      // events, metrics, and logs.
+      Diagnostic downgraded = d;
+      downgraded.severity = DiagSeverity::kWarning;
+      query->plan_warnings_.push_back(std::move(downgraded));
+    }
+  }
   query->options_ = options;
   query->sink_ = std::move(sink);
   query->clock_ = options.clock != nullptr ? options.clock
@@ -99,6 +126,10 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Start(
                         query->wal_->LatestPlannedEpoch());
     (void)query->history_->AppendStarted(
         options.query_name, prior.has_value(), query->plan_warnings_);
+    // Persist (or refresh) the manifest before recovery so a crash at any
+    // later point leaves the compatibility gate armed for the next start.
+    SS_RETURN_IF_ERROR(StorePlanManifest(options.checkpoint_dir,
+                                         query->fingerprint_));
     SS_RETURN_IF_ERROR(query->Recover());
   } else {
     query->state_ = std::make_unique<StateManager>(
@@ -112,6 +143,7 @@ ShardedStateStore::Options StreamingQuery::StateOptions() const {
   ShardedStateStore::Options opts;
   opts.num_shards = options_.num_state_shards;
   opts.shard_options = options_.state_options;
+  opts.allow_shard_count_mismatch = options_.allow_checkpoint_incompatibility;
   return opts;
 }
 

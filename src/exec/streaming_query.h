@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "analysis/plan_fingerprint.h"
 #include "common/clock.h"
 #include "connectors/sink.h"
 #include "incremental/incrementalizer.h"
@@ -75,6 +76,14 @@ struct QueryOptions {
   const Clock* clock = nullptr;           // default: SystemClock
   TaskScheduler* scheduler = nullptr;     // default: InlineScheduler
   bool run_optimizer = true;
+  /// Intentional-migration escape hatch for the pre-recovery checkpoint
+  /// compatibility gate (docs/UPGRADES.md): SS3xxx errors — key-schema or
+  /// output-mode changes, stateful-operator removal, shard/partition count
+  /// mismatches — normally fail Start() before any state is touched. With
+  /// this set they are downgraded to warnings (same codes, riding
+  /// plan_warnings) and the manifest is rewritten for the new plan. Also
+  /// lets ShardedStateStore adopt a mismatched on-disk shard count.
+  bool allow_checkpoint_incompatibility = false;
 
   /// Name used in progress events, metric log lines and log prefixes.
   std::string query_name;
@@ -153,6 +162,13 @@ class StreamingQuery {
   const std::vector<Diagnostic>& plan_warnings() const {
     return plan_warnings_;
   }
+
+  /// The canonical plan fingerprint computed at Start (the identity the
+  /// checkpoint manifest records; docs/UPGRADES.md). Immutable once the
+  /// query is built, so it is safe to read concurrently — the HTTP endpoint
+  /// /queries/<id>/fingerprint serves its ToJson() byte-identically across
+  /// scrapes.
+  const PlanFingerprint& plan_fingerprint() const { return fingerprint_; }
 
   /// The checkpoint directory (empty for ephemeral queries).
   const std::string& checkpoint_dir() const {
@@ -234,6 +250,7 @@ class StreamingQuery {
   mutable std::mutex progress_mu_;
   std::vector<QueryProgress> progress_ SS_GUARDED_BY(progress_mu_);
   std::vector<Diagnostic> plan_warnings_;
+  PlanFingerprint fingerprint_;
   Status error_ SS_GUARDED_BY(progress_mu_);
 
   // Observability (§7.4).

@@ -279,6 +279,7 @@ HttpResponse ObservabilityServer::Handle(const HttpRequest& req) const {
         slash == std::string::npos ? "" : rest.substr(slash + 1);
     if (sub.empty()) return HandleQueryDetail(name);
     if (sub == "plan") return HandlePlan(name);
+    if (sub == "fingerprint") return HandleFingerprint(name);
     if (sub == "trace") return HandleTrace(name);
     if (sub == "history") return HandleHistory(name);
     return JsonError(404, "unknown query endpoint '" + sub + "'");
@@ -292,6 +293,7 @@ HttpResponse ObservabilityServer::Handle(const HttpRequest& req) const {
         "  /queries              queries + last progress (JSON)\n"
         "  /queries/<id>         recent progress ring buffer (JSON)\n"
         "  /queries/<id>/plan    live EXPLAIN ANALYZE (JSON)\n"
+        "  /queries/<id>/fingerprint canonical plan fingerprint (JSON)\n"
         "  /queries/<id>/trace   Chrome trace JSON\n"
         "  /queries/<id>/history durable event log (JSON)\n");
   }
@@ -365,6 +367,20 @@ HttpResponse ObservabilityServer::HandlePlan(const std::string& name) const {
     obj = query.plan_profile().ToJson();
     obj.Set("name", Json::Str(name));
     obj.Set("explain", Json::Str(query.ExplainAnalyze()));
+  });
+  if (!found) return JsonError(404, "no query '" + name + "'");
+  return JsonResponse(obj);
+}
+
+HttpResponse ObservabilityServer::HandleFingerprint(
+    const std::string& name) const {
+  // The fingerprint is immutable after Start, so two scrapes of a running
+  // query return byte-identical bodies (Json objects are map-ordered) —
+  // the smoke script asserts exactly that.
+  Json obj;
+  bool found = WithNamedQuery(name, [&obj, &name](const StreamingQuery& query) {
+    obj = query.plan_fingerprint().ToJson();
+    obj.Set("name", Json::Str(name));
   });
   if (!found) return JsonError(404, "no query '" + name + "'");
   return JsonResponse(obj);

@@ -85,6 +85,8 @@ class HttpServer {
 ///   GET /queries              JSON list of queries + last QueryProgress
 ///   GET /queries/<id>         JSON ring buffer of recent QueryProgress
 ///   GET /queries/<id>/plan    live EXPLAIN ANALYZE (JSON tree + rendering)
+///   GET /queries/<id>/fingerprint  canonical plan fingerprint (JSON;
+///                             byte-stable for the life of the query)
 ///   GET /queries/<id>/trace   Chrome trace_event JSON for chrome://tracing
 ///
 /// Handlers use only the queries' thread-safe snapshot accessors, and
@@ -129,6 +131,7 @@ class ObservabilityServer {
   HttpResponse HandleQueries() const;
   HttpResponse HandleQueryDetail(const std::string& name) const;
   HttpResponse HandlePlan(const std::string& name) const;
+  HttpResponse HandleFingerprint(const std::string& name) const;
   HttpResponse HandleTrace(const std::string& name) const;
   HttpResponse HandleHistory(const std::string& name) const;
 

@@ -709,6 +709,13 @@ Result<std::string> SqlContext::ExplainSql(const std::string& query,
   std::string out = analyzed->TreeString();
   if (analyzed->IsStreaming()) {
     out += PlanAnalyzer::Analyze(analyzed, mode).Explain();
+    // Canonical fingerprint (QueryOptions-default partitions/shards): the
+    // same identity the checkpoint manifest gate and `ssctl lint-checkpoint`
+    // compare against, so operators can see it before starting a query.
+    QueryOptions defaults;
+    out += ComputePlanFingerprint(analyzed, mode, defaults.num_partitions,
+                                  defaults.num_state_shards)
+               .Render();
   } else {
     out += "plan analysis: batch plan; streaming diagnostics skipped\n";
   }

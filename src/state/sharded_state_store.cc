@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "analysis/diagnostics.h"
 #include "common/logging.h"
 #include "storage/fs.h"
 
@@ -59,6 +60,18 @@ Result<std::unique_ptr<ShardedStateStore>> ShardedStateStore::Open(
       return Status::IOError("corrupt shard-count file: " + meta_path);
     }
     if (on_disk != num_shards) {
+      // Pre-recovery, the plan-manifest gate (analysis/checkpoint_compat.h)
+      // catches this as SS3004; this store-level check is defense in depth
+      // for checkpoints that predate manifests or were opened directly.
+      if (!options.allow_shard_count_mismatch) {
+        return Status::FailedPrecondition(
+            DiagCodeString(DiagCode::kCheckpointShardCountChanged) +
+            ": state at " + dir + " was created with " +
+            std::to_string(on_disk) + " shards but " +
+            std::to_string(num_shards) +
+            " were requested; resharding is not supported (set "
+            "allow_checkpoint_incompatibility to adopt the on-disk count)");
+      }
       SS_LOG(Warn) << "state at " << dir << " was created with "
                       << on_disk << " shards; ignoring requested "
                       << num_shards << " (resharding is not supported)";

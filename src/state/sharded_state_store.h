@@ -38,6 +38,12 @@ class ShardedStateStore {
     Options() {}
     /// Number of independent key-hash shards (>= 1).
     int num_shards = 4;
+    /// A request that disagrees with the sticky on-disk SHARDS count is an
+    /// SS3004 error by default (keys are already routed hash % N on disk).
+    /// Setting this adopts the on-disk count with a warning instead — the
+    /// QueryOptions::allow_checkpoint_incompatibility migration override
+    /// plumbs through here.
+    bool allow_shard_count_mismatch = false;
     StateStore::Options shard_options;
   };
 

@@ -1,5 +1,6 @@
 #include "storage/fs.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -80,6 +81,30 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
   if (ec) {
     cleanup_tmp();
     return Status::IOError("rename to " + path + " failed");
+  }
+  // The rename publishes the name, but only an fsync of the parent
+  // directory makes the directory entry itself durable — without it a
+  // power failure can forget small single-write files (manifest, SHARDS
+  // meta) that no later append would resurrect.
+  {
+    static FailpointSite dirsync_site("fs.dirsync");
+    if (dirsync_site.armed()) {
+      Status s = Failpoints::Instance().Evaluate(&dirsync_site);
+      if (!s.ok()) return s;  // file is visible; only durability was lost
+    }
+  }
+  const fs::path parent_dir = fs::path(path).parent_path();
+  const std::string parent =
+      parent_dir.empty() ? std::string(".") : parent_dir.string();
+  int dir_fd = ::open(parent.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    // Surface fsync failures (a dying disk), but tolerate filesystems that
+    // refuse to open directories at all.
+    int rc = ::fsync(dir_fd);
+    ::close(dir_fd);
+    if (rc != 0) {
+      return Status::IOError("fsync of directory " + parent + " failed");
+    }
   }
   if (torn) {
     return Status::IOError("failpoint: fs.write.torn (injected torn write to " +

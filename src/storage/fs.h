@@ -17,7 +17,9 @@ namespace sstreaming {
 Status EnsureDir(const std::string& path);
 
 /// Atomically creates/replaces `path` with `data` (temp file + rename), so a
-/// crash never exposes a partially written file under its final name.
+/// crash never exposes a partially written file under its final name. The
+/// parent directory is fsynced after the rename so the entry survives power
+/// failure (failpoint seam "fs.dirsync").
 Status WriteFileAtomic(const std::string& path, const std::string& data);
 
 /// Reads the whole file.

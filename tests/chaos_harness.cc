@@ -115,9 +115,14 @@ Status CheckDurableAgreement(const std::string& checkpoint_dir,
       for (const auto& part_entry :
            std::filesystem::directory_iterator(op_entry.path(), ec)) {
         if (!part_entry.is_directory()) continue;
+        // Adopt whatever shard count is on disk: this is a forensic reopen,
+        // not a restart, so the SS3004 mismatch gate must not apply.
+        ShardedStateStore::Options reopen;
+        reopen.allow_shard_count_mismatch = true;
         SS_ASSIGN_OR_RETURN(std::unique_ptr<ShardedStateStore> store,
                             ShardedStateStore::Open(
-                                part_entry.path().string(), last_epoch));
+                                part_entry.path().string(), last_epoch,
+                                reopen));
         for (int s = 0; s < store->num_shards(); ++s) {
           int64_t v = store->shard(s)->restored_version();
           if (v != expected_version) {

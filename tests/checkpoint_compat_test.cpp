@@ -1,0 +1,632 @@
+// Checkpoint↔plan compatibility: fingerprint stability and JSON round-trip,
+// the SS3xxx diff matrix (key schema, output mode, stateful-op removal,
+// shard/partition count, aggregate encoding), the pre-recovery gate in
+// StreamingQuery::Start — a byte-identical restart of every stateful
+// pipeline stays green while each mutation class is caught BEFORE recovery
+// touches state — the allow_checkpoint_incompatibility override, torn and
+// corrupt manifests, the manifest.write / fs.dirsync failpoint seams, and
+// offline parity via LintCheckpoint (docs/UPGRADES.md).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/checkpoint_compat.h"
+#include "analysis/plan_fingerprint.h"
+#include "common/random.h"
+#include "connectors/memory.h"
+#include "exec/streaming_query.h"
+#include "storage/fs.h"
+#include "testing/failpoints.h"
+
+namespace sstreaming {
+namespace {
+
+constexpr int64_t kSec = 1000000;
+
+SchemaPtr LeftSchema() {
+  return Schema::Make({{"k", TypeId::kString, false},
+                       {"v", TypeId::kInt64, false},
+                       {"time", TypeId::kTimestamp, false}});
+}
+
+SchemaPtr RightSchema() {
+  return Schema::Make({{"k", TypeId::kString, false},
+                       {"rv", TypeId::kInt64, false},
+                       {"rtime", TypeId::kTimestamp, false}});
+}
+
+std::vector<Row> MakeRound(Random* rng, int round, int rows) {
+  static const char* kKeys[] = {"alpha", "beta", "gamma", "delta"};
+  std::vector<Row> out;
+  for (int i = 0; i < rows; ++i) {
+    int64_t sec = round * 6 + static_cast<int64_t>(rng->Uniform(8));
+    out.push_back({Value::Str(kKeys[rng->Uniform(4)]),
+                   Value::Int64(static_cast<int64_t>(rng->Uniform(50))),
+                   Value::Timestamp(sec * kSec)});
+  }
+  return out;
+}
+
+enum class Pipeline { kWindowedAgg, kDedup, kJoin };
+
+/// The three stateful workloads the battery restarts. `right` is only set
+/// for the join.
+DataFrame BuildPipeline(Pipeline pipeline,
+                        const std::shared_ptr<MemoryStream>& left,
+                        const std::shared_ptr<MemoryStream>& right,
+                        OutputMode* mode) {
+  DataFrame df = DataFrame::ReadStream(left);
+  switch (pipeline) {
+    case Pipeline::kWindowedAgg:
+      *mode = OutputMode::kUpdate;
+      return df.WithWatermark("time", 5 * kSec)
+          .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec), "w"),
+                    NamedExpr{Col("k"), "k"}})
+          .Agg({SumOf(Col("v"), "total")});
+    case Pipeline::kDedup:
+      *mode = OutputMode::kAppend;
+      return df.SelectColumns({"k", "v"}).Distinct();
+    case Pipeline::kJoin:
+      *mode = OutputMode::kAppend;
+      return df.WithWatermark("time", 5 * kSec)
+          .Join(DataFrame::ReadStream(right).WithWatermark("rtime", 5 * kSec),
+                {"k"});
+  }
+  return df;
+}
+
+/// Analyzes `df` and computes its fingerprint the way Start does.
+PlanFingerprint FingerprintOf(const DataFrame& df, OutputMode mode,
+                              int partitions = 2, int shards = 4) {
+  auto analyzed = Analyzer::Analyze(df.plan());
+  EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  return ComputePlanFingerprint(*analyzed, mode, partitions, shards);
+}
+
+std::vector<DiagCode> Codes(const PlanAnalysis& analysis) {
+  std::vector<DiagCode> codes;
+  for (const Diagnostic& d : analysis.diagnostics()) codes.push_back(d.code);
+  return codes;
+}
+
+bool WarningsHave(const StreamingQuery& query, DiagCode code) {
+  for (const Diagnostic& d : query.plan_warnings()) {
+    if (d.code == code && d.severity == DiagSeverity::kWarning) return true;
+  }
+  return false;
+}
+
+class CheckpointCompatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Failpoints::Instance().DisarmAll();
+    auto dir = MakeTempDir("ckpt_compat");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    // Fingerprint-only tests use this stream as a schema source;
+    // SeedCheckpoint replaces it with the stream that fed the checkpoint.
+    left_ = std::make_shared<MemoryStream>("left", LeftSchema(), 2);
+  }
+  void TearDown() override {
+    Failpoints::Instance().DisarmAll();
+    RemoveDirRecursive(dir_).ok();
+  }
+
+  /// Runs `pipeline` against the checkpoint dir for three rounds and stops,
+  /// leaving durable state + manifest behind for restart experiments. The
+  /// streams stay alive in `left_`/`right_` (a MemoryStream retains its
+  /// rows) so a restarted query can replay WAL epochs against them, exactly
+  /// as a durable source would serve re-reads.
+  void SeedCheckpoint(Pipeline pipeline, QueryOptions opts = {}) {
+    left_ = std::make_shared<MemoryStream>("left", LeftSchema(), 2);
+    right_ = pipeline == Pipeline::kJoin
+                 ? std::make_shared<MemoryStream>("right", RightSchema(), 2)
+                 : nullptr;
+    OutputMode mode;
+    DataFrame df = BuildPipeline(pipeline, left_, right_, &mode);
+    opts.mode = mode;
+    opts.num_partitions = 2;
+    opts.checkpoint_dir = dir_;
+    opts.state_checkpoint_interval = 2;
+    opts.enable_tracing = false;
+    auto sink = std::make_shared<MemorySink>();
+    auto query = StreamingQuery::Start(df, sink, opts);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    Random lrng(7), rrng(8);
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_TRUE(left_->AddData(MakeRound(&lrng, r, 10)).ok());
+      if (right_ != nullptr) {
+        ASSERT_TRUE(right_->AddData(MakeRound(&rrng, r, 10)).ok());
+      }
+      ASSERT_TRUE((*query)->ProcessAllAvailable().ok());
+    }
+  }
+
+  std::string dir_;
+  std::shared_ptr<MemoryStream> left_;
+  std::shared_ptr<MemoryStream> right_;
+};
+
+// ---------------------------------------------------------------------------
+// Fingerprint identity.
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointCompatTest, FingerprintIsDeterministicAndRoundTrips) {
+  OutputMode mode;
+  DataFrame df = BuildPipeline(Pipeline::kWindowedAgg, left_, nullptr, &mode);
+  PlanFingerprint a = FingerprintOf(df, mode);
+  PlanFingerprint b = FingerprintOf(df, mode);
+  EXPECT_EQ(a.PlanHash(), b.PlanHash());
+  EXPECT_EQ(a.StatefulHash(), b.StatefulHash());
+  ASSERT_EQ(a.StatefulOps().size(), 1u);
+  EXPECT_EQ(a.StatefulOps()[0]->kind, "Aggregate");
+  EXPECT_FALSE(a.StatefulOps()[0]->key_schema.empty());
+
+  // JSON round trip preserves both hashes and the byte rendering.
+  auto parsed = PlanFingerprint::FromJson(a.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->PlanHash(), a.PlanHash());
+  EXPECT_EQ(parsed->StatefulHash(), a.StatefulHash());
+  EXPECT_EQ(parsed->Render(), a.Render());
+  // The serialized form is deterministic (map-ordered objects): the HTTP
+  // endpoint and the manifest rely on byte-stable dumps.
+  EXPECT_EQ(a.ToJson().Dump(), b.ToJson().Dump());
+}
+
+TEST_F(CheckpointCompatTest, StatefulHashIgnoresStatelessAncestors) {
+  auto left = std::make_shared<MemoryStream>("left", LeftSchema(), 2);
+  OutputMode mode;
+  DataFrame base = BuildPipeline(Pipeline::kWindowedAgg, left, nullptr, &mode);
+  DataFrame filtered =
+      DataFrame::ReadStream(left)
+          .Where(Gt(Col("v"), Lit(int64_t{5})))
+          .WithWatermark("time", 5 * kSec)
+          .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec), "w"),
+                    NamedExpr{Col("k"), "k"}})
+          .Agg({SumOf(Col("v"), "total")});
+  PlanFingerprint a = FingerprintOf(base, mode);
+  PlanFingerprint b = FingerprintOf(filtered, mode);
+  // An added stateless filter changes the plan shape but must not orphan
+  // the aggregate's checkpointed state.
+  EXPECT_NE(a.PlanHash(), b.PlanHash());
+  EXPECT_EQ(a.StatefulHash(), b.StatefulHash());
+}
+
+TEST_F(CheckpointCompatTest, FromJsonRejectsTamperedDocuments) {
+  OutputMode mode;
+  DataFrame df = BuildPipeline(Pipeline::kWindowedAgg, left_, nullptr, &mode);
+  PlanFingerprint fp = FingerprintOf(df, mode);
+
+  Json newer = fp.ToJson();
+  newer.Set("formatVersion", Json::Int(PlanFingerprint::kFormatVersion + 1));
+  auto r1 = PlanFingerprint::FromJson(newer);
+  EXPECT_TRUE(!r1.ok() && r1.status().IsInvalidArgument());
+
+  Json edited = fp.ToJson();
+  edited.Set("numStateShards", Json::Int(fp.num_state_shards + 3));
+  auto r2 = PlanFingerprint::FromJson(edited);
+  EXPECT_TRUE(!r2.ok() && r2.status().IsInvalidArgument())
+      << "stored hash must not verify after a field edit";
+}
+
+// ---------------------------------------------------------------------------
+// Diff matrix.
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointCompatTest, DiffCatchesEveryMutationClass) {
+  auto left = std::make_shared<MemoryStream>("left", LeftSchema(), 2);
+  OutputMode mode;
+  DataFrame base = BuildPipeline(Pipeline::kWindowedAgg, left, nullptr, &mode);
+  PlanFingerprint on_disk = FingerprintOf(base, mode);
+
+  // Identical plan: clean diff.
+  EXPECT_TRUE(Codes(DiffFingerprints(on_disk, FingerprintOf(base, mode)))
+                  .empty());
+
+  // Key schema: group by k only instead of (window, k).
+  DataFrame rekeyed = DataFrame::ReadStream(left)
+                          .WithWatermark("time", 5 * kSec)
+                          .GroupBy({NamedExpr{Col("k"), "k"}})
+                          .Agg({SumOf(Col("v"), "total")});
+  PlanAnalysis d1 = DiffFingerprints(on_disk, FingerprintOf(rekeyed, mode));
+  EXPECT_TRUE(d1.Has(DiagCode::kCheckpointKeySchemaChanged));
+  EXPECT_TRUE(d1.has_errors());
+
+  // Aggregate encoding: avg folds (sum, count) slots, not sum's single slot.
+  DataFrame refolded = DataFrame::ReadStream(left)
+                           .WithWatermark("time", 5 * kSec)
+                           .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec),
+                                        "w"),
+                                     NamedExpr{Col("k"), "k"}})
+                           .Agg({AvgOf(Col("v"), "total")});
+  PlanAnalysis d2 = DiffFingerprints(on_disk, FingerprintOf(refolded, mode));
+  EXPECT_TRUE(d2.Has(DiagCode::kCheckpointStateDetailChanged));
+
+  // Stateful op removed: plain projection has no aggregate at all.
+  DataFrame stateless = DataFrame::ReadStream(left).SelectColumns({"k", "v"});
+  PlanAnalysis d3 = DiffFingerprints(on_disk, FingerprintOf(stateless, mode));
+  EXPECT_TRUE(d3.Has(DiagCode::kCheckpointStatefulOpRemoved));
+
+  // Stateful op added (dedup downstream of the agg's input): warning only.
+  DataFrame added = DataFrame::ReadStream(left)
+                        .SelectColumns({"k", "v"})
+                        .Distinct();
+  PlanAnalysis d4 = DiffFingerprints(FingerprintOf(stateless, mode),
+                                     FingerprintOf(added, mode));
+  EXPECT_TRUE(d4.Has(DiagCode::kCheckpointStatefulOpAdded));
+  EXPECT_FALSE(d4.has_errors());
+
+  // Output mode / shard count / partition count come from QueryOptions.
+  PlanAnalysis d5 =
+      DiffFingerprints(on_disk, FingerprintOf(base, OutputMode::kComplete));
+  EXPECT_TRUE(d5.Has(DiagCode::kCheckpointOutputModeChanged));
+  PlanAnalysis d6 =
+      DiffFingerprints(on_disk, FingerprintOf(base, mode, 2, 8));
+  EXPECT_TRUE(d6.Has(DiagCode::kCheckpointShardCountChanged));
+  PlanAnalysis d7 =
+      DiffFingerprints(on_disk, FingerprintOf(base, mode, 4, 4));
+  EXPECT_TRUE(d7.Has(DiagCode::kCheckpointPartitionCountChanged));
+
+  // Watermark delay: eviction shifts, layout does not — warning.
+  DataFrame slower = DataFrame::ReadStream(left)
+                         .WithWatermark("time", 30 * kSec)
+                         .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec),
+                                      "w"),
+                                   NamedExpr{Col("k"), "k"}})
+                         .Agg({SumOf(Col("v"), "total")});
+  PlanAnalysis d8 = DiffFingerprints(on_disk, FingerprintOf(slower, mode));
+  EXPECT_TRUE(d8.Has(DiagCode::kCheckpointWatermarkChanged));
+  EXPECT_FALSE(d8.has_errors());
+
+  // Stateless-only edit: plan hash moves, stateful identity does not.
+  DataFrame filtered = DataFrame::ReadStream(left)
+                           .Where(Gt(Col("v"), Lit(int64_t{5})))
+                           .WithWatermark("time", 5 * kSec)
+                           .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec),
+                                        "w"),
+                                     NamedExpr{Col("k"), "k"}})
+                           .Agg({SumOf(Col("v"), "total")});
+  PlanAnalysis d9 = DiffFingerprints(on_disk, FingerprintOf(filtered, mode));
+  EXPECT_EQ(Codes(d9),
+            std::vector<DiagCode>{DiagCode::kCheckpointPlanShapeChanged});
+  EXPECT_FALSE(d9.has_errors());
+}
+
+// ---------------------------------------------------------------------------
+// The pre-recovery gate: differential restart battery.
+// ---------------------------------------------------------------------------
+
+class CompatRestartTest : public CheckpointCompatTest,
+                          public ::testing::WithParamInterface<Pipeline> {};
+
+TEST_P(CompatRestartTest, IdenticalRestartStaysGreenWithManifestPresent) {
+  SeedCheckpoint(GetParam());
+  ASSERT_TRUE(FileExists(PlanManifestPath(dir_)));
+
+  // Byte-identical restart: the manifest gate must not fire at all.
+  OutputMode mode;
+  DataFrame df = BuildPipeline(GetParam(), left_, right_, &mode);
+  QueryOptions opts;
+  opts.mode = mode;
+  opts.num_partitions = 2;
+  opts.checkpoint_dir = dir_;
+  opts.state_checkpoint_interval = 2;
+  opts.enable_tracing = false;
+  auto sink = std::make_shared<MemorySink>();
+  auto query = StreamingQuery::Start(df, sink, opts);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  for (const Diagnostic& d : (*query)->plan_warnings()) {
+    EXPECT_FALSE(IsCheckpointCode(d.code)) << d.Render();
+  }
+  // The query keeps working after recovery.
+  Random lrng(70), rrng(80);
+  ASSERT_TRUE(left_->AddData(MakeRound(&lrng, 3, 10)).ok());
+  if (right_ != nullptr) {
+    ASSERT_TRUE(right_->AddData(MakeRound(&rrng, 3, 10)).ok());
+  }
+  EXPECT_TRUE((*query)->ProcessAllAvailable().ok());
+
+  // Offline parity: lint agrees the checkpoint is clean against this plan.
+  PlanFingerprint fp = (*query)->plan_fingerprint();
+  auto lint = LintCheckpoint(dir_, &fp);
+  ASSERT_TRUE(lint.ok()) << lint.status().ToString();
+  EXPECT_TRUE(lint->diagnostics().empty()) << lint->Explain();
+}
+
+INSTANTIATE_TEST_SUITE_P(Pipelines, CompatRestartTest,
+                         ::testing::Values(Pipeline::kWindowedAgg,
+                                           Pipeline::kDedup, Pipeline::kJoin));
+
+TEST_F(CheckpointCompatTest, MutatedRestartFailsFastWithCodeAndProvenance) {
+  struct Mutation {
+    const char* expect_code;
+    // Which plan variant to restart with (the options tweak rides along).
+    const char* variant;
+    OutputMode mode = OutputMode::kUpdate;
+    int num_partitions = 2;
+    int num_state_shards = 4;
+  };
+  const std::vector<Mutation> mutations = {
+      {"SS3001", "rekeyed"},
+      {"SS3006", "refolded"},
+      // Keep update mode so the operator removal is the only divergence
+      // (a mode flip too would surface SS3003 as the first error).
+      {"SS3002", "stateless"},
+      {"SS3003", "base", OutputMode::kComplete},
+      {"SS3004", "base", OutputMode::kUpdate, 2, 8},
+      {"SS3005", "base", OutputMode::kUpdate, 4, 4},
+  };
+
+  for (const Mutation& m : mutations) {
+    SCOPED_TRACE(m.expect_code);
+    // Fresh checkpoint per mutation: every diff runs against the pristine
+    // windowed-agg manifest (and the override run below rewrites it).
+    ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+    SeedCheckpoint(Pipeline::kWindowedAgg);
+
+    DataFrame df = DataFrame::ReadStream(left_);
+    if (m.variant == std::string("rekeyed")) {
+      df = df.WithWatermark("time", 5 * kSec)
+               .GroupBy({NamedExpr{Col("k"), "k"}})
+               .Agg({SumOf(Col("v"), "total")});
+    } else if (m.variant == std::string("refolded")) {
+      df = df.WithWatermark("time", 5 * kSec)
+               .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec), "w"),
+                         NamedExpr{Col("k"), "k"}})
+               .Agg({AvgOf(Col("v"), "total")});
+    } else if (m.variant == std::string("stateless")) {
+      df = df.SelectColumns({"k", "v"});
+    } else {
+      OutputMode ignored;
+      df = BuildPipeline(Pipeline::kWindowedAgg, left_, nullptr, &ignored);
+    }
+
+    QueryOptions opts;
+    opts.mode = m.mode;
+    opts.num_partitions = m.num_partitions;
+    opts.num_state_shards = m.num_state_shards;
+    opts.checkpoint_dir = dir_;
+    opts.enable_tracing = false;
+    auto sink = std::make_shared<MemorySink>();
+    auto blocked = StreamingQuery::Start(df, sink, opts);
+    ASSERT_FALSE(blocked.ok())
+        << m.expect_code << " must block the restart before recovery";
+    EXPECT_TRUE(blocked.status().code() == StatusCode::kFailedPrecondition)
+        << blocked.status().ToString();
+    EXPECT_NE(blocked.status().message().find(m.expect_code),
+              std::string::npos)
+        << blocked.status().ToString();
+
+    // The failed start must not have touched the checkpoint: the original
+    // manifest is intact and a byte-identical restart still works.
+    OutputMode mode;
+    DataFrame original = BuildPipeline(Pipeline::kWindowedAgg, left_,
+                                       nullptr, &mode);
+    QueryOptions orig_opts;
+    orig_opts.mode = mode;
+    orig_opts.num_partitions = 2;
+    orig_opts.checkpoint_dir = dir_;
+    orig_opts.enable_tracing = false;
+    auto sink2 = std::make_shared<MemorySink>();
+    auto unchanged = StreamingQuery::Start(original, sink2, orig_opts);
+    ASSERT_TRUE(unchanged.ok()) << unchanged.status().ToString();
+    for (const Diagnostic& d : (*unchanged)->plan_warnings()) {
+      EXPECT_FALSE(IsCheckpointCode(d.code)) << d.Render();
+    }
+  }
+}
+
+TEST_F(CheckpointCompatTest, OverrideDowngradesTheErrorAndKeepsTheCode) {
+  SeedCheckpoint(Pipeline::kWindowedAgg);
+  // Shard-count change is the canonical forced migration: the store adopts
+  // the on-disk count, so the override run is actually safe to execute.
+  OutputMode mode;
+  DataFrame df = BuildPipeline(Pipeline::kWindowedAgg, left_, nullptr, &mode);
+  QueryOptions opts;
+  opts.mode = mode;
+  opts.num_partitions = 2;
+  opts.num_state_shards = 8;
+  opts.checkpoint_dir = dir_;
+  opts.enable_tracing = false;
+  auto sink = std::make_shared<MemorySink>();
+  ASSERT_FALSE(StreamingQuery::Start(df, sink, opts).ok());
+
+  opts.allow_checkpoint_incompatibility = true;
+  auto forced = StreamingQuery::Start(df, sink, opts);
+  ASSERT_TRUE(forced.ok()) << forced.status().ToString();
+  EXPECT_TRUE(WarningsHave(**forced, DiagCode::kCheckpointShardCountChanged));
+  // The forced run stays live: it processes new input on the adopted layout.
+  Random lrng(90);
+  ASSERT_TRUE(left_->AddData(MakeRound(&lrng, 3, 10)).ok());
+  EXPECT_TRUE((*forced)->ProcessAllAvailable().ok());
+}
+
+TEST_F(CheckpointCompatTest, AddedStatelessOperatorOnlyWarns) {
+  SeedCheckpoint(Pipeline::kWindowedAgg);
+  DataFrame filtered = DataFrame::ReadStream(left_)
+                           .Where(Gt(Col("v"), Lit(int64_t{5})))
+                           .WithWatermark("time", 5 * kSec)
+                           .GroupBy({As(TumblingWindow(Col("time"), 10 * kSec),
+                                        "w"),
+                                     NamedExpr{Col("k"), "k"}})
+                           .Agg({SumOf(Col("v"), "total")});
+  QueryOptions opts;
+  opts.mode = OutputMode::kUpdate;
+  opts.num_partitions = 2;
+  opts.checkpoint_dir = dir_;
+  opts.enable_tracing = false;
+  auto sink = std::make_shared<MemorySink>();
+  auto query = StreamingQuery::Start(filtered, sink, opts);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_TRUE(WarningsHave(**query, DiagCode::kCheckpointPlanShapeChanged));
+}
+
+// ---------------------------------------------------------------------------
+// Torn and corrupt manifests; failpoint seams.
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointCompatTest, TornManifestIsRepairedAndRewritten) {
+  SeedCheckpoint(Pipeline::kWindowedAgg);
+  // Truncate the manifest mid-document, as a torn atomic write would.
+  auto text = ReadFile(PlanManifestPath(dir_));
+  ASSERT_TRUE(text.ok());
+  {
+    std::string torn = text->substr(0, text->size() / 2);
+    ASSERT_TRUE(RemoveFile(PlanManifestPath(dir_)).ok());
+    ASSERT_TRUE(WriteFileAtomic(PlanManifestPath(dir_), torn).ok());
+  }
+  OutputMode mode;
+  DataFrame df = BuildPipeline(Pipeline::kWindowedAgg, left_, nullptr, &mode);
+  QueryOptions opts;
+  opts.mode = mode;
+  opts.num_partitions = 2;
+  opts.checkpoint_dir = dir_;
+  opts.enable_tracing = false;
+  auto sink = std::make_shared<MemorySink>();
+  auto query = StreamingQuery::Start(df, sink, opts);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_TRUE(WarningsHave(**query, DiagCode::kCheckpointManifestTorn));
+  // A fresh, valid manifest is back in place for the next restart.
+  auto lint = LintCheckpoint(dir_, nullptr);
+  ASSERT_TRUE(lint.ok()) << lint.status().ToString();
+  EXPECT_TRUE(lint->diagnostics().empty()) << lint->Explain();
+}
+
+TEST_F(CheckpointCompatTest, CorruptManifestBlocksUnlessOverridden) {
+  SeedCheckpoint(Pipeline::kWindowedAgg);
+  // Parseable JSON, wrong shape: this is corruption (or a newer build's
+  // manifest), never a torn write — it must block, not self-heal.
+  ASSERT_TRUE(RemoveFile(PlanManifestPath(dir_)).ok());
+  ASSERT_TRUE(WriteFileAtomic(PlanManifestPath(dir_),
+                              "{\"formatVersion\": 99}\n")
+                  .ok());
+  OutputMode mode;
+  DataFrame df = BuildPipeline(Pipeline::kWindowedAgg, left_, nullptr, &mode);
+  QueryOptions opts;
+  opts.mode = mode;
+  opts.num_partitions = 2;
+  opts.checkpoint_dir = dir_;
+  opts.enable_tracing = false;
+  auto sink = std::make_shared<MemorySink>();
+  auto blocked = StreamingQuery::Start(df, sink, opts);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.status().code() == StatusCode::kFailedPrecondition);
+  EXPECT_NE(blocked.status().message().find("SS3007"), std::string::npos);
+
+  opts.allow_checkpoint_incompatibility = true;
+  auto forced = StreamingQuery::Start(df, sink, opts);
+  ASSERT_TRUE(forced.ok()) << forced.status().ToString();
+  EXPECT_TRUE(WarningsHave(**forced, DiagCode::kCheckpointManifestCorrupt));
+}
+
+TEST_F(CheckpointCompatTest, ManifestWriteFailpointFailsStartCleanly) {
+  SeedCheckpoint(Pipeline::kWindowedAgg);
+  FailpointSpec spec;
+  spec.hit = 1;
+  ASSERT_TRUE(Failpoints::Instance().Arm("manifest.write", spec).ok());
+  OutputMode mode;
+  DataFrame df = BuildPipeline(Pipeline::kWindowedAgg, left_, nullptr, &mode);
+  QueryOptions opts;
+  opts.mode = mode;
+  opts.num_partitions = 2;
+  opts.checkpoint_dir = dir_;
+  opts.enable_tracing = false;
+  auto sink = std::make_shared<MemorySink>();
+  auto crashed = StreamingQuery::Start(df, sink, opts);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_TRUE(Failpoints::IsInjected(crashed.status()))
+      << crashed.status().ToString();
+  Failpoints::Instance().DisarmAll();
+  // The failure left the old (valid) manifest in place: restart recovers.
+  auto query = StreamingQuery::Start(df, sink, opts);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  for (const Diagnostic& d : (*query)->plan_warnings()) {
+    EXPECT_FALSE(IsCheckpointCode(d.code)) << d.Render();
+  }
+}
+
+TEST_F(CheckpointCompatTest, DirsyncFailpointLosesDurabilityNotTheFile) {
+  FailpointSpec spec;
+  spec.hit = 1;
+  ASSERT_TRUE(Failpoints::Instance().Arm("fs.dirsync", spec).ok());
+  Status s = WriteFileAtomic(dir_ + "/f", "payload");
+  Failpoints::Instance().DisarmAll();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(Failpoints::IsInjected(s)) << s.ToString();
+  // The rename already published the file; only the directory-entry fsync
+  // was lost. Recovery code must treat the file as present.
+  auto text = ReadFile(dir_ + "/f");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "payload");
+}
+
+// ---------------------------------------------------------------------------
+// Offline lint.
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointCompatTest, LintReportsTheSameCodesOffline) {
+  SeedCheckpoint(Pipeline::kWindowedAgg);
+  auto left = std::make_shared<MemoryStream>("left", LeftSchema(), 2);
+  DataFrame rekeyed = DataFrame::ReadStream(left)
+                          .WithWatermark("time", 5 * kSec)
+                          .GroupBy({NamedExpr{Col("k"), "k"}})
+                          .Agg({SumOf(Col("v"), "total")});
+  PlanFingerprint candidate = FingerprintOf(rekeyed, OutputMode::kUpdate);
+  auto lint = LintCheckpoint(dir_, &candidate);
+  ASSERT_TRUE(lint.ok()) << lint.status().ToString();
+  EXPECT_TRUE(lint->Has(DiagCode::kCheckpointKeySchemaChanged))
+      << lint->Explain();
+  EXPECT_TRUE(lint->has_errors());
+}
+
+TEST_F(CheckpointCompatTest, LintCrossChecksOnDiskShardLayout) {
+  SeedCheckpoint(Pipeline::kWindowedAgg);
+  // Forge one partition's SHARDS meta to disagree with the manifest, as a
+  // botched manual copy of a differently-sharded checkpoint would.
+  bool rewrote = false;
+  for (const char* op : {"op0", "op1", "op2", "op3", "op4", "op5"}) {
+    std::string meta = dir_ + "/state/" + op + "/p0/SHARDS";
+    if (!FileExists(meta)) continue;
+    ASSERT_TRUE(WriteFileAtomic(meta, "9\n").ok());
+    rewrote = true;
+    break;
+  }
+  ASSERT_TRUE(rewrote) << "no stateful partition store found under state/";
+  auto lint = LintCheckpoint(dir_, nullptr);
+  ASSERT_TRUE(lint.ok()) << lint.status().ToString();
+  EXPECT_TRUE(lint->Has(DiagCode::kCheckpointShardCountChanged))
+      << lint->Explain();
+  EXPECT_TRUE(lint->has_errors());
+}
+
+TEST_F(CheckpointCompatTest, LintDistinguishesMissingTornAndCorrupt) {
+  EXPECT_TRUE(LintCheckpoint(dir_ + "/nonexistent", nullptr)
+                  .status()
+                  .IsNotFound());
+  ASSERT_TRUE(EnsureDir(dir_).ok());
+  EXPECT_TRUE(LintCheckpoint(dir_, nullptr).status().IsNotFound())
+      << "a dir without a manifest is not lintable";
+
+  ASSERT_TRUE(WriteFileAtomic(PlanManifestPath(dir_), "{\"trunca").ok());
+  auto torn = LintCheckpoint(dir_, nullptr);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_TRUE(torn->Has(DiagCode::kCheckpointManifestTorn));
+  EXPECT_FALSE(torn->has_errors());
+  EXPECT_FALSE(FileExists(PlanManifestPath(dir_)))
+      << "torn manifests are truncated away on open";
+
+  ASSERT_TRUE(WriteFileAtomic(PlanManifestPath(dir_), "{\"x\": 1}").ok());
+  auto corrupt = LintCheckpoint(dir_, nullptr);
+  ASSERT_TRUE(corrupt.ok());
+  EXPECT_TRUE(corrupt->Has(DiagCode::kCheckpointManifestCorrupt));
+  EXPECT_TRUE(corrupt->has_errors());
+}
+
+}  // namespace
+}  // namespace sstreaming

@@ -1,0 +1,87 @@
+// Doc↔code parity for diagnostic codes: every DiagCode the engine can emit
+// has an "### SSxxxx" section in docs/PLAN_DIAGNOSTICS.md, and every SSxxxx
+// heading in the doc corresponds to a shipped DiagCode. Catches both halves
+// of the usual drift: adding a code without documenting it, and documenting
+// a code that was never wired up (or was renumbered — codes are append-only).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "storage/fs.h"
+
+namespace sstreaming {
+namespace {
+
+std::string DocPath() {
+  return std::string(SSTREAMING_SOURCE_DIR) + "/docs/PLAN_DIAGNOSTICS.md";
+}
+
+/// "### SS1234" headings, in document order.
+std::set<std::string> DocumentedCodes(const std::string& text) {
+  std::set<std::string> codes;
+  size_t pos = 0;
+  while ((pos = text.find("### SS", pos)) != std::string::npos) {
+    // Headings must start a line; "### SS" inside prose does not count.
+    if (pos != 0 && text[pos - 1] != '\n') {
+      pos += 6;
+      continue;
+    }
+    std::string code = text.substr(pos + 4, 6);  // "SS" + 4 digits
+    bool valid = code.size() == 6;
+    for (size_t i = 2; valid && i < 6; ++i) {
+      valid = code[i] >= '0' && code[i] <= '9';
+    }
+    if (valid) codes.insert(code);
+    pos += 6;
+  }
+  return codes;
+}
+
+TEST(DiagnosticsDocTest, EveryCodeIsDocumented) {
+  auto text = ReadFile(DocPath());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  std::set<std::string> documented = DocumentedCodes(*text);
+  ASSERT_FALSE(documented.empty()) << "no SSxxxx headings parsed from doc";
+  for (DiagCode code : AllDiagCodes()) {
+    EXPECT_TRUE(documented.count(DiagCodeString(code)) > 0)
+        << DiagCodeString(code)
+        << " is emitted by the engine but has no section in "
+        << "docs/PLAN_DIAGNOSTICS.md";
+  }
+}
+
+TEST(DiagnosticsDocTest, EveryDocumentedCodeExists) {
+  auto text = ReadFile(DocPath());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  std::set<std::string> shipped;
+  for (DiagCode code : AllDiagCodes()) shipped.insert(DiagCodeString(code));
+  for (const std::string& code : DocumentedCodes(*text)) {
+    EXPECT_TRUE(shipped.count(code) > 0)
+        << code << " is documented in docs/PLAN_DIAGNOSTICS.md but the "
+        << "engine never emits it (stale section, or AllDiagCodes() was "
+        << "not extended)";
+  }
+}
+
+TEST(DiagnosticsDocTest, AllDiagCodesIsSortedAndUnique) {
+  const std::vector<DiagCode>& codes = AllDiagCodes();
+  ASSERT_FALSE(codes.empty());
+  for (size_t i = 1; i < codes.size(); ++i) {
+    EXPECT_LT(static_cast<int>(codes[i - 1]), static_cast<int>(codes[i]))
+        << "AllDiagCodes() must stay in ascending numeric order";
+  }
+  // Family predicate sanity: exactly the 3xxx block is checkpoint-family.
+  for (DiagCode code : codes) {
+    int v = static_cast<int>(code);
+    EXPECT_EQ(IsCheckpointCode(code), v >= 3000 && v < 4000)
+        << DiagCodeString(code);
+  }
+}
+
+}  // namespace
+}  // namespace sstreaming

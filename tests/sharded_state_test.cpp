@@ -94,14 +94,22 @@ TEST_F(ShardedStateStoreTest, ShardCountIsStickyAcrossReopen) {
   {
     auto store = ShardedStateStore::Open(dir_, 0, two).TakeValue();
     for (int i = 0; i < 20; ++i) {
-      store->Put("k" + std::to_string(i), "v");
+      std::string key = "k";
+      key += std::to_string(i);
+      store->Put(key, "v");
     }
     ASSERT_TRUE(store->Commit(1).ok());
   }
-  // Asking for 8 shards on an existing 2-shard layout keeps 2: keys are
-  // already routed by hash % 2 on disk.
+  // Asking for 8 shards on an existing 2-shard layout is an SS3004 error by
+  // default: keys are already routed by hash % 2 on disk.
   ShardedStateStore::Options eight;
   eight.num_shards = 8;
+  auto blocked = ShardedStateStore::Open(dir_, 1, eight);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_NE(blocked.status().message().find("SS3004"), std::string::npos)
+      << blocked.status().ToString();
+  // Under the migration override the on-disk count is adopted (sticky).
+  eight.allow_shard_count_mismatch = true;
   auto store = ShardedStateStore::Open(dir_, 1, eight).TakeValue();
   EXPECT_EQ(store->num_shards(), 2);
   EXPECT_EQ(store->size(), 20);

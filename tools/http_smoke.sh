@@ -99,6 +99,21 @@ assert rows(plan["root"]) > 0, plan
 ' || fail "/queries/dashboard/plan content"
 echo "ok /queries/dashboard/plan"
 
+get /queries/dashboard/fingerprint | python3 -c '
+import json, sys
+fp = json.load(sys.stdin)
+assert fp["name"] == "dashboard", fp
+assert fp["formatVersion"] >= 1, fp
+assert fp["planHash"] and fp["statefulHash"], fp
+assert any(op["stateful"] for op in fp["operators"]), fp
+' || fail "/queries/dashboard/fingerprint content"
+# The fingerprint is a stable identity: two scrapes must be byte-identical
+# (map-ordered JSON, no timestamps or counters mixed in).
+A="$(get /queries/dashboard/fingerprint)"
+B="$(get /queries/dashboard/fingerprint)"
+[[ "$A" == "$B" ]] || fail "/queries/dashboard/fingerprint not byte-stable"
+echo "ok /queries/dashboard/fingerprint"
+
 get /queries/dashboard/trace | python3 -c '
 import json, sys
 trace = json.load(sys.stdin)

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (config: .clang-tidy at the repo root) over every
-# translation unit in src/, using the compile database from a CMake build.
+# translation unit in src/ and tools/, using the compile database from a
+# CMake build.
 #
 #   tools/run_clang_tidy.sh [build_dir]
 #
@@ -39,8 +40,9 @@ if [[ ! -f "$build_dir/compile_commands.json" ]]; then
   exit 1
 fi
 
-mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
-echo "run_clang_tidy: $tidy_bin over ${#sources[@]} files in src/"
+mapfile -t sources < <(find "$repo_root/src" "$repo_root/tools" \
+                            -name '*.cc' | sort)
+echo "run_clang_tidy: $tidy_bin over ${#sources[@]} files in src/ + tools/"
 
 status=0
 for f in "${sources[@]}"; do

@@ -12,15 +12,24 @@
 //                                       than PCT (default 10%) at any point
 //   ssctl bench-diff --self-test        verify the gate trips on a synthetic
 //                                       20% regression (CI sanity check)
+//   ssctl lint-checkpoint <checkpoint_dir> [--against <manifest.json>]
+//                                       validate a checkpoint's plan manifest
+//                                       offline: integrity, shard-count
+//                                       cross-check against on-disk SHARDS
+//                                       files, and (with --against) the same
+//                                       SS3xxx compatibility diff a restart
+//                                       would run (docs/UPGRADES.md)
 //
 // Exit codes: 0 ok, 1 regression/degradation detected, 2 usage or I/O error.
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/checkpoint_compat.h"
 #include "common/json.h"
 #include "obs/http_server.h"
 #include "obs/progress.h"
@@ -38,7 +47,9 @@ int Usage() {
       "       ssctl diff <checkpoint_a> <checkpoint_b>\n"
       "       ssctl bench-diff <baseline.json> <current.json>"
       " [--max-regress PCT]\n"
-      "       ssctl bench-diff --self-test\n");
+      "       ssctl bench-diff --self-test\n"
+      "       ssctl lint-checkpoint <checkpoint_dir>"
+      " [--against <manifest.json>]\n");
   return 2;
 }
 
@@ -384,6 +395,49 @@ int CmdBenchDiff(const std::string& baseline_path,
   return DiffBench(*baseline, *current, max_regress);
 }
 
+// -------------------------------------------------------- lint-checkpoint
+
+/// Offline manifest validation — the same LintCheckpoint the tests run, so
+/// the CLI reports exactly the SS3xxx codes a restart against this
+/// checkpoint would. Exit 0 clean (warnings allowed), 1 when any SS3xxx
+/// error is present, 2 on I/O problems (no manifest, unreadable --against).
+int CmdLintCheckpoint(const std::string& dir, const std::string& against) {
+  std::optional<PlanFingerprint> candidate;
+  if (!against.empty()) {
+    auto text = ReadFile(against);
+    if (!text.ok()) {
+      std::fprintf(stderr, "ssctl: %s\n", text.status().ToString().c_str());
+      return 2;
+    }
+    auto json = Json::Parse(*text);
+    if (!json.ok()) {
+      std::fprintf(stderr, "ssctl: %s is not JSON: %s\n", against.c_str(),
+                   json.status().ToString().c_str());
+      return 2;
+    }
+    auto fp = PlanFingerprint::FromJson(*json);
+    if (!fp.ok()) {
+      std::fprintf(stderr, "ssctl: %s: %s\n", against.c_str(),
+                   fp.status().ToString().c_str());
+      return 2;
+    }
+    candidate = std::move(*fp);
+  }
+  auto analysis =
+      LintCheckpoint(dir, candidate.has_value() ? &*candidate : nullptr);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "ssctl: %s\n",
+                 analysis.status().ToString().c_str());
+    return 2;
+  }
+  if (analysis->diagnostics().empty()) {
+    std::printf("%s: manifest ok\n", dir.c_str());
+    return 0;
+  }
+  std::printf("%s", analysis->Explain().c_str());
+  return analysis->has_errors() ? 1 : 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
@@ -392,11 +446,14 @@ int Main(int argc, char** argv) {
   std::string query;
   double max_regress = 0.10;
   bool self_test = false;
+  std::string against;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
       query = argv[++i];
+    } else if (std::strcmp(argv[i], "--against") == 0 && i + 1 < argc) {
+      against = argv[++i];
     } else if (std::strcmp(argv[i], "--max-regress") == 0 && i + 1 < argc) {
       max_regress = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--self-test") == 0) {
@@ -426,6 +483,10 @@ int Main(int argc, char** argv) {
     if (self_test && args.empty()) return BenchDiffSelfTest();
     if (args.size() != 2) return Usage();
     return CmdBenchDiff(args[0], args[1], max_regress);
+  }
+  if (cmd == "lint-checkpoint") {
+    if (args.size() != 1) return Usage();
+    return CmdLintCheckpoint(args[0], against);
   }
   return Usage();
 }

@@ -17,6 +17,29 @@
 namespace sstreaming {
 namespace {
 
+/// Build type baked in by bench/CMakeLists.txt. The committed ledger
+/// (BENCH_*.json) only means something from an optimized build, so the
+/// binary embeds what it was compiled as and refuses to write JSON from
+/// anything but Release/RelWithDebInfo (ssctl bench-diff would otherwise
+/// "detect" a regression that is just -O0).
+const char* BuildType() {
+#ifdef SS_BUILD_TYPE
+  if (SS_BUILD_TYPE[0] != '\0') return SS_BUILD_TYPE;
+#endif
+#ifdef NDEBUG
+  return "unknown-optimized";
+#else
+  return "unknown-debug";
+#endif
+}
+
+bool IsOptimizedBuild() {
+  const char* bt = BuildType();
+  return std::strcmp(bt, "Release") == 0 ||
+         std::strcmp(bt, "RelWithDebInfo") == 0 ||
+         std::strcmp(bt, "unknown-optimized") == 0;
+}
+
 // Shard scaling: one 8-core simulated node, a single input partition, and
 // the keyed state hash-sharded {1, 2, 4, 8} ways. With partition parallelism
 // pinned to 1, the per-shard fold tasks are the only way the stateful stage
@@ -81,6 +104,7 @@ Json RunShardSweep() {
 }
 
 void Run(const char* json_path, bool shards_only) {
+  std::printf("build type: %s\n", BuildType());
   Json shard_points = Json::Array();
   if (shards_only) {
     shard_points = RunShardSweep();
@@ -88,6 +112,7 @@ void Run(const char* json_path, bool shards_only) {
       Json doc = Json::Object();
       doc.Set("benchmark", Json::Str("yahoo_scaling"));
       doc.Set("figure", Json::Str("6b"));
+      doc.Set("buildType", Json::Str(BuildType()));
       doc.Set("runsPerPoint", Json::Int(3));
       doc.Set("points", std::move(shard_points));
       std::string text = doc.Dump();
@@ -168,6 +193,7 @@ void Run(const char* json_path, bool shards_only) {
     Json doc = Json::Object();
     doc.Set("benchmark", Json::Str("yahoo_scaling"));
     doc.Set("figure", Json::Str("6b"));
+    doc.Set("buildType", Json::Str(BuildType()));
     doc.Set("runsPerPoint", Json::Int(3));
     doc.Set("points", std::move(points));
     std::string text = doc.Dump();
@@ -184,15 +210,38 @@ void Run(const char* json_path, bool shards_only) {
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
   bool shards_only = false;
+  bool allow_unoptimized = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       shards_only = true;
+    } else if (std::strcmp(argv[i], "--allow-unoptimized") == 0) {
+      allow_unoptimized = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--shards] [--json <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--shards] [--json <path>]"
+                   " [--allow-unoptimized]\n",
+                   argv[0]);
       return 2;
     }
+  }
+  if (!sstreaming::IsOptimizedBuild()) {
+    if (json_path != nullptr && !allow_unoptimized) {
+      std::fprintf(stderr,
+                   "bench_yahoo_scaling: refusing to write %s from a '%s' "
+                   "build — numbers from unoptimized builds must not enter "
+                   "the committed ledger. Rebuild with "
+                   "-DCMAKE_BUILD_TYPE=Release, or pass --allow-unoptimized "
+                   "to force (the buildType field will flag the file).\n",
+                   json_path, sstreaming::BuildType());
+      return 3;
+    }
+    std::fprintf(stderr,
+                 "bench_yahoo_scaling: WARNING: '%s' build — throughput "
+                 "numbers below are NOT comparable to the committed "
+                 "Release ledger.\n",
+                 sstreaming::BuildType());
   }
   sstreaming::Run(json_path, shards_only);
   return 0;

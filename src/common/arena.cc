@@ -1,0 +1,74 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace sstreaming {
+
+Arena::Allocation Arena::Alloc(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;  // distinct non-null pointers for empty spans
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_allocated_ += static_cast<int64_t>(bytes);
+  // Oversized requests get a dedicated chunk and leave the current bump
+  // chunk untouched.
+  if (bytes > chunk_bytes_) {
+    auto chunk = std::make_shared<Chunk>(bytes);
+    Allocation a;
+    a.data = chunk->data();
+    a.keepalive = std::shared_ptr<const void>(chunk, chunk->data());
+    // Not pushed onto chunks_: nothing else will fit in it, and the
+    // caller's keepalive is its only owner.
+    return a;
+  }
+  size_t offset = 0;
+  if (!chunks_.empty()) {
+    offset = (used_in_current_ + align - 1) & ~(align - 1);
+  }
+  if (chunks_.empty() || offset + bytes > chunk_bytes_) {
+    if (!free_.empty()) {
+      chunks_.push_back(std::move(free_.back()));
+      free_.pop_back();
+    } else {
+      chunks_.push_back(std::make_shared<Chunk>(chunk_bytes_));
+    }
+    offset = 0;
+  }
+  std::shared_ptr<Chunk>& current = chunks_.back();
+  used_in_current_ = offset + bytes;
+  Allocation a;
+  a.data = current->data() + offset;
+  a.keepalive = std::shared_ptr<const void>(current, current->data());
+  return a;
+}
+
+void Arena::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Recycle every chunk no allocation keepalive still aliases (use_count >
+  // 1 means a buffer from the ending epoch is still live; reusing its chunk
+  // would overwrite it — those die with their last keepalive instead). The
+  // recycled pool makes steady-state epochs allocation-free whatever their
+  // per-epoch chunk demand.
+  for (auto& chunk : chunks_) {
+    if (chunk.use_count() == 1) free_.push_back(std::move(chunk));
+  }
+  chunks_.clear();
+  used_in_current_ = 0;
+}
+
+int64_t Arena::bytes_allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_allocated_;
+}
+
+int64_t Arena::bytes_reserved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& chunk : chunks_) {
+    total += static_cast<int64_t>(chunk->size());
+  }
+  for (const auto& chunk : free_) {
+    total += static_cast<int64_t>(chunk->size());
+  }
+  return total;
+}
+
+}  // namespace sstreaming

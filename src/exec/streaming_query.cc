@@ -101,8 +101,12 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Start(
     // outlive this one); its owner decides whether/where it reports.
     query->owned_scheduler_->set_metrics(query->metrics_.get());
   }
-  SS_ASSIGN_OR_RETURN(query->plan_,
-                      Incrementalize(analyzed, options.num_partitions));
+  IncrementalizeOptions inc_options;
+  inc_options.fuse_pipelines = options.fuse_pipelines;
+  inc_options.selection_vectors = options.selection_vectors;
+  SS_ASSIGN_OR_RETURN(
+      query->plan_,
+      Incrementalize(analyzed, options.num_partitions, inc_options));
   query->BuildOpIndex();
 
   // Initialize per-source consumed offsets to zero.
@@ -149,20 +153,26 @@ ShardedStateStore::Options StreamingQuery::StateOptions() const {
 
 void StreamingQuery::BuildOpIndex() {
   // Pre-order walk; a visited set keeps shared subtrees from being listed
-  // twice (their stats are already per-op_id).
+  // twice (their stats are already per-op_id). Operators describe their own
+  // profile nodes: most contribute one, a fused pipeline contributes itself
+  // plus one node per original stage so per-operator row accounting still
+  // ties out after fusion.
   std::set<int> seen;
   std::function<void(const PhysOp&)> walk = [&](const PhysOp& op) {
-    if (!seen.insert(op.op_id()).second) return;
-    OpIndexEntry entry;
-    entry.op_id = op.op_id();
-    entry.name = op.name();
-    entry.is_source = op.is_source_scan();
-    for (const PhysOpPtr& child : op.children()) {
-      entry.child_ids.push_back(child->op_id());
+    if (seen.count(op.op_id()) > 0) return;
+    std::vector<OpProfileNode> nodes;
+    op.CollectProfileNodes(&nodes);
+    for (OpProfileNode& node : nodes) {
+      if (!seen.insert(node.op_id).second) continue;
+      OpIndexEntry entry;
+      entry.op_id = node.op_id;
+      entry.name = node.name;
+      entry.is_source = node.is_source;
+      entry.child_ids = node.child_ids;
+      plan_profile_.AddNode(entry.op_id, entry.name, entry.is_source,
+                            entry.child_ids);
+      op_index_.push_back(std::move(entry));
     }
-    plan_profile_.AddNode(entry.op_id, entry.name, entry.is_source,
-                          entry.child_ids);
-    op_index_.push_back(std::move(entry));
     for (const PhysOpPtr& child : op.children()) walk(*child);
   };
   if (plan_.root != nullptr) walk(*plan_.root);
@@ -327,6 +337,10 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   pending_backlog_age_.clear();
   LogContext log_ctx(options_.query_name, plan.epoch);
 
+  // Recycle per-epoch scratch; the previous epoch's output was materialized
+  // before commit, so no selection view can still alias the arena.
+  arena_.Reset();
+
   ExecContext ctx;
   ctx.epoch = plan.epoch;
   ctx.watermark_micros = plan.watermark_micros;
@@ -335,6 +349,7 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   ctx.state = state_.get();
   ctx.clock = clock_;
   ctx.tracer = tracer_.get();
+  ctx.arena = &arena_;
   for (const SourceOffsets& so : plan.sources) {
     ctx.offsets[so.source_name] = {so.start, so.end};
   }
@@ -342,6 +357,9 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   int64_t exec_t0 = MonotonicNanos();
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> output,
                       plan_.root->Execute(&ctx));
+  // Forced materialization boundary: the sink sees compact batches, never
+  // selection views (docs/VECTORIZED_EXEC.md).
+  for (RecordBatchPtr& b : output) b = RecordBatch::Materialize(b);
   int64_t exec_total = MonotonicNanos() - exec_t0;
 
   // §6.1 commit protocol: checkpoint state, then commit the sink, then log
@@ -592,6 +610,12 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
       metrics_->GetCounter("sstreaming_operator_cpu_nanos_total", labels)
           ->Increment(op.cpu_nanos);
     }
+    // Arena accounting: lifetime bytes handed out and the bytes currently
+    // parked in reusable chunks.
+    metrics_->GetGauge("sstreaming_arena_allocated_bytes_total")
+        ->Set(arena_.bytes_allocated());
+    metrics_->GetGauge("sstreaming_arena_reserved_bytes")
+        ->Set(arena_.bytes_reserved());
     // Memory-accounting gauges: live state size per stateful operator,
     // totals plus the per-shard breakdown (summed over partitions).
     for (const auto& [op_id, size] : state_sizes) {

@@ -10,6 +10,7 @@
 
 #include "analysis/diagnostics.h"
 #include "analysis/plan_fingerprint.h"
+#include "common/arena.h"
 #include "common/clock.h"
 #include "connectors/sink.h"
 #include "incremental/incrementalizer.h"
@@ -76,6 +77,14 @@ struct QueryOptions {
   const Clock* clock = nullptr;           // default: SystemClock
   TaskScheduler* scheduler = nullptr;     // default: InlineScheduler
   bool run_optimizer = true;
+  /// Collapse chains of stateless operators into single-pass fused
+  /// pipelines (docs/VECTORIZED_EXEC.md). Off reproduces the one-batch-per-
+  /// operator execution; output is byte-identical either way.
+  bool fuse_pipelines = true;
+  /// Filters emit zero-copy selection views instead of copying survivors;
+  /// the engine materializes views at operator boundaries that need compact
+  /// storage and before the sink. Byte-identical output either way.
+  bool selection_vectors = true;
   /// Intentional-migration escape hatch for the pre-recovery checkpoint
   /// compatibility gate (docs/UPGRADES.md): SS3xxx errors — key-schema or
   /// output-mode changes, stateful-operator removal, shard/partition count
@@ -237,6 +246,8 @@ class StreamingQuery {
   std::unique_ptr<TaskScheduler> owned_scheduler_;
   TaskScheduler* scheduler_ = nullptr;
   const Clock* clock_ = nullptr;
+  /// Per-epoch scratch (selection vectors); Reset() at each epoch start.
+  Arena arena_;
 
   int64_t last_epoch_ = 0;
   int64_t last_state_commit_ = 0;

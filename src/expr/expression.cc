@@ -273,6 +273,10 @@ void ColumnRefExpr::CollectColumnRefs(std::vector<std::string>* out) const {
   out->push_back(name_);
 }
 
+void ColumnRefExpr::CollectColumnIndices(std::vector<int>* out) const {
+  out->push_back(index_);
+}
+
 // --- LiteralExpr ---
 
 LiteralExpr::LiteralExpr(Value value) : Expr(Kind::kLiteral),
@@ -546,6 +550,11 @@ void BinaryExpr::CollectColumnRefs(std::vector<std::string>* out) const {
   right_->CollectColumnRefs(out);
 }
 
+void BinaryExpr::CollectColumnIndices(std::vector<int>* out) const {
+  left_->CollectColumnIndices(out);
+  right_->CollectColumnIndices(out);
+}
+
 std::string BinaryExpr::ToString() const {
   return "(" + left_->ToString() + " " + BinaryOpName(op_) + " " +
          right_->ToString() + ")";
@@ -610,6 +619,10 @@ void UnaryExpr::CollectColumnRefs(std::vector<std::string>* out) const {
   child_->CollectColumnRefs(out);
 }
 
+void UnaryExpr::CollectColumnIndices(std::vector<int>* out) const {
+  child_->CollectColumnIndices(out);
+}
+
 std::string UnaryExpr::ToString() const {
   switch (op_) {
     case UnaryOp::kNot:
@@ -660,6 +673,10 @@ Result<Value> CastExpr::EvalRow(const Row& row) const {
 
 void CastExpr::CollectColumnRefs(std::vector<std::string>* out) const {
   child_->CollectColumnRefs(out);
+}
+
+void CastExpr::CollectColumnIndices(std::vector<int>* out) const {
+  child_->CollectColumnIndices(out);
 }
 
 std::string CastExpr::ToString() const {
@@ -733,6 +750,10 @@ void WindowExpr::CollectColumnRefs(std::vector<std::string>* out) const {
   time_->CollectColumnRefs(out);
 }
 
+void WindowExpr::CollectColumnIndices(std::vector<int>* out) const {
+  time_->CollectColumnIndices(out);
+}
+
 std::string WindowExpr::ToString() const {
   return "window(" + time_->ToString() + ", " + std::to_string(size_micros_) +
          "us, " + std::to_string(slide_micros_) + "us)";
@@ -799,6 +820,10 @@ Result<Value> UdfExpr::EvalRow(const Row& row) const {
 
 void UdfExpr::CollectColumnRefs(std::vector<std::string>* out) const {
   for (const ExprPtr& a : args_) a->CollectColumnRefs(out);
+}
+
+void UdfExpr::CollectColumnIndices(std::vector<int>* out) const {
+  for (const ExprPtr& a : args_) a->CollectColumnIndices(out);
 }
 
 std::string UdfExpr::ToString() const {

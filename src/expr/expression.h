@@ -58,6 +58,12 @@ class Expr {
   /// Appends the names of all column references in this subtree.
   virtual void CollectColumnRefs(std::vector<std::string>* out) const = 0;
 
+  /// Appends the ordinals of all resolved column references in this
+  /// subtree. Only meaningful on resolved expressions; used by
+  /// selection-aware execution to gather just the referenced columns of a
+  /// batch before evaluation (docs/VECTORIZED_EXEC.md).
+  virtual void CollectColumnIndices(std::vector<int>* out) const = 0;
+
   virtual std::string ToString() const = 0;
 
   /// The output column name this expression produces when projected
@@ -107,6 +113,7 @@ class ColumnRefExpr : public Expr {
   Result<ColumnPtr> EvalBatch(const RecordBatch& batch) const override;
   Result<Value> EvalRow(const Row& row) const override;
   void CollectColumnRefs(std::vector<std::string>* out) const override;
+  void CollectColumnIndices(std::vector<int>* out) const override;
   std::string ToString() const override { return name_; }
 
  private:
@@ -125,6 +132,7 @@ class LiteralExpr : public Expr {
   Result<ColumnPtr> EvalBatch(const RecordBatch& batch) const override;
   Result<Value> EvalRow(const Row& row) const override;
   void CollectColumnRefs(std::vector<std::string>*) const override {}
+  void CollectColumnIndices(std::vector<int>*) const override {}
   std::string ToString() const override { return value_.ToString(); }
 
  private:
@@ -144,6 +152,7 @@ class BinaryExpr : public Expr {
   Result<ColumnPtr> EvalBatch(const RecordBatch& batch) const override;
   Result<Value> EvalRow(const Row& row) const override;
   void CollectColumnRefs(std::vector<std::string>* out) const override;
+  void CollectColumnIndices(std::vector<int>* out) const override;
   std::string ToString() const override;
 
  private:
@@ -164,6 +173,7 @@ class UnaryExpr : public Expr {
   Result<ColumnPtr> EvalBatch(const RecordBatch& batch) const override;
   Result<Value> EvalRow(const Row& row) const override;
   void CollectColumnRefs(std::vector<std::string>* out) const override;
+  void CollectColumnIndices(std::vector<int>* out) const override;
   std::string ToString() const override;
 
  private:
@@ -183,6 +193,7 @@ class CastExpr : public Expr {
   Result<ColumnPtr> EvalBatch(const RecordBatch& batch) const override;
   Result<Value> EvalRow(const Row& row) const override;
   void CollectColumnRefs(std::vector<std::string>* out) const override;
+  void CollectColumnIndices(std::vector<int>* out) const override;
   std::string ToString() const override;
 
  private:
@@ -210,6 +221,7 @@ class WindowExpr : public Expr {
   Result<ColumnPtr> EvalBatch(const RecordBatch& batch) const override;
   Result<Value> EvalRow(const Row& row) const override;
   void CollectColumnRefs(std::vector<std::string>* out) const override;
+  void CollectColumnIndices(std::vector<int>* out) const override;
   std::string ToString() const override;
 
  private:
@@ -234,6 +246,7 @@ class UdfExpr : public Expr {
   Result<ColumnPtr> EvalBatch(const RecordBatch& batch) const override;
   Result<Value> EvalRow(const Row& row) const override;
   void CollectColumnRefs(std::vector<std::string>* out) const override;
+  void CollectColumnIndices(std::vector<int>* out) const override;
   std::string ToString() const override;
 
  private:

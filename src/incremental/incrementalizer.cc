@@ -4,6 +4,7 @@
 
 #include "analysis/analyzer.h"
 #include "common/logging.h"
+#include "physical/fused_pipeline.h"
 #include "physical/operators.h"
 #include "physical/stateful_ops.h"
 
@@ -13,7 +14,8 @@ namespace {
 
 class Builder {
  public:
-  explicit Builder(int num_partitions) : num_partitions_(num_partitions) {}
+  Builder(int num_partitions, const IncrementalizeOptions& options)
+      : num_partitions_(num_partitions), options_(options) {}
 
   Result<PhysOpPtr> Build(const PlanPtr& plan) {
     switch (plan->kind()) {
@@ -31,8 +33,8 @@ class Builder {
       case LogicalPlan::Kind::kFilter: {
         const auto& node = static_cast<const FilterNode&>(*plan);
         SS_ASSIGN_OR_RETURN(PhysOpPtr child, Build(node.children()[0]));
-        return PhysOpPtr(std::make_shared<FilterExec>(NextId(), child,
-                                                      node.predicate()));
+        return PhysOpPtr(std::make_shared<FilterExec>(
+            NextId(), child, node.predicate(), options_.selection_vectors));
       }
       case LogicalPlan::Kind::kProject: {
         const auto& node = static_cast<const ProjectNode&>(*plan);
@@ -128,6 +130,7 @@ class Builder {
   const std::vector<SourcePtr>& sources() const { return sources_; }
   bool has_stateful() const { return has_stateful_; }
   int top_level_key_columns() const { return top_level_key_columns_; }
+  int* mutable_next_id() { return &next_id_; }
 
  private:
   int NextId() { return next_id_++; }
@@ -254,6 +257,7 @@ class Builder {
   }
 
   int num_partitions_;
+  IncrementalizeOptions options_;
   int next_id_ = 0;
   std::vector<SourcePtr> sources_;
   bool has_stateful_ = false;
@@ -263,12 +267,20 @@ class Builder {
 }  // namespace
 
 Result<PhysicalPlan> Incrementalize(const PlanPtr& analyzed,
-                                    int num_partitions) {
+                                    int num_partitions,
+                                    const IncrementalizeOptions& options) {
   if (!analyzed->analyzed()) {
     return Status::InvalidArgument("plan must be analyzed first");
   }
-  Builder builder(num_partitions);
+  Builder builder(num_partitions, options);
   SS_ASSIGN_OR_RETURN(PhysOpPtr root, builder.Build(analyzed));
+  if (options.fuse_pipelines) {
+    // Fused nodes take fresh op_ids above the existing range, so original
+    // operators keep theirs — checkpoint state directories (op<N>/p<M>),
+    // watermark maps, and per-operator metrics stay stable under fusion.
+    root = FusePipelines(root, builder.mutable_next_id(),
+                         options.selection_vectors);
+  }
   PhysicalPlan plan;
   plan.root = std::move(root);
   plan.sources = builder.sources();

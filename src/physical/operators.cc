@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/arena.h"
 #include "common/logging.h"
 
 namespace sstreaming {
@@ -99,9 +100,11 @@ Result<std::vector<RecordBatchPtr>> StaticSourceExec::ExecuteImpl(
   return out;
 }
 
-FilterExec::FilterExec(int op_id, PhysOpPtr child, ExprPtr predicate)
+FilterExec::FilterExec(int op_id, PhysOpPtr child, ExprPtr predicate,
+                       bool emit_selection)
     : PhysOp(op_id, child->schema(), {child}),
-      predicate_(std::move(predicate)) {}
+      predicate_(std::move(predicate)),
+      emit_selection_(emit_selection) {}
 
 Result<std::vector<RecordBatchPtr>> FilterExec::ExecuteImpl(ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
@@ -109,16 +112,51 @@ Result<std::vector<RecordBatchPtr>> FilterExec::ExecuteImpl(ExecContext* ctx) {
   std::vector<RecordBatchPtr> out(in.size());
   std::vector<std::function<Status()>> tasks;
   for (size_t p = 0; p < in.size(); ++p) {
-    tasks.push_back([this, &in, &out, p]() -> Status {
-      const RecordBatchPtr& batch = in[p];
+    tasks.push_back([this, ctx, &in, &out, p]() -> Status {
+      // EvalBatch requires a selection-free batch; upstream views (e.g. an
+      // unfused filter chain) are compacted first.
+      const RecordBatchPtr batch = RecordBatch::Materialize(in[p]);
+      const int64_t n = batch->num_rows();
       SS_ASSIGN_OR_RETURN(ColumnPtr mask_col, predicate_->EvalBatch(*batch));
-      std::vector<uint8_t> mask(static_cast<size_t>(batch->num_rows()));
-      for (int64_t i = 0; i < batch->num_rows(); ++i) {
-        // NULL predicate results drop the row (SQL semantics).
-        mask[static_cast<size_t>(i)] =
-            !mask_col->IsNull(i) && mask_col->BoolAt(i) ? 1 : 0;
+      if (!emit_selection_) {
+        std::vector<uint8_t> mask(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+          // NULL predicate results drop the row (SQL semantics).
+          mask[static_cast<size_t>(i)] =
+              !mask_col->IsNull(i) && mask_col->BoolAt(i) ? 1 : 0;
+        }
+        out[p] = batch->Filter(mask);
+        return Status::OK();
       }
-      out[p] = batch->Filter(mask);
+      // Selection mode: record survivor indices instead of gathering
+      // survivor rows — one int32 write per kept row, zero column copies.
+      int32_t* idx = nullptr;
+      std::shared_ptr<const void> keepalive;
+      std::vector<int32_t> heap_idx;
+      if (ctx->arena != nullptr) {
+        auto span = ctx->arena->AllocSpan<int32_t>(static_cast<size_t>(n));
+        idx = span.first;
+        keepalive = std::move(span.second);
+      } else {
+        heap_idx.resize(static_cast<size_t>(n));
+        idx = heap_idx.data();
+      }
+      int64_t kept = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        if (!mask_col->IsNull(i) && mask_col->BoolAt(i)) {
+          idx[kept++] = static_cast<int32_t>(i);
+        }
+      }
+      if (kept == n) {
+        out[p] = batch;  // every row survived: pass through, no copy
+        return Status::OK();
+      }
+      SelectionVector sel =
+          keepalive != nullptr
+              ? SelectionVector::FromOwned(idx, kept, std::move(keepalive))
+              : SelectionVector::FromVector(std::vector<int32_t>(
+                    heap_idx.begin(), heap_idx.begin() + kept));
+      out[p] = RecordBatch::MakeView(batch, std::move(sel));
       return Status::OK();
     });
   }
@@ -138,14 +176,18 @@ Result<std::vector<RecordBatchPtr>> ProjectExec::ExecuteImpl(ExecContext* ctx) {
   std::vector<std::function<Status()>> tasks;
   for (size_t p = 0; p < in.size(); ++p) {
     tasks.push_back([this, &in, &out, p]() -> Status {
-      const RecordBatchPtr& batch = in[p];
+      // EvalBatch requires a selection-free batch (fused pipelines avoid
+      // this compaction by gathering only referenced columns).
+      const RecordBatchPtr batch = RecordBatch::Materialize(in[p]);
       std::vector<ColumnPtr> columns;
       columns.reserve(exprs_.size());
       for (const NamedExpr& e : exprs_) {
         SS_ASSIGN_OR_RETURN(ColumnPtr col, e.expr->EvalBatch(*batch));
         columns.push_back(std::move(col));
       }
-      out[p] = RecordBatch::Make(schema_, std::move(columns));
+      auto projected = RecordBatch::Make(schema_, std::move(columns));
+      projected->set_ingest_micros(batch->ingest_micros());
+      out[p] = std::move(projected);
       return Status::OK();
     });
   }
@@ -165,7 +207,10 @@ Result<std::vector<RecordBatchPtr>> WatermarkExec::ExecuteImpl(ExecContext* ctx)
   for (const RecordBatchPtr& batch : in) {
     const Column& col = *batch->column(column_index_);
     int64_t max_ts = INT64_MIN;
-    for (int64_t i = 0; i < col.size(); ++i) {
+    // Scan logical rows only: a selection view's dropped rows must not
+    // advance the watermark.
+    for (int64_t li = 0; li < batch->num_rows(); ++li) {
+      const int64_t i = batch->PhysIndex(li);
       if (!col.IsNull(i) && col.Int64At(i) > max_ts) max_ts = col.Int64At(i);
     }
     if (max_ts != INT64_MIN) {
@@ -193,7 +238,9 @@ Result<std::vector<RecordBatchPtr>> ShuffleExec::ExecuteImpl(ExecContext* ctx) {
   std::vector<std::function<Status()>> map_tasks;
   for (size_t p = 0; p < in_parts; ++p) {
     map_tasks.push_back([this, &in, &buckets, p, out_parts]() -> Status {
-      const RecordBatchPtr& batch = in[p];
+      // Materialize-on-demand boundary: key hashing evaluates expressions
+      // over the whole batch, so selection views compact here.
+      const RecordBatchPtr batch = RecordBatch::Materialize(in[p]);
       const int64_t n = batch->num_rows();
       std::vector<uint64_t> hashes(static_cast<size_t>(n), 0x811C9DC5ULL);
       for (const ExprPtr& key : keys_) {
@@ -241,7 +288,9 @@ SortExec::SortExec(int op_id, PhysOpPtr child, std::vector<Key> keys)
 Result<std::vector<RecordBatchPtr>> SortExec::ExecuteImpl(ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
-  RecordBatchPtr all = RecordBatch::Concat(schema_, in);
+  // Concat's single-batch fast path can pass a selection view through;
+  // sort-key evaluation needs compact storage.
+  RecordBatchPtr all = RecordBatch::Materialize(RecordBatch::Concat(schema_, in));
   // Evaluate the sort keys once, then order row indices.
   std::vector<ColumnPtr> key_cols;
   for (const Key& k : keys_) {

@@ -50,18 +50,27 @@ class StaticSourceExec : public PhysOp {
   int num_partitions_;
 };
 
-/// Vectorized filter.
+/// Vectorized filter. With `emit_selection` (the default under
+/// QueryOptions::selection_vectors), survivors are not copied: the output is
+/// a zero-copy selection view over the input batch
+/// (docs/VECTORIZED_EXEC.md). When every row survives, the input batch is
+/// passed through untouched.
 class FilterExec : public PhysOp {
  public:
-  FilterExec(int op_id, PhysOpPtr child, ExprPtr predicate);
+  FilterExec(int op_id, PhysOpPtr child, ExprPtr predicate,
+             bool emit_selection = true);
 
   std::string name() const override {
     return "Filter " + predicate_->ToString();
   }
   Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
+  const ExprPtr& predicate() const { return predicate_; }
+  bool emit_selection() const { return emit_selection_; }
+
  private:
   ExprPtr predicate_;
+  bool emit_selection_;
 };
 
 /// Vectorized projection.
@@ -72,6 +81,8 @@ class ProjectExec : public PhysOp {
 
   std::string name() const override { return "Project"; }
   Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
+
+  const std::vector<NamedExpr>& exprs() const { return exprs_; }
 
  private:
   std::vector<NamedExpr> exprs_;
@@ -88,6 +99,7 @@ class WatermarkExec : public PhysOp {
   Result<std::vector<RecordBatchPtr>> ExecuteImpl(ExecContext* ctx) override;
 
   int64_t delay_micros() const { return delay_micros_; }
+  int column_index() const { return column_index_; }
 
  private:
   int column_index_;

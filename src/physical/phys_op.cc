@@ -194,6 +194,18 @@ std::string PhysOp::TreeString() const {
   return out;
 }
 
+void PhysOp::CollectProfileNodes(std::vector<OpProfileNode>* out) const {
+  OpProfileNode node;
+  node.op_id = op_id_;
+  node.name = name();
+  node.is_source = is_source_scan();
+  node.child_ids.reserve(children_.size());
+  for (const PhysOpPtr& child : children_) {
+    node.child_ids.push_back(child->op_id());
+  }
+  out->push_back(std::move(node));
+}
+
 Result<std::vector<RecordBatchPtr>> PhysOp::Execute(ExecContext* ctx) {
   int64_t t0 = MonotonicNanos();
   Result<std::vector<RecordBatchPtr>> result = ExecuteImpl(ctx);

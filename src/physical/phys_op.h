@@ -17,6 +17,7 @@
 
 namespace sstreaming {
 
+class Arena;
 class EpochTracer;
 class MetricsRegistry;
 
@@ -123,6 +124,10 @@ struct ExecContext {
   TaskScheduler* scheduler = nullptr;
   StateManager* state = nullptr;
   const Clock* clock = nullptr;
+  /// Per-epoch scratch allocator (selection vectors, survivor indices).
+  /// Reset by the engine at epoch boundaries; may be null (operators fall
+  /// back to heap allocation).
+  Arena* arena = nullptr;
   /// Optional epoch tracer; when set, PhysOp::Execute records one span per
   /// operator invocation.
   EpochTracer* tracer = nullptr;
@@ -178,6 +183,19 @@ struct ExecContext {
   }
 };
 
+/// One row of the per-operator profile index: how an operator wants to
+/// appear in EXPLAIN ANALYZE / the plan profile. Most operators contribute
+/// exactly one node (themselves); FusedPipelineExec contributes one node for
+/// the fused pipeline plus one per original stage so per-operator row
+/// accounting still ties out after fusion.
+struct OpProfileNode {
+  int op_id = 0;
+  std::string name;
+  bool is_source = false;
+  /// op_ids whose rows_out feed this node (its inputs).
+  std::vector<int> child_ids;
+};
+
 /// A physical operator: executes one epoch across all partitions, returning
 /// one output batch per partition. Operators parallelize internally by
 /// submitting per-partition tasks to the scheduler (the paper's fine-grained
@@ -199,6 +217,12 @@ class PhysOp {
 
   virtual std::string name() const = 0;
 
+  /// Swaps a child subtree in place. For plan rewrites (pipeline fusion)
+  /// only, before execution starts.
+  void ReplaceChild(size_t i, std::shared_ptr<PhysOp> child) {
+    children_[i] = std::move(child);
+  }
+
   /// Instrumented entry point: runs ExecuteImpl, accumulating this
   /// operator's wall time, output rows, and batch count into
   /// `ctx->op_stats[op_id()]` and recording a tracer span when
@@ -212,6 +236,12 @@ class PhysOp {
 
   /// Multi-line tree rendering for explain().
   std::string TreeString() const;
+
+  /// Appends this operator's profile node(s) — NOT recursive over children;
+  /// the engine walks the tree. The default contributes a single node whose
+  /// child ids are the direct children's op_ids. FusedPipelineExec overrides
+  /// to also expose its interior stages.
+  virtual void CollectProfileNodes(std::vector<OpProfileNode>* out) const;
 
  protected:
   /// The operator's actual logic; called only through Execute().

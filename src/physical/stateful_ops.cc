@@ -187,6 +187,10 @@ Result<std::vector<RecordBatchPtr>> StatefulAggExec::ExecuteImpl(
     ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
+  // Materialize-on-demand boundary: stateful operators evaluate
+  // expressions and encode state keys over whole batches, so selection
+  // views compact here (docs/VECTORIZED_EXEC.md).
+  for (RecordBatchPtr& b : in) b = RecordBatch::Materialize(b);
   const size_t P = in.size();
   const bool windowed = window_expr_ != nullptr;
   const int64_t watermark = ctx->watermark_micros;
@@ -206,9 +210,21 @@ Result<std::vector<RecordBatchPtr>> StatefulAggExec::ExecuteImpl(
                         ctx->state->GetStore(op_id_, static_cast<int>(p)));
   }
 
+  // Dictionary-encoded string key column (docs/VECTORIZED_EXEC.md): the
+  // state-key encoding of each distinct value is precooked once, and the
+  // per-row hot loops append the precooked bytes — byte-identical to
+  // EncodeValueTo by construction, but one hash per row instead of one
+  // length-prefixed byte append per row per occurrence.
+  struct KeyDict {
+    std::vector<std::string> encoded;  // per distinct value (incl. null)
+    std::vector<int32_t> codes;        // per row -> index into `encoded`
+  };
+
   struct PartitionWork {
     std::vector<ColumnPtr> key_cols;
     std::vector<ColumnPtr> arg_cols;
+    /// One dict per string-typed scalar group key column, else null.
+    std::vector<std::unique_ptr<KeyDict>> key_dicts;
     int chunks = 1;
     std::vector<KeyedEntries> buckets;         // chunks x shards
     std::vector<std::vector<Row>> shard_rows;  // per-shard output rows
@@ -237,6 +253,39 @@ Result<std::vector<RecordBatchPtr>> StatefulAggExec::ExecuteImpl(
           if (aggregates_[a].func == AggFunc::kCountAll) continue;
           SS_ASSIGN_OR_RETURN(w.arg_cols[a],
                               aggregates_[a].arg->EvalBatch(input));
+        }
+        // Dictionary-encode string key columns for the encode loops below.
+        w.key_dicts.resize(group_exprs_.size());
+        for (size_t g = 0; g < group_exprs_.size(); ++g) {
+          if (static_cast<int>(g) == window_key_index_) continue;
+          const Column& col = *w.key_cols[g];
+          if (PhysicalKindOf(col.type()) != PhysicalKind::kString) continue;
+          auto dict = std::make_unique<KeyDict>();
+          const int64_t rows = col.size();
+          dict->codes.resize(static_cast<size_t>(rows));
+          std::unordered_map<std::string_view, int32_t> index;
+          int32_t null_code = -1;
+          for (int64_t i = 0; i < rows; ++i) {
+            if (col.IsNull(i)) {
+              if (null_code < 0) {
+                null_code = static_cast<int32_t>(dict->encoded.size());
+                dict->encoded.emplace_back();
+                col.EncodeValueTo(i, &dict->encoded.back());
+              }
+              dict->codes[static_cast<size_t>(i)] = null_code;
+              continue;
+            }
+            const std::string& v = col.StringAt(i);
+            auto [it, inserted] = index.emplace(
+                std::string_view(v),
+                static_cast<int32_t>(dict->encoded.size()));
+            if (inserted) {
+              dict->encoded.emplace_back();
+              col.EncodeValueTo(i, &dict->encoded.back());
+            }
+            dict->codes[static_cast<size_t>(i)] = it->second;
+          }
+          w.key_dicts[g] = std::move(dict);
         }
         return Status::OK();
       });
@@ -418,6 +467,10 @@ Result<std::vector<RecordBatchPtr>> StatefulAggExec::ExecuteImpl(
                 char buf[8];
                 std::memcpy(buf, &wstart, 8);
                 enc.append(buf, 8);
+              } else if (const KeyDict* dict = w.key_dicts[g].get()) {
+                enc.append(
+                    dict->encoded[static_cast<size_t>(
+                        dict->codes[static_cast<size_t>(i)])]);
               } else {
                 w.key_cols[g]->EncodeValueTo(i, &enc);
               }
@@ -499,6 +552,10 @@ Result<std::vector<RecordBatchPtr>> StatefulAggExec::ExecuteImpl(
                   char buf[8];
                   std::memcpy(buf, &wstart, 8);
                   enc.append(buf, 8);
+                } else if (const KeyDict* dict = w.key_dicts[g].get()) {
+                  enc.append(
+                      dict->encoded[static_cast<size_t>(
+                          dict->codes[static_cast<size_t>(i)])]);
                 } else {
                   w.key_cols[g]->EncodeValueTo(i, &enc);
                 }
@@ -595,6 +652,10 @@ DedupExec::DedupExec(int op_id, PhysOpPtr child)
 Result<std::vector<RecordBatchPtr>> DedupExec::ExecuteImpl(ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
+  // Materialize-on-demand boundary: stateful operators evaluate
+  // expressions and encode state keys over whole batches, so selection
+  // views compact here (docs/VECTORIZED_EXEC.md).
+  for (RecordBatchPtr& b : in) b = RecordBatch::Materialize(b);
   const size_t P = in.size();
   std::vector<ShardedStateStore*> stores(P);
   for (size_t p = 0; p < P; ++p) {
@@ -731,6 +792,9 @@ Result<std::vector<RecordBatchPtr>> StreamStaticJoinExec::ExecuteImpl(
     ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
+  // Materialize-on-demand boundary: join probing evaluates key expressions
+  // over whole batches, so selection views compact here.
+  for (RecordBatchPtr& b : in) b = RecordBatch::Materialize(b);
   std::vector<RecordBatchPtr> out(in.size());
   std::vector<std::function<Status()>> tasks;
   for (size_t p = 0; p < in.size(); ++p) {
@@ -922,6 +986,9 @@ Result<std::vector<RecordBatchPtr>> StreamStreamJoinExec::ExecuteImpl(
                       children_[0]->Execute(ctx));
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> right_in,
                       children_[1]->Execute(ctx));
+  // Materialize-on-demand boundary (selection views compact here).
+  for (RecordBatchPtr& b : left_in) b = RecordBatch::Materialize(b);
+  for (RecordBatchPtr& b : right_in) b = RecordBatch::Materialize(b);
   if (left_in.size() != right_in.size()) {
     return Status::Internal("stream-stream join sides not co-partitioned");
   }
@@ -1182,6 +1249,8 @@ Result<std::vector<RecordBatchPtr>> FlatMapGroupsWithStateExec::ExecuteImpl(
     ExecContext* ctx) {
   SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> in,
                       children_[0]->Execute(ctx));
+  // Materialize-on-demand boundary (selection views compact here).
+  for (RecordBatchPtr& b : in) b = RecordBatch::Materialize(b);
   std::vector<RecordBatchPtr> out(in.size());
   std::vector<std::function<Status()>> tasks;
   for (size_t p = 0; p < in.size(); ++p) {

@@ -64,10 +64,49 @@ Result<std::shared_ptr<RecordBatch>> RecordBatch::FromRows(
   return Make(std::move(schema), std::move(columns));
 }
 
+RecordBatchPtr RecordBatch::MakeView(const RecordBatchPtr& base,
+                                     SelectionVector selection) {
+  SS_CHECK(base != nullptr);
+  if (base->has_selection_) {
+    // Compose: incoming indices are logical rows of `base`; rebase them
+    // onto physical storage so views never chain.
+    std::vector<int32_t> composed(static_cast<size_t>(selection.size));
+    for (int64_t i = 0; i < selection.size; ++i) {
+      composed[static_cast<size_t>(i)] =
+          base->selection_.data[selection.data[i]];
+    }
+    selection = SelectionVector::FromVector(std::move(composed));
+  }
+  auto view = std::make_shared<RecordBatch>(base->schema_, base->columns_);
+  view->num_rows_ = selection.size;
+  view->has_selection_ = true;
+  view->selection_ = std::move(selection);
+  view->ingest_micros_ = base->ingest_micros_;
+  return view;
+}
+
+RecordBatchPtr RecordBatch::Materialize(const RecordBatchPtr& batch) {
+  if (batch == nullptr || !batch->has_selection_) return batch;
+  std::vector<ColumnPtr> out_columns;
+  out_columns.reserve(batch->columns_.size());
+  for (const ColumnPtr& in : batch->columns_) {
+    ColumnPtr out = Column::Make(in->type());
+    out->Reserve(batch->num_rows_);
+    for (int64_t i = 0; i < batch->num_rows_; ++i) {
+      out->AppendFrom(*in, batch->selection_.data[i]);
+    }
+    out_columns.push_back(std::move(out));
+  }
+  auto compact = Make(batch->schema_, std::move(out_columns));
+  compact->set_ingest_micros(batch->ingest_micros_);
+  return compact;
+}
+
 Row RecordBatch::RowAt(int64_t i) const {
   Row row;
   row.reserve(columns_.size());
-  for (const ColumnPtr& c : columns_) row.push_back(c->ValueAt(i));
+  const int64_t p = PhysIndex(i);
+  for (const ColumnPtr& c : columns_) row.push_back(c->ValueAt(p));
   return row;
 }
 
@@ -86,8 +125,9 @@ std::shared_ptr<RecordBatch> RecordBatch::Filter(
   for (size_t ci = 0; ci < columns_.size(); ++ci) {
     const Column& in = *columns_[ci];
     ColumnPtr out = Column::Make(in.type());
-    for (int64_t i = 0; i < num_rows_; ++i) {
-      if (!mask[static_cast<size_t>(i)]) continue;
+    for (int64_t li = 0; li < num_rows_; ++li) {
+      if (!mask[static_cast<size_t>(li)]) continue;
+      const int64_t i = PhysIndex(li);
       if (in.IsNull(i)) {
         out->AppendNull();
         continue;
@@ -129,6 +169,12 @@ std::shared_ptr<RecordBatch> RecordBatch::SelectColumns(
     cols.push_back(columns_[static_cast<size_t>(idx)]);
   }
   auto out = Make(Schema::Make(std::move(fields)), std::move(cols));
+  if (has_selection_) {
+    // Column sharing keeps the physical storage; the selection rides along.
+    out->num_rows_ = num_rows_;
+    out->has_selection_ = true;
+    out->selection_ = selection_;
+  }
   out->set_ingest_micros(ingest_micros_);
   return out;
 }
@@ -150,7 +196,8 @@ std::shared_ptr<RecordBatch> RecordBatch::Gather(
   for (const ColumnPtr& in : columns_) {
     ColumnPtr out = Column::Make(in->type());
     out->Reserve(static_cast<int64_t>(indices.size()));
-    for (int32_t i : indices) out->AppendFrom(*in, i);
+    // Gather indices address logical rows; map through any selection.
+    for (int32_t i : indices) out->AppendFrom(*in, PhysIndex(i));
     out_columns.push_back(std::move(out));
   }
   auto gathered = Make(schema_, std::move(out_columns));
@@ -167,7 +214,8 @@ std::shared_ptr<RecordBatch> RecordBatch::Concat(
     ColumnPtr out = Column::Make(schema->field(ci).type);
     for (const auto& batch : batches) {
       const Column& in = *batch->column(ci);
-      for (int64_t i = 0; i < in.size(); ++i) {
+      for (int64_t li = 0; li < batch->num_rows(); ++li) {
+        const int64_t i = batch->PhysIndex(li);
         if (in.IsNull(i)) {
           out->AppendNull();
           continue;

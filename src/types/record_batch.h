@@ -9,12 +9,25 @@
 #include "types/column.h"
 #include "types/row.h"
 #include "types/schema.h"
+#include "types/selection_vector.h"
 
 namespace sstreaming {
+
+class RecordBatch;
+using RecordBatchPtr = std::shared_ptr<RecordBatch>;
 
 /// A horizontal slice of a table: a schema plus one Column per field, all of
 /// equal length. Batches are immutable after construction and shared by
 /// pointer between operators.
+///
+/// A batch may carry a selection vector (docs/VECTORIZED_EXEC.md): the
+/// columns then hold physical_rows() rows of which only the selected
+/// num_rows() are logically present, in selection order. All row-level
+/// accessors (RowAt, Filter, Slice, Gather, Concat, ToRows, ToString) see
+/// the logical view; Column-level accessors (column(i)->Int64At etc.) see
+/// physical storage and must be indexed through selection() — or the batch
+/// materialized first. Vectorized expression evaluation (Expr::EvalBatch)
+/// requires a batch WITHOUT a selection.
 class RecordBatch {
  public:
   RecordBatch(SchemaPtr schema, std::vector<ColumnPtr> columns);
@@ -64,6 +77,33 @@ class RecordBatch {
       SchemaPtr schema,
       const std::vector<std::shared_ptr<RecordBatch>>& batches);
 
+  // --- Selection vectors (docs/VECTORIZED_EXEC.md) ---
+
+  /// Zero-copy restriction of `base` to the physical row indices in
+  /// `selection` (logical order). Shares `base`'s column storage. If `base`
+  /// itself carries a selection, the indices are interpreted as *logical*
+  /// rows of `base` and composed, so the result always indexes physical
+  /// storage directly.
+  static RecordBatchPtr MakeView(const RecordBatchPtr& base,
+                                 SelectionVector selection);
+
+  /// Compacts a selection view into a plain batch (one typed gather per
+  /// column). Returns `batch` unchanged — no copy — when it carries no
+  /// selection. Preserves ingest_micros.
+  static RecordBatchPtr Materialize(const RecordBatchPtr& batch);
+
+  bool has_selection() const { return has_selection_; }
+  const SelectionVector& selection() const { return selection_; }
+  /// Rows physically present in the columns (== num_rows() when there is no
+  /// selection).
+  int64_t physical_rows() const {
+    return columns_.empty() ? 0 : columns_[0]->size();
+  }
+  /// Physical storage index of logical row i.
+  int64_t PhysIndex(int64_t i) const {
+    return has_selection_ ? selection_.data[i] : i;
+  }
+
   /// Approximate in-memory footprint in bytes (sum of the columns' payload
   /// sizes; O(num_columns)). Feeds the per-operator output-bytes actuals and
   /// the memory-accounting gauges.
@@ -84,13 +124,15 @@ class RecordBatch {
  private:
   SchemaPtr schema_;
   std::vector<ColumnPtr> columns_;
+  /// Logical row count: selection size when a selection is engaged,
+  /// otherwise the columns' physical length.
   int64_t num_rows_;
+  bool has_selection_ = false;
+  SelectionVector selection_;
   /// Latency provenance, not data: excluded from equality/rendering. The one
   /// mutable-after-construction field, set only before a batch is shared.
   int64_t ingest_micros_ = 0;
 };
-
-using RecordBatchPtr = std::shared_ptr<RecordBatch>;
 
 }  // namespace sstreaming
 

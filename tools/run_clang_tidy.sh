@@ -3,16 +3,22 @@
 # translation unit in src/ and tools/, using the compile database from a
 # CMake build.
 #
-#   tools/run_clang_tidy.sh [build_dir]
+#   tools/run_clang_tidy.sh [--require] [build_dir]
 #
 # build_dir defaults to ./build; it is created (with
 # CMAKE_EXPORT_COMPILE_COMMANDS=ON) if it does not exist. Exits non-zero if
 # any check fires. On machines without clang-tidy (e.g. the gcc-only CI
 # image) the script prints a notice and exits 0 so it can be wired into
-# always-on verification.
+# always-on verification — unless --require is passed (the dedicated CI
+# lint job), in which case a missing clang-tidy is itself a failure.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+require=0
+if [[ "${1:-}" == "--require" ]]; then
+  require=1
+  shift
+fi
 build_dir="${1:-$repo_root/build}"
 
 tidy_bin="${CLANG_TIDY:-}"
@@ -26,6 +32,11 @@ if [[ -z "$tidy_bin" ]]; then
   done
 fi
 if [[ -z "$tidy_bin" ]]; then
+  if [[ $require -eq 1 ]]; then
+    echo "run_clang_tidy: clang-tidy not found on PATH and --require was" \
+         "given (set CLANG_TIDY to override)." >&2
+    exit 1
+  fi
   echo "run_clang_tidy: clang-tidy not found on PATH; skipping (set" \
        "CLANG_TIDY to override)."
   exit 0

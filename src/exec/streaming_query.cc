@@ -10,6 +10,8 @@
 #include "analysis/checkpoint_compat.h"
 #include "analysis/plan_analyzer.h"
 #include "common/logging.h"
+#include "obs/doctor.h"
+#include "obs/profiler.h"
 #include "optimizer/optimizer.h"
 #include "state/state_store.h"
 #include "storage/fs.h"
@@ -100,6 +102,15 @@ Result<std::unique_ptr<StreamingQuery>> StreamingQuery::Start(
     // An externally supplied scheduler may be shared across queries (and
     // outlive this one); its owner decides whether/where it reports.
     query->owned_scheduler_->set_metrics(query->metrics_.get());
+  }
+  // Profiler attribution label for this query; armed for the query's
+  // lifetime when profile_hz asks for it (disarmed in NotifyTerminated —
+  // also reached via the unique_ptr destructor on any later Start failure).
+  query->profile_query_label_ = Profiler::Instance().Intern(
+      options.query_name.empty() ? "<unnamed-query>" : options.query_name);
+  if (options.profile_hz > 0) {
+    Profiler::Instance().Arm(options.profile_hz);
+    query->profiler_armed_ = true;
   }
   IncrementalizeOptions inc_options;
   inc_options.fuse_pipelines = options.fuse_pipelines;
@@ -337,6 +348,15 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   pending_backlog_age_.clear();
   LogContext log_ctx(options_.query_name, plan.epoch);
 
+  // Profiler attribution: everything the trigger thread does this epoch
+  // samples under this query's label; operators and stages refine the word
+  // below (obs/profiler.h). All no-ops while the sampler is disarmed.
+  ProfileQueryScope prof_query(profile_query_label_);
+  static const uint32_t kStageExecute = Profiler::Instance().Intern("execute");
+  static const uint32_t kStageCheckpoint =
+      Profiler::Instance().Intern("checkpoint");
+  static const uint32_t kStageCommit = Profiler::Instance().Intern("commit");
+
   // Recycle per-epoch scratch; the previous epoch's output was materialized
   // before commit, so no selection view can still alias the arena.
   arena_.Reset();
@@ -355,11 +375,14 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   }
 
   int64_t exec_t0 = MonotonicNanos();
-  SS_ASSIGN_OR_RETURN(std::vector<RecordBatchPtr> output,
-                      plan_.root->Execute(&ctx));
-  // Forced materialization boundary: the sink sees compact batches, never
-  // selection views (docs/VECTORIZED_EXEC.md).
-  for (RecordBatchPtr& b : output) b = RecordBatch::Materialize(b);
+  std::vector<RecordBatchPtr> output;
+  {
+    ProfileStageScope prof_stage(kStageExecute);
+    SS_ASSIGN_OR_RETURN(output, plan_.root->Execute(&ctx));
+    // Forced materialization boundary: the sink sees compact batches, never
+    // selection views (docs/VECTORIZED_EXEC.md).
+    for (RecordBatchPtr& b : output) b = RecordBatch::Materialize(b);
+  }
   int64_t exec_total = MonotonicNanos() - exec_t0;
 
   // §6.1 commit protocol: checkpoint state, then commit the sink, then log
@@ -369,11 +392,14 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   // harness drives each of them.
   SS_FAILPOINT("epoch.before_checkpoint");
   int64_t ckpt_t0 = MonotonicNanos();
-  if (plan_.has_stateful) {
-    const int interval = options_.state_checkpoint_interval;
-    if (interval <= 1 || plan.epoch % interval == 0) {
-      SS_RETURN_IF_ERROR(state_->CommitAll(plan.epoch));
-      last_state_commit_ = plan.epoch;
+  {
+    ProfileStageScope prof_stage(kStageCheckpoint);
+    if (plan_.has_stateful) {
+      const int interval = options_.state_checkpoint_interval;
+      if (interval <= 1 || plan.epoch % interval == 0) {
+        SS_RETURN_IF_ERROR(state_->CommitAll(plan.epoch));
+        last_state_commit_ = plan.epoch;
+      }
     }
   }
   int64_t ckpt_end = MonotonicNanos();
@@ -387,8 +413,15 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
     sink_mode = OutputMode::kAppend;
   }
   SS_FAILPOINT("epoch.before_sink_commit");
-  SS_RETURN_IF_ERROR(
-      sink_->CommitEpoch(plan.epoch, sink_mode, num_keys, output));
+  // Time Sink::CommitEpoch alone (the sink-bound doctor signal); the
+  // broader commit stage below also covers the WAL commit and retention.
+  int64_t sink_t0 = MonotonicNanos();
+  {
+    ProfileStageScope prof_stage(kStageCommit);
+    SS_RETURN_IF_ERROR(
+        sink_->CommitEpoch(plan.epoch, sink_mode, num_keys, output));
+  }
+  int64_t sink_commit_nanos = MonotonicNanos() - sink_t0;
   // The classic at-least-once window: output delivered, commit not yet
   // logged. Replay re-delivers; the sink's idempotence deduplicates.
   SS_FAILPOINT("epoch.after_sink_commit");
@@ -504,6 +537,7 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
   progress.exec_nanos = exec_total - source_read;
   progress.checkpoint_nanos = ckpt_end - ckpt_t0;
   progress.commit_nanos = commit_end - ckpt_end;
+  progress.sink_commit_nanos = sink_commit_nanos;
   // `other` absorbs the unattributed remainder (context setup, watermark
   // bookkeeping) so the stages always sum to the epoch duration.
   int64_t accounted = plan_nanos + exec_total + progress.checkpoint_nanos +
@@ -543,6 +577,11 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
         op.rows_out = it->second.rows_out;
         op.batches = it->second.batches;
         op.output_bytes = it->second.bytes_out;
+        op.tasks = it->second.tasks;
+        op.queue_wait_nanos = it->second.queue_wait_nanos;
+        op.task_run_nanos = it->second.task_run_nanos;
+        op.max_task_run_nanos = it->second.max_task_run_nanos;
+        progress.queue_wait_nanos += op.queue_wait_nanos;
         wall = it->second.wall_nanos;
       }
       auto sit = state_sizes.find(entry.op_id);
@@ -609,6 +648,15 @@ Status StreamingQuery::RunPlannedEpoch(const EpochPlan& plan) {
           ->Increment(op.batches);
       metrics_->GetCounter("sstreaming_operator_cpu_nanos_total", labels)
           ->Increment(op.cpu_nanos);
+      if (op.tasks != 0) {
+        metrics_->GetCounter("sstreaming_operator_queue_wait_nanos_total",
+                             labels)
+            ->Increment(op.queue_wait_nanos);
+      }
+    }
+    if (progress.sink_commit_nanos > 0) {
+      metrics_->GetHistogram("sstreaming_sink_commit_nanos")
+          ->Record(progress.sink_commit_nanos);
     }
     // Arena accounting: lifetime bytes handed out and the bytes currently
     // parked in reusable chunks.
@@ -764,7 +812,23 @@ void StreamingQuery::Stop() {
 void StreamingQuery::NotifyTerminated() {
   // Exactly once across Stop(), destruction and epoch failure.
   if (termination_notified_.exchange(true)) return;
+  if (profiler_armed_) {
+    Profiler::Instance().Disarm();
+    profiler_armed_ = false;
+  }
   if (history_ != nullptr) {
+    // Post-mortem diagnosis: run the doctor over the progress ring and
+    // append its report ahead of the terminated line, so `ssctl doctor`
+    // and offline readers get the verdicts without recomputing them.
+    DoctorInput input;
+    input.query_name = options_.query_name;
+    input.window = GetProgressSnapshot();
+    input.scheduler_parallelism = scheduler_parallelism();
+    input.num_state_shards = options_.num_state_shards;
+    if (!input.window.empty()) {
+      (void)history_->AppendDoctor(options_.query_name,
+                                   Diagnose(input).ToJson());
+    }
     (void)history_->AppendTerminated(options_.query_name, GetError(),
                                      last_epoch_, plan_profile_);
   }

@@ -7,6 +7,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -14,8 +15,10 @@
 
 #include "common/json.h"
 #include "exec/query_manager.h"
+#include "obs/doctor.h"
 #include "obs/metrics.h"
 #include "obs/process_stats.h"
+#include "obs/profiler.h"
 #include "obs/query_history.h"
 #include "obs/tracer.h"
 
@@ -85,6 +88,26 @@ HttpResponse JsonError(int status, const std::string& message) {
   HttpResponse resp = JsonResponse(obj);
   resp.status = status;
   return resp;
+}
+
+/// Pulls an integer parameter out of a raw query string ("seconds=3&hz=50").
+/// Returns `fallback` when the key is absent or non-numeric.
+int64_t QueryParamInt(const std::string& query_string, const std::string& key,
+                      int64_t fallback) {
+  size_t pos = 0;
+  while (pos < query_string.size()) {
+    size_t amp = query_string.find('&', pos);
+    std::string pair = query_string.substr(
+        pos, (amp == std::string::npos ? query_string.size() : amp) - pos);
+    pos = amp == std::string::npos ? query_string.size() : amp + 1;
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos || pair.substr(0, eq) != key) continue;
+    char* end = nullptr;
+    long long v = std::strtoll(pair.c_str() + eq + 1, &end, 10);
+    if (end == pair.c_str() + eq + 1) return fallback;
+    return v;
+  }
+  return fallback;
 }
 
 void SetSocketTimeouts(int fd, int timeout_ms) {
@@ -267,6 +290,7 @@ HttpResponse ObservabilityServer::Handle(const HttpRequest& req) const {
   }
   if (req.path == "/healthz") return TextResponse(200, "ok\n");
   if (req.path == "/metrics") return HandleMetrics();
+  if (req.path == "/profile") return HandleProfile(req.query);
   if (req.path == "/queries" || req.path == "/queries/") {
     return HandleQueries();
   }
@@ -282,6 +306,7 @@ HttpResponse ObservabilityServer::Handle(const HttpRequest& req) const {
     if (sub == "fingerprint") return HandleFingerprint(name);
     if (sub == "trace") return HandleTrace(name);
     if (sub == "history") return HandleHistory(name);
+    if (sub == "doctor") return HandleDoctor(name);
     return JsonError(404, "unknown query endpoint '" + sub + "'");
   }
   if (req.path == "/") {
@@ -295,7 +320,9 @@ HttpResponse ObservabilityServer::Handle(const HttpRequest& req) const {
         "  /queries/<id>/plan    live EXPLAIN ANALYZE (JSON)\n"
         "  /queries/<id>/fingerprint canonical plan fingerprint (JSON)\n"
         "  /queries/<id>/trace   Chrome trace JSON\n"
-        "  /queries/<id>/history durable event log (JSON)\n");
+        "  /queries/<id>/history durable event log (JSON)\n"
+        "  /queries/<id>/doctor  ranked bottleneck verdicts (JSON)\n"
+        "  /profile?seconds=N    sampling profile over N seconds (JSON)\n");
   }
   return JsonError(404, "no route for '" + req.path + "'");
 }
@@ -432,6 +459,36 @@ HttpResponse ObservabilityServer::HandleHistory(
   for (Json& event : *events) arr.Append(std::move(event));
   obj.Set("events", std::move(arr));
   return JsonResponse(obj);
+}
+
+HttpResponse ObservabilityServer::HandleDoctor(const std::string& name) const {
+  // Copy the inputs under the query lock, diagnose outside it: the rule
+  // engine is pure computation over the snapshot.
+  DoctorInput input;
+  bool found = WithNamedQuery(name, [&input, &name](const StreamingQuery& query) {
+    input.query_name = name;
+    input.window = query.GetProgressSnapshot();
+    input.scheduler_parallelism = query.scheduler_parallelism();
+    input.num_state_shards = query.num_state_shards();
+  });
+  if (!found) return JsonError(404, "no query '" + name + "'");
+  return JsonResponse(Diagnose(input).ToJson());
+}
+
+HttpResponse ObservabilityServer::HandleProfile(
+    const std::string& query_string) const {
+  // Blocking by design: the profiler is armed for the requested window and
+  // the delta profile is returned. Requests serialize on the accept thread,
+  // so concurrent scrapers queue rather than fight over arming (the
+  // refcounted Arm also makes overlap from other threads safe). The window
+  // is clamped so a stray request cannot occupy the server for minutes.
+  int64_t seconds = QueryParamInt(query_string, "seconds", 1);
+  seconds = std::max<int64_t>(1, std::min<int64_t>(30, seconds));
+  int64_t hz = QueryParamInt(
+      query_string, "hz", static_cast<int64_t>(Profiler::kDefaultHz));
+  ProfileSnapshot snap =
+      Profiler::Instance().Collect(seconds * 1000, static_cast<double>(hz));
+  return JsonResponse(snap.ToJson());
 }
 
 Result<HttpResponse> HttpGet(int port, const std::string& path,

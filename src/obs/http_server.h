@@ -88,6 +88,11 @@ class HttpServer {
 ///   GET /queries/<id>/fingerprint  canonical plan fingerprint (JSON;
 ///                             byte-stable for the life of the query)
 ///   GET /queries/<id>/trace   Chrome trace_event JSON for chrome://tracing
+///   GET /queries/<id>/doctor  ranked bottleneck verdicts over the recent
+///                             progress window (obs/doctor.h)
+///   GET /profile?seconds=N&hz=H  arm the sampling profiler for N seconds
+///                             (blocking; see obs/profiler.h) and return
+///                             the collected per-(query, op) profile
 ///
 /// Handlers use only the queries' thread-safe snapshot accessors, and
 /// manager-owned queries are resolved under the manager lock
@@ -134,6 +139,8 @@ class ObservabilityServer {
   HttpResponse HandleFingerprint(const std::string& name) const;
   HttpResponse HandleTrace(const std::string& name) const;
   HttpResponse HandleHistory(const std::string& name) const;
+  HttpResponse HandleDoctor(const std::string& name) const;
+  HttpResponse HandleProfile(const std::string& query_string) const;
 
   mutable std::mutex mu_;
   QueryManager* manager_ SS_GUARDED_BY(mu_) = nullptr;

@@ -30,6 +30,10 @@ void PlanProfile::RecordEpoch(const QueryProgress& progress) {
     node.batches += op.batches;
     node.cpu_nanos += op.cpu_nanos;
     node.output_bytes += op.output_bytes;
+    node.tasks += op.tasks;
+    node.queue_wait_nanos += op.queue_wait_nanos;
+    node.max_task_run_nanos =
+        std::max(node.max_task_run_nanos, op.max_task_run_nanos);
     node.state_rows = op.state_rows;
     node.state_bytes = op.state_bytes;
     node.shard_state = op.shard_state;
@@ -60,11 +64,12 @@ void PlanProfile::RenderNodeLocked(const Node& node, int depth,
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 " [op %d]  rows_in=%lld rows_out=%lld batches=%lld "
-                "self_cpu_ms=%.3f output_bytes=%lld",
+                "self_cpu_ms=%.3f queue_ms=%.3f output_bytes=%lld",
                 node.op_id, static_cast<long long>(node.rows_in),
                 static_cast<long long>(node.rows_out),
                 static_cast<long long>(node.batches),
                 static_cast<double>(node.cpu_nanos) / 1e6,
+                static_cast<double>(node.queue_wait_nanos) / 1e6,
                 static_cast<long long>(node.output_bytes));
   *out += buf;
   if (node.peak_state_rows > 0 || node.peak_state_bytes > 0) {
@@ -111,6 +116,9 @@ Json PlanProfile::NodeJsonLocked(const Node& node) const {
   obj.Set("rowsOut", Json::Int(node.rows_out));
   obj.Set("batches", Json::Int(node.batches));
   obj.Set("cpuNanos", Json::Int(node.cpu_nanos));
+  obj.Set("queueWaitNanos", Json::Int(node.queue_wait_nanos));
+  obj.Set("tasks", Json::Int(node.tasks));
+  obj.Set("maxTaskRunNanos", Json::Int(node.max_task_run_nanos));
   obj.Set("outputBytes", Json::Int(node.output_bytes));
   obj.Set("stateRows", Json::Int(node.state_rows));
   obj.Set("stateBytes", Json::Int(node.state_bytes));

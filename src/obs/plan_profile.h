@@ -39,6 +39,12 @@ class PlanProfile {
     int64_t batches = 0;
     int64_t cpu_nanos = 0;  // self time (inclusive minus children)
     int64_t output_bytes = 0;
+    // Scheduler accounting for the stages this operator submitted:
+    // cumulative task count, submit->start queue wait (backpressure), and
+    // the slowest single task seen (skew).
+    int64_t tasks = 0;
+    int64_t queue_wait_nanos = 0;
+    int64_t max_task_run_nanos = 0;
 
     // Live state size after the most recent epoch, and the peak across all
     // recorded epochs (0 for stateless operators).

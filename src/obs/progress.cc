@@ -99,6 +99,12 @@ Json OperatorProgress::ToJson() const {
   obj.Set("outputBytes", Json::Int(output_bytes));
   obj.Set("stateRows", Json::Int(state_rows));
   obj.Set("stateBytes", Json::Int(state_bytes));
+  if (tasks != 0) {
+    obj.Set("tasks", Json::Int(tasks));
+    obj.Set("queueWaitNanos", Json::Int(queue_wait_nanos));
+    obj.Set("taskRunNanos", Json::Int(task_run_nanos));
+    obj.Set("maxTaskRunNanos", Json::Int(max_task_run_nanos));
+  }
   if (!shard_state.empty()) {
     Json shards = Json::Array();
     for (const auto& [rows, bytes] : shard_state) {
@@ -126,6 +132,10 @@ Result<OperatorProgress> OperatorProgress::FromJson(const Json& json) {
   op.output_bytes = GetInt(json, "outputBytes");
   op.state_rows = GetInt(json, "stateRows");
   op.state_bytes = GetInt(json, "stateBytes");
+  op.tasks = GetInt(json, "tasks");
+  op.queue_wait_nanos = GetInt(json, "queueWaitNanos");
+  op.task_run_nanos = GetInt(json, "taskRunNanos");
+  op.max_task_run_nanos = GetInt(json, "maxTaskRunNanos");
   const Json& shards = json.Get("shardState");
   if (shards.is_array()) {
     for (const Json& pair : shards.array_items()) {
@@ -175,6 +185,8 @@ Json QueryProgress::ToJson() const {
   obj.Set("stateEntries", Json::Int(state_entries));
   obj.Set("stateBytes", Json::Int(state_bytes));
   obj.Set("durationNanos", Json::Int(duration_nanos));
+  obj.Set("sinkCommitNanos", Json::Int(sink_commit_nanos));
+  obj.Set("queueWaitNanos", Json::Int(queue_wait_nanos));
   obj.Set("triggerWaitNanos", Json::Int(trigger_wait_nanos));
   obj.Set("triggerDriftNanos", Json::Int(trigger_drift_nanos));
   obj.Set("e2eLatency", e2e_latency.ToJson());
@@ -209,6 +221,8 @@ Result<QueryProgress> QueryProgress::FromJson(const Json& json) {
   p.state_entries = GetInt(json, "stateEntries");
   p.state_bytes = GetInt(json, "stateBytes");
   p.duration_nanos = GetInt(json, "durationNanos");
+  p.sink_commit_nanos = GetInt(json, "sinkCommitNanos");
+  p.queue_wait_nanos = GetInt(json, "queueWaitNanos");
   p.trigger_wait_nanos = GetInt(json, "triggerWaitNanos");
   p.trigger_drift_nanos = GetInt(json, "triggerDriftNanos");
   p.watermark_lag_micros = GetInt(json, "watermarkLagMicros");

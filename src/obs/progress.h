@@ -55,6 +55,15 @@ struct OperatorProgress {
   /// Live state-store size after the epoch (0 for stateless operators).
   int64_t state_rows = 0;
   int64_t state_bytes = 0;
+  /// Scheduler accounting for the stages this operator submitted this
+  /// epoch: task count, summed submit->start queue wait (the backpressure
+  /// signal), summed task run time, and the run-time of the slowest task
+  /// (skew — e.g. a hot state shard's fold task). All zero (and omitted
+  /// from the JSON) for operators that ran no scheduler stage.
+  int64_t tasks = 0;
+  int64_t queue_wait_nanos = 0;
+  int64_t task_run_nanos = 0;
+  int64_t max_task_run_nanos = 0;
   /// Per-shard breakdown of (state_rows, state_bytes), indexed by shard.
   /// Empty for stateless operators (and omitted from the JSON then).
   std::vector<std::pair<int64_t, int64_t>> shard_state;
@@ -104,6 +113,17 @@ struct QueryProgress {
   int64_t checkpoint_nanos = 0;   // state store CommitAll
   int64_t commit_nanos = 0;       // sink commit + WAL commit + retention
   int64_t other_nanos = 0;        // watermark/progress bookkeeping remainder
+
+  /// Time inside Sink::CommitEpoch alone — the sink-bound signal. A subset
+  /// of commit_nanos (which also covers the WAL commit and retention), so
+  /// deliberately NOT part of the StageSumNanos invariant.
+  int64_t sink_commit_nanos = 0;
+
+  /// Sum of per-operator scheduler queue wait this epoch (see
+  /// OperatorProgress::queue_wait_nanos). Tasks wait concurrently, so this
+  /// can exceed duration_nanos; divide by the scheduler's parallelism for
+  /// a wall-clock-comparable figure.
+  int64_t queue_wait_nanos = 0;
 
   /// Idle time between the previous trigger finishing and this one firing
   /// (0 for the first trigger and for recovery replay).

@@ -88,6 +88,13 @@ Status QueryHistoryLog::AppendProgress(const std::string& query_name,
   return AppendLine(std::move(event), "progress", query_name);
 }
 
+Status QueryHistoryLog::AppendDoctor(const std::string& query_name,
+                                     Json report) {
+  Json event = Json::Object();
+  event.Set("report", std::move(report));
+  return AppendLine(std::move(event), "doctor", query_name);
+}
+
 Status QueryHistoryLog::AppendTerminated(const std::string& query_name,
                                          const Status& error,
                                          int64_t last_epoch,

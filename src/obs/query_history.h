@@ -23,6 +23,7 @@ namespace sstreaming {
 ///
 ///   started    {query, timestampMicros, recovered, planWarnings: [...]}
 ///   progress   {query, timestampMicros, progress: <QueryProgress JSON>}
+///   doctor     {query, timestampMicros, report: <DoctorReport JSON>}
 ///   terminated {query, timestampMicros, lastEpoch, error, planProfile}
 ///
 /// Unlike the WAL, history is telemetry: append failures go sticky in
@@ -46,6 +47,9 @@ class QueryHistoryLog {
                        const std::vector<Diagnostic>& plan_warnings);
   Status AppendProgress(const std::string& query_name,
                         const QueryProgress& progress);
+  /// `report`: a DoctorReport::ToJson() payload — the bottleneck diagnosis
+  /// appended just before termination so post-mortems ship with the log.
+  Status AppendDoctor(const std::string& query_name, Json report);
   Status AppendTerminated(const std::string& query_name, const Status& error,
                           int64_t last_epoch, const PlanProfile& profile);
 

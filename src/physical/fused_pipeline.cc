@@ -209,7 +209,7 @@ Result<std::vector<RecordBatchPtr>> FusedPipelineExec::ExecuteImpl(
       return Status::OK();
     });
   }
-  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  SS_RETURN_IF_ERROR(ctx->RunStage(op_id_, name(), std::move(tasks)));
 
   // Fold per-stage stats under the stages' ORIGINAL op_ids, mirroring what
   // each operator's own Execute would have recorded unfused. Walls are

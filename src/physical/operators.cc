@@ -60,7 +60,7 @@ Result<std::vector<RecordBatchPtr>> SourceExec::ExecuteImpl(ExecContext* ctx) {
       return Status::OK();
     });
   }
-  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  SS_RETURN_IF_ERROR(ctx->RunStage(op_id_, name(), std::move(tasks)));
   return out;
 }
 
@@ -160,7 +160,7 @@ Result<std::vector<RecordBatchPtr>> FilterExec::ExecuteImpl(ExecContext* ctx) {
       return Status::OK();
     });
   }
-  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  SS_RETURN_IF_ERROR(ctx->RunStage(op_id_, name(), std::move(tasks)));
   return out;
 }
 
@@ -191,7 +191,7 @@ Result<std::vector<RecordBatchPtr>> ProjectExec::ExecuteImpl(ExecContext* ctx) {
       return Status::OK();
     });
   }
-  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  SS_RETURN_IF_ERROR(ctx->RunStage(op_id_, name(), std::move(tasks)));
   return out;
 }
 
@@ -260,7 +260,7 @@ Result<std::vector<RecordBatchPtr>> ShuffleExec::ExecuteImpl(ExecContext* ctx) {
     });
   }
   SS_RETURN_IF_ERROR(
-      ctx->scheduler->RunStage(name() + "/map", std::move(map_tasks)));
+      ctx->RunStage(op_id_, name() + "/map", std::move(map_tasks)));
 
   // Reduce-side concat: one task per output partition.
   std::vector<RecordBatchPtr> out(out_parts);
@@ -277,7 +277,7 @@ Result<std::vector<RecordBatchPtr>> ShuffleExec::ExecuteImpl(ExecContext* ctx) {
     });
   }
   SS_RETURN_IF_ERROR(
-      ctx->scheduler->RunStage(name() + "/reduce", std::move(reduce_tasks)));
+      ctx->RunStage(op_id_, name() + "/reduce", std::move(reduce_tasks)));
   return out;
 }
 

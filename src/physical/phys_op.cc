@@ -2,9 +2,12 @@
 
 #include <filesystem>
 
+#include <algorithm>
+
 #include "common/clock.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 #include "storage/fs.h"
 
@@ -206,7 +209,34 @@ void PhysOp::CollectProfileNodes(std::vector<OpProfileNode>* out) const {
   out->push_back(std::move(node));
 }
 
+Status ExecContext::RunStage(int op_id, const std::string& stage_name,
+                             std::vector<std::function<Status()>> tasks) {
+  StageWait wait;
+  Status s = scheduler->RunStage(stage_name, std::move(tasks), &wait);
+  // Merge even on failure: a stage that died after queueing is still
+  // evidence for the doctor.
+  std::lock_guard<std::mutex> lock(metrics_mu);
+  OpStats& stats = op_stats[op_id];
+  stats.tasks += wait.tasks;
+  stats.queue_wait_nanos += wait.queue_wait_nanos;
+  stats.max_queue_wait_nanos =
+      std::max(stats.max_queue_wait_nanos, wait.max_queue_wait_nanos);
+  stats.task_run_nanos += wait.run_nanos;
+  stats.max_task_run_nanos =
+      std::max(stats.max_task_run_nanos, wait.max_run_nanos);
+  return s;
+}
+
 Result<std::vector<RecordBatchPtr>> PhysOp::Execute(ExecContext* ctx) {
+  uint32_t op_label = 0;
+  if (Profiler::active()) {
+    op_label = profile_label_.load(std::memory_order_relaxed);
+    if (op_label == 0) {
+      op_label = Profiler::Instance().Intern(name());
+      profile_label_.store(op_label, std::memory_order_relaxed);
+    }
+  }
+  ProfileOpScope prof(op_label, op_id_);
   int64_t t0 = MonotonicNanos();
   Result<std::vector<RecordBatchPtr>> result = ExecuteImpl(ctx);
   int64_t dt = MonotonicNanos() - t0;

@@ -1,6 +1,7 @@
 #ifndef SSTREAMING_PHYSICAL_PHYS_OP_H_
 #define SSTREAMING_PHYSICAL_PHYS_OP_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -107,6 +108,16 @@ struct OpStats {
   /// Approximate bytes of the operator's output batches (memory accounting
   /// for EXPLAIN ANALYZE; O(columns) per batch to compute).
   int64_t bytes_out = 0;
+
+  // Scheduler-stage accounting for the stages this operator submitted
+  // (filled by ExecContext::RunStage; see StageWait). queue_wait is the
+  // operator's backpressure signal; max_task_run vs. run/tasks is its
+  // task skew (e.g. an overloaded state shard's fold task).
+  int64_t tasks = 0;
+  int64_t queue_wait_nanos = 0;
+  int64_t max_queue_wait_nanos = 0;
+  int64_t task_run_nanos = 0;
+  int64_t max_task_run_nanos = 0;
 };
 
 /// Per-epoch execution context threaded through the physical operators.
@@ -181,6 +192,13 @@ struct ExecContext {
     std::lock_guard<std::mutex> lock(metrics_mu);
     return min_ingest_micros;
   }
+
+  /// Runs a stage on `scheduler`, merging its queue-wait/run accounting
+  /// into `op_stats[op_id]` (the submitting operator). Operators call this
+  /// instead of scheduler->RunStage so every stage's backpressure signal is
+  /// attributed to the operator that submitted it.
+  Status RunStage(int op_id, const std::string& stage_name,
+                  std::vector<std::function<Status()>> tasks);
 };
 
 /// One row of the per-operator profile index: how an operator wants to
@@ -251,6 +269,11 @@ class PhysOp {
   int op_id_;
   SchemaPtr schema_;
   std::vector<std::shared_ptr<PhysOp>> children_;
+
+ private:
+  /// Interned profiler label for name(), filled lazily on the first
+  /// Execute with the profiler armed (0 = not yet interned).
+  mutable std::atomic<uint32_t> profile_label_{0};
 };
 
 using PhysOpPtr = std::shared_ptr<PhysOp>;

@@ -291,7 +291,7 @@ Result<std::vector<RecordBatchPtr>> StatefulAggExec::ExecuteImpl(
       });
     }
     SS_RETURN_IF_ERROR(
-        ctx->scheduler->RunStage(name() + "[eval]", std::move(tasks)));
+        ctx->RunStage(op_id_, name() + "[eval]", std::move(tasks)));
   }
 
   // Finalizer shared by the shard tasks (pure: decode key, append window
@@ -500,7 +500,7 @@ Result<std::vector<RecordBatchPtr>> StatefulAggExec::ExecuteImpl(
         return Status::OK();
       });
     }
-    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+    SS_RETURN_IF_ERROR(ctx->RunStage(op_id_, name(), std::move(tasks)));
   }
 
   // Stage 2 [split]: enumerate window starts, drop late rows, serialize
@@ -567,7 +567,7 @@ Result<std::vector<RecordBatchPtr>> StatefulAggExec::ExecuteImpl(
         });
       }
     }
-    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+    SS_RETURN_IF_ERROR(ctx->RunStage(op_id_,
         name() + "[split]",
         CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
   }
@@ -622,7 +622,7 @@ Result<std::vector<RecordBatchPtr>> StatefulAggExec::ExecuteImpl(
         });
       }
     }
-    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+    SS_RETURN_IF_ERROR(ctx->RunStage(op_id_,
         name(), CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
   }
 
@@ -700,7 +700,7 @@ Result<std::vector<RecordBatchPtr>> DedupExec::ExecuteImpl(ExecContext* ctx) {
         });
       }
     }
-    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+    SS_RETURN_IF_ERROR(ctx->RunStage(op_id_,
         name() + "[split]",
         CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
   }
@@ -734,7 +734,7 @@ Result<std::vector<RecordBatchPtr>> DedupExec::ExecuteImpl(ExecContext* ctx) {
         });
       }
     }
-    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+    SS_RETURN_IF_ERROR(ctx->RunStage(op_id_,
         name(), CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
   }
 
@@ -804,7 +804,7 @@ Result<std::vector<RecordBatchPtr>> StreamStaticJoinExec::ExecuteImpl(
       return Status::OK();
     });
   }
-  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  SS_RETURN_IF_ERROR(ctx->RunStage(op_id_, name(), std::move(tasks)));
   return out;
 }
 
@@ -1046,7 +1046,7 @@ Result<std::vector<RecordBatchPtr>> StreamStreamJoinExec::ExecuteImpl(
         });
       }
     }
-    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+    SS_RETURN_IF_ERROR(ctx->RunStage(op_id_,
         name() + "[split]",
         CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
   }
@@ -1211,7 +1211,7 @@ Result<std::vector<RecordBatchPtr>> StreamStreamJoinExec::ExecuteImpl(
         });
       }
     }
-    SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(
+    SS_RETURN_IF_ERROR(ctx->RunStage(op_id_,
         name(), CoalesceTasks(std::move(tasks), ShardStageTaskCap(ctx, P))));
   }
 
@@ -1262,7 +1262,7 @@ Result<std::vector<RecordBatchPtr>> FlatMapGroupsWithStateExec::ExecuteImpl(
       return Status::OK();
     });
   }
-  SS_RETURN_IF_ERROR(ctx->scheduler->RunStage(name(), std::move(tasks)));
+  SS_RETURN_IF_ERROR(ctx->RunStage(op_id_, name(), std::move(tasks)));
   return out;
 }
 

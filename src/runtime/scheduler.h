@@ -15,6 +15,24 @@ namespace sstreaming {
 
 class MetricsRegistry;
 
+/// Per-stage queue/backpressure accounting filled in by RunStage: how long
+/// tasks sat between submit and start (queue wait — the backpressure signal
+/// when partitions outnumber cores), how long they ran, and the per-task
+/// maxima (skew). On SimClusterScheduler all of it is virtual time, so the
+/// numbers describe the simulated cluster, not the host.
+struct StageWait {
+  int64_t tasks = 0;
+  /// Sum over tasks of (start time - submit time). Tasks wait
+  /// concurrently, so this can exceed the stage's wall time.
+  int64_t queue_wait_nanos = 0;
+  int64_t max_queue_wait_nanos = 0;
+  /// Sum over tasks of execution time (excludes queue wait).
+  int64_t run_nanos = 0;
+  int64_t max_run_nanos = 0;
+  /// Submit of the first task to completion of the last.
+  int64_t stage_wall_nanos = 0;
+};
+
 /// Executes one stage of a microbatch job: a set of independent tasks, one
 /// per partition (paper §6.2 — "each epoch executes as a traditional Spark
 /// job composed of a DAG of independent tasks"). The engine is agnostic to
@@ -32,9 +50,20 @@ class TaskScheduler {
  public:
   virtual ~TaskScheduler() = default;
 
-  /// Runs all tasks to completion; fails if any task fails.
+  /// Runs all tasks to completion; fails if any task fails. When `wait` is
+  /// non-null it receives the stage's queue/run accounting (see StageWait).
+  /// Tasks inherit the submitting thread's profiler attribution word with
+  /// the stage field set to `stage_name` (obs/profiler.h) — a no-op unless
+  /// the profiler is armed.
   virtual Status RunStage(const std::string& stage_name,
-                          std::vector<std::function<Status()>> tasks) = 0;
+                          std::vector<std::function<Status()>> tasks,
+                          StageWait* wait) = 0;
+
+  /// Convenience overload for callers that do not need the accounting.
+  Status RunStage(const std::string& stage_name,
+                  std::vector<std::function<Status()>> tasks) {
+    return RunStage(stage_name, std::move(tasks), nullptr);
+  }
 
   /// Degree of (possibly simulated) parallelism.
   virtual int parallelism() const = 0;
@@ -46,9 +75,11 @@ class TaskScheduler {
   virtual void ChargeVirtualNanos(int64_t) {}
 
   /// Optional instrumentation: when set, RunStage implementations record
-  /// per-task latency (`sstreaming_scheduler_task_nanos`), per-stage wall
-  /// time (`sstreaming_scheduler_stage_nanos`), task/stage counts, and the
-  /// live queue depth (`sstreaming_scheduler_queue_depth`). A scheduler
+  /// per-task latency (`sstreaming_scheduler_task_nanos`), per-task queue
+  /// wait (`sstreaming_scheduler_queue_wait_nanos`), per-stage wall time
+  /// (`sstreaming_scheduler_stage_nanos`), task/stage counts, the live
+  /// queue depth (`sstreaming_scheduler_queue_depth`), and the stage busy
+  /// fraction (`sstreaming_scheduler_saturation_permille`). A scheduler
   /// shared between queries should be given a shared registry.
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
@@ -59,8 +90,10 @@ class TaskScheduler {
 /// Serial in-process execution.
 class InlineScheduler : public TaskScheduler {
  public:
+  using TaskScheduler::RunStage;
   Status RunStage(const std::string& stage_name,
-                  std::vector<std::function<Status()>> tasks) override;
+                  std::vector<std::function<Status()>> tasks,
+                  StageWait* wait) override;
   int parallelism() const override { return 1; }
 };
 
@@ -69,8 +102,10 @@ class PoolScheduler : public TaskScheduler {
  public:
   explicit PoolScheduler(int num_threads);
 
+  using TaskScheduler::RunStage;
   Status RunStage(const std::string& stage_name,
-                  std::vector<std::function<Status()>> tasks) override;
+                  std::vector<std::function<Status()>> tasks,
+                  StageWait* wait) override;
   int parallelism() const override { return pool_.num_threads(); }
 
  private:
@@ -116,8 +151,10 @@ class SimClusterScheduler : public TaskScheduler {
 
   explicit SimClusterScheduler(Options options);
 
+  using TaskScheduler::RunStage;
   Status RunStage(const std::string& stage_name,
-                  std::vector<std::function<Status()>> tasks) override;
+                  std::vector<std::function<Status()>> tasks,
+                  StageWait* wait) override;
   int parallelism() const override {
     return options_.num_nodes * options_.cores_per_node;
   }

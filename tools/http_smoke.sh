@@ -121,6 +121,29 @@ assert isinstance(trace["traceEvents"], list), trace
 ' || fail "/queries/dashboard/trace content"
 echo "ok /queries/dashboard/trace"
 
+get /queries/dashboard/doctor | python3 -c '
+import json, sys
+report = json.load(sys.stdin)
+assert report["query"] == "dashboard", report
+assert report["epochsExamined"] > 0, report
+assert report["topVerdict"], report  # a verdict or "healthy", never empty
+for finding in report["findings"]:
+    assert finding["verdict"] and finding["summary"], finding
+    assert finding["suggestion"] and "evidence" in finding, finding
+' || fail "/queries/dashboard/doctor content"
+echo "ok /queries/dashboard/doctor"
+
+# /profile arms the sampling profiler for a second and returns the window.
+get '/profile?seconds=1&hz=199' | python3 -c '
+import json, sys
+profile = json.load(sys.stdin)
+assert profile["hz"] == 199, profile
+assert profile["ticks"] > 0, profile
+assert isinstance(profile["entries"], list), profile
+assert isinstance(profile["collapsed"], list), profile
+' || fail "/profile content"
+echo "ok /profile"
+
 curl -s --max-time 5 -o /dev/null -w '%{http_code}' \
   "http://127.0.0.1:$PORT/nope" | grep -q 404 || fail "404 handling"
 echo "ok 404"

@@ -12,6 +12,10 @@
 //                                       than PCT (default 10%) at any point
 //   ssctl bench-diff --self-test        verify the gate trips on a synthetic
 //                                       20% regression (CI sanity check)
+//   ssctl doctor <checkpoint_dir>       offline bottleneck diagnosis from a
+//                                       checkpoint's durable history — same
+//                                       rule engine (and verdicts) as the
+//                                       live /queries/<id>/doctor endpoint
 //   ssctl lint-checkpoint <checkpoint_dir> [--against <manifest.json>]
 //                                       validate a checkpoint's plan manifest
 //                                       offline: integrity, shard-count
@@ -31,6 +35,7 @@
 
 #include "analysis/checkpoint_compat.h"
 #include "common/json.h"
+#include "obs/doctor.h"
 #include "obs/http_server.h"
 #include "obs/progress.h"
 #include "obs/query_history.h"
@@ -48,6 +53,7 @@ int Usage() {
       "       ssctl bench-diff <baseline.json> <current.json>"
       " [--max-regress PCT]\n"
       "       ssctl bench-diff --self-test\n"
+      "       ssctl doctor <checkpoint_dir>\n"
       "       ssctl lint-checkpoint <checkpoint_dir>"
       " [--against <manifest.json>]\n");
   return 2;
@@ -438,6 +444,19 @@ int CmdLintCheckpoint(const std::string& dir, const std::string& against) {
   return analysis->has_errors() ? 1 : 0;
 }
 
+// ----------------------------------------------------------------- doctor
+
+int CmdDoctor(const std::string& dir) {
+  auto report = DiagnoseHistory(dir);
+  if (!report.ok()) {
+    std::fprintf(stderr, "ssctl: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", report->Render().c_str());
+  // Diagnosis is informational: a bottleneck verdict is not a failure.
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
@@ -483,6 +502,10 @@ int Main(int argc, char** argv) {
     if (self_test && args.empty()) return BenchDiffSelfTest();
     if (args.size() != 2) return Usage();
     return CmdBenchDiff(args[0], args[1], max_regress);
+  }
+  if (cmd == "doctor") {
+    if (args.size() != 1) return Usage();
+    return CmdDoctor(args[0]);
   }
   if (cmd == "lint-checkpoint") {
     if (args.size() != 1) return Usage();
